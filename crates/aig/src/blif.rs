@@ -1,0 +1,387 @@
+//! BLIF (Berkeley Logic Interchange Format) import and export.
+//!
+//! This is the lingua franca of the academic synthesis tools the paper
+//! used (SIS, ABC): users holding the original ISCAS'85/MCNC netlists
+//! can load them with [`parse_blif`] and push them through this
+//! workspace's flow; [`write_blif`] exports AIGs for cross-checking in
+//! ABC. Combinational subset only (`.model/.inputs/.outputs/.names`).
+
+use crate::graph::{Aig, Lit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error while parsing BLIF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    msg: String,
+    line: usize,
+}
+
+impl ParseBlifError {
+    fn new(msg: impl Into<String>, line: usize) -> Self {
+        ParseBlifError { msg: msg.into(), line }
+    }
+
+    /// 1-based source line of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {})", self.msg, self.line)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+/// Exports an AIG as a combinational BLIF model.
+///
+/// Node names are synthesized (`pi<i>`, `n<i>`, `po<i>`); complemented
+/// edges become `0` input-plane characters in the single-output
+/// covers, so no explicit inverter nodes are required.
+pub fn write_blif(aig: &Aig) -> String {
+    let mut out = String::new();
+    let model = if aig.name().is_empty() { "aig" } else { aig.name() };
+    out.push_str(&format!(".model {}\n", model.replace(' ', "_")));
+    out.push_str(".inputs");
+    for i in 0..aig.num_pis() {
+        out.push_str(&format!(" pi{i}"));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for i in 0..aig.num_pos() {
+        out.push_str(&format!(" po{i}"));
+    }
+    out.push('\n');
+
+    let name_of = |l: Lit, aig: &Aig| -> String {
+        let n = l.node();
+        if aig.is_pi(n) {
+            let idx = aig.pis().iter().position(|&p| p == n).unwrap();
+            format!("pi{idx}")
+        } else {
+            format!("n{}", n.index())
+        }
+    };
+
+    for id in aig.and_ids() {
+        let (f0, f1) = aig.fanins(id);
+        out.push_str(&format!(
+            ".names {} {} n{}\n{}{} 1\n",
+            name_of(f0, aig),
+            name_of(f1, aig),
+            id.index(),
+            if f0.is_complement() { '0' } else { '1' },
+            if f1.is_complement() { '0' } else { '1' },
+        ));
+    }
+    for (i, &po) in aig.pos().iter().enumerate() {
+        if po == Lit::FALSE {
+            out.push_str(&format!(".names po{i}\n"));
+        } else if po == Lit::TRUE {
+            out.push_str(&format!(".names po{i}\n1\n"));
+        } else {
+            out.push_str(&format!(
+                ".names {} po{}\n{} 1\n",
+                name_of(po, aig),
+                i,
+                if po.is_complement() { '0' } else { '1' }
+            ));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses a combinational BLIF model into an AIG.
+///
+/// Supports `.model`, `.inputs`, `.outputs`, `.names` with
+/// single-output covers (both on-set and off-set output values), `#`
+/// comments and `\` line continuations. Latches and hierarchy are
+/// rejected.
+///
+/// # Errors
+///
+/// Returns a [`ParseBlifError`] naming the offending line on malformed
+/// input, undefined signals or combinational loops.
+pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
+    // Pre-process: join continuations, strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (ln, raw) in text.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        if pending.is_empty() {
+            pending_line = ln + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        if !pending.trim().is_empty() {
+            lines.push((pending_line, std::mem::take(&mut pending)));
+        } else {
+            pending.clear();
+        }
+    }
+
+    #[derive(Debug)]
+    struct Names {
+        inputs: Vec<String>,
+        output: String,
+        rows: Vec<(String, char)>,
+        line: usize,
+    }
+
+    let mut model = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut tables: Vec<Names> = Vec::new();
+    let mut current: Option<Names> = None;
+
+    for (ln, line) in &lines {
+        let mut toks = line.split_whitespace();
+        let Some(first) = toks.next() else { continue };
+        if first.starts_with('.') {
+            if let Some(t) = current.take() {
+                tables.push(t);
+            }
+        }
+        match first {
+            ".model" => model = toks.next().unwrap_or("blif").to_string(),
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                let mut sig: Vec<String> = toks.map(str::to_string).collect();
+                let output = sig
+                    .pop()
+                    .ok_or_else(|| ParseBlifError::new(".names needs an output", *ln))?;
+                current = Some(Names { inputs: sig, output, rows: Vec::new(), line: *ln });
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(ParseBlifError::new(
+                    format!("unsupported construct {first} (combinational BLIF only)"),
+                    *ln,
+                ));
+            }
+            _ if first.starts_with('.') => { /* ignore benign directives */ }
+            _ => {
+                // A cover row: "<input-plane> <value>" or "<value>".
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| ParseBlifError::new("cover row outside .names", *ln))?;
+                let second = toks.next();
+                let (plane, value) = match second {
+                    Some(v) => (first.to_string(), v),
+                    None => (String::new(), first),
+                };
+                let vc = value.chars().next().unwrap_or('1');
+                if vc != '0' && vc != '1' {
+                    return Err(ParseBlifError::new("cover value must be 0 or 1", *ln));
+                }
+                if plane.len() != t.inputs.len() {
+                    return Err(ParseBlifError::new(
+                        format!(
+                            "cover width {} does not match {} inputs",
+                            plane.len(),
+                            t.inputs.len()
+                        ),
+                        *ln,
+                    ));
+                }
+                t.rows.push((plane, vc));
+            }
+        }
+    }
+    if let Some(t) = current.take() {
+        tables.push(t);
+    }
+
+    // Build the AIG with deferred (demand-driven) elaboration.
+    let mut aig = Aig::new(model);
+    let mut signal: HashMap<String, Lit> = HashMap::new();
+    for name in &inputs {
+        let l = aig.add_pi();
+        signal.insert(name.clone(), l);
+    }
+    let by_output: HashMap<String, usize> =
+        tables.iter().enumerate().map(|(i, t)| (t.output.clone(), i)).collect();
+
+    // Iterative DFS over table dependencies.
+    fn elaborate(
+        name: &str,
+        tables: &[Names],
+        by_output: &HashMap<String, usize>,
+        signal: &mut HashMap<String, Lit>,
+        aig: &mut Aig,
+        visiting: &mut Vec<String>,
+    ) -> Result<Lit, ParseBlifError> {
+        if let Some(&l) = signal.get(name) {
+            return Ok(l);
+        }
+        let &ti = by_output
+            .get(name)
+            .ok_or_else(|| ParseBlifError::new(format!("undefined signal {name}"), 0))?;
+        let t = &tables[ti];
+        if visiting.iter().any(|v| v == name) {
+            return Err(ParseBlifError::new(
+                format!("combinational loop through {name}"),
+                t.line,
+            ));
+        }
+        visiting.push(name.to_string());
+        let mut ins = Vec::with_capacity(t.inputs.len());
+        for i in &t.inputs {
+            ins.push(elaborate(i, tables, by_output, signal, aig, visiting)?);
+        }
+        visiting.pop();
+
+        // Single-output cover: OR of cube rows; all rows share one
+        // output value per BLIF semantics (mixed rows rejected).
+        let values: Vec<char> = t.rows.iter().map(|(_, v)| *v).collect();
+        let on_value = values.first().copied().unwrap_or('0');
+        if values.iter().any(|&v| v != on_value) {
+            return Err(ParseBlifError::new(
+                format!("mixed cover polarities in {name}"),
+                t.line,
+            ));
+        }
+        let mut cover = Lit::FALSE;
+        for (plane, _) in &t.rows {
+            let mut cube = Lit::TRUE;
+            for (k, c) in plane.chars().enumerate() {
+                match c {
+                    '1' => cube = aig.and(cube, ins[k]),
+                    '0' => {
+                        let inv = ins[k].negate();
+                        cube = aig.and(cube, inv);
+                    }
+                    '-' => {}
+                    other => {
+                        return Err(ParseBlifError::new(
+                            format!("bad plane character '{other}' in {name}"),
+                            t.line,
+                        ));
+                    }
+                }
+            }
+            cover = aig.or(cover, cube);
+        }
+        let lit = if on_value == '1' { cover } else { cover.negate() };
+        signal.insert(name.to_string(), lit);
+        Ok(lit)
+    }
+
+    let mut visiting = Vec::new();
+    for o in &outputs {
+        let l = elaborate(o, &tables, &by_output, &mut signal, &mut aig, &mut visiting)?;
+        aig.add_po(l);
+    }
+    Ok(aig.compact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cec::{check_equivalence, CecResult};
+
+    fn sample() -> Aig {
+        let mut g = Aig::new("sample");
+        let p = g.add_pis(4);
+        let x = g.xor(p[0], p[1]);
+        let y = g.and(p[2], p[3].negate());
+        let z = g.or(x, y);
+        g.add_po(z);
+        g.add_po(x.negate());
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let g = sample();
+        let blif = write_blif(&g);
+        let back = parse_blif(&blif).expect("own output parses");
+        assert_eq!(back.num_pis(), g.num_pis());
+        assert_eq!(back.num_pos(), g.num_pos());
+        assert_eq!(check_equivalence(&g, &back), CecResult::Equivalent);
+    }
+
+    #[test]
+    fn parses_handwritten_blif() {
+        let text = "\
+# a full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b x
+10 1
+01 1
+.names x cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let g = parse_blif(text).unwrap();
+        assert_eq!(g.num_pis(), 3);
+        assert_eq!(g.num_pos(), 2);
+        for m in 0..8u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            let total = ins.iter().filter(|&&x| x).count();
+            let out = g.eval(&ins);
+            assert_eq!(out[0], total % 2 == 1, "sum m={m}");
+            assert_eq!(out[1], total >= 2, "cout m={m}");
+        }
+    }
+
+    #[test]
+    fn offset_covers_and_constants() {
+        let text = "\
+.model t
+.inputs a b
+.outputs nand konst
+.names a b nand
+11 0
+.names konst
+1
+.end
+";
+        let g = parse_blif(text).unwrap();
+        assert_eq!(g.eval(&[true, true]), vec![false, true]);
+        assert_eq!(g.eval(&[true, false]), vec![true, true]);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(parse_blif(".model x\n.latch a b\n.end").is_err());
+        let e = parse_blif(".model x\n.inputs a\n.outputs y\n.names a y\n1 2\n.end")
+            .unwrap_err();
+        assert_eq!(e.line(), 5);
+        assert!(!e.to_string().is_empty());
+        // Undefined signal.
+        assert!(parse_blif(".model x\n.inputs a\n.outputs y\n.end").is_err());
+        // Combinational loop.
+        let looped = ".model x\n.inputs a\n.outputs y\n.names y a y\n11 1\n.end";
+        assert!(parse_blif(looped).is_err());
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let g = parse_blif(text).unwrap();
+        assert_eq!(g.num_pis(), 2);
+        assert!(g.eval(&[true, true])[0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! CNF export (Tseitin encoding) and SAT-based combinational
+//! equivalence checking.
+
+use crate::graph::{Aig, Lit, NodeId};
+use cntfet_sat::{Lit as SatLit, SolveResult, Solver, Var};
+
+/// Encodes the AIG into `solver`, returning the SAT variable of every
+/// node (indexable by `NodeId::index`).
+///
+/// The constant node is encoded as a variable constrained to false.
+pub fn tseitin(aig: &Aig, solver: &mut Solver) -> Vec<Var> {
+    let vars: Vec<Var> = (0..aig.num_nodes()).map(|_| solver.new_var()).collect();
+    solver.add_clause(&[vars[NodeId::CONST.index()].neg()]);
+    for id in aig.and_ids() {
+        let (a, b) = aig.fanins(id);
+        let c = vars[id.index()].pos();
+        let la = sat_lit(&vars, a);
+        let lb = sat_lit(&vars, b);
+        // c ↔ a ∧ b
+        solver.add_clause(&[c.negate(), la]);
+        solver.add_clause(&[c.negate(), lb]);
+        solver.add_clause(&[c, la.negate(), lb.negate()]);
+    }
+    vars
+}
+
+/// Maps an AIG literal to the corresponding SAT literal.
+pub fn sat_lit(vars: &[Var], l: Lit) -> SatLit {
+    vars[l.node().index()].lit(!l.is_complement())
+}
+
+/// Verdict of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CecResult {
+    /// The two networks implement identical functions.
+    Equivalent,
+    /// A distinguishing input assignment (per PI) and the index of the
+    /// first differing output.
+    Counterexample {
+        /// Input assignment exposing the difference.
+        inputs: Vec<bool>,
+        /// Index of an output where the networks disagree.
+        output: usize,
+    },
+}
+
+/// Checks combinational equivalence of two AIGs with identical
+/// interfaces, using random simulation as a fast pre-filter and a SAT
+/// miter for the proof.
+///
+/// # Panics
+///
+/// Panics if the PI/PO counts differ.
+pub fn check_equivalence(a: &Aig, b: &Aig) -> CecResult {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+
+    // Random-simulation pre-filter: cheap counterexamples first.
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    for round in 0..8 {
+        let patterns: Vec<u64> = (0..a.num_pis())
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state.wrapping_add((round * 0x9E37_79B9 + i as u64) as u64)
+            })
+            .collect();
+        let va = a.simulate_words(&patterns);
+        let vb = b.simulate_words(&patterns);
+        for (o, (&la, &lb)) in a.pos().iter().zip(b.pos().iter()).enumerate() {
+            let wa = a.lit_word(&va, la);
+            let wb = b.lit_word(&vb, lb);
+            if wa != wb {
+                let bit = (wa ^ wb).trailing_zeros() as u64;
+                let inputs = patterns.iter().map(|w| w >> bit & 1 == 1).collect();
+                return CecResult::Counterexample { inputs, output: o };
+            }
+        }
+    }
+
+    // SAT miter, one output at a time (keeps learnt clauses local and
+    // yields the earliest distinguishing output index).
+    let mut solver = Solver::new();
+    let va = tseitin(a, &mut solver);
+    let vb = tseitin(b, &mut solver);
+    // Tie the primary inputs together.
+    for (pa, pb) in a.pis().iter().zip(b.pis()) {
+        let la = va[pa.index()].pos();
+        let lb = vb[pb.index()].pos();
+        solver.add_clause(&[la.negate(), lb]);
+        solver.add_clause(&[la, lb.negate()]);
+    }
+    for o in 0..a.num_pos() {
+        let la = sat_lit(&va, a.pos()[o]);
+        let lb = sat_lit(&vb, b.pos()[o]);
+        // XOR output: introduce miter variable m ↔ la ⊕ lb, assume m.
+        let m = solver.new_var();
+        solver.add_clause(&[m.neg(), la, lb]);
+        solver.add_clause(&[m.neg(), la.negate(), lb.negate()]);
+        solver.add_clause(&[m.pos(), la.negate(), lb]);
+        solver.add_clause(&[m.pos(), la, lb.negate()]);
+        if solver.solve(&[m.pos()]) == SolveResult::Sat {
+            let inputs = a
+                .pis()
+                .iter()
+                .map(|pi| solver.value(va[pi.index()]).unwrap_or(false))
+                .collect();
+            return CecResult::Counterexample { inputs, output: o };
+        }
+    }
+    CecResult::Equivalent
+}
+
+/// Convenience wrapper returning `true` iff equivalent.
+pub fn equivalent(a: &Aig, b: &Aig) -> bool {
+    check_equivalence(a, b) == CecResult::Equivalent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_chain(n: usize, balanced: bool) -> Aig {
+        let mut g = Aig::new("x");
+        let pis = g.add_pis(n);
+        let out = if balanced {
+            g.xor_many(&pis)
+        } else {
+            let mut acc = pis[0];
+            for &p in &pis[1..] {
+                acc = g.xor(acc, p);
+            }
+            acc
+        };
+        g.add_po(out);
+        g
+    }
+
+    #[test]
+    fn equivalent_structures() {
+        let a = xor_chain(7, true);
+        let b = xor_chain(7, false);
+        assert_eq!(check_equivalence(&a, &b), CecResult::Equivalent);
+    }
+
+    #[test]
+    fn inequivalent_detected_with_counterexample() {
+        let a = xor_chain(5, true);
+        let mut b = xor_chain(5, false);
+        // Break output polarity.
+        let po = b.pos()[0];
+        b.set_po(0, po.negate());
+        match check_equivalence(&a, &b) {
+            CecResult::Counterexample { inputs, output } => {
+                assert_eq!(output, 0);
+                assert_ne!(a.eval(&inputs)[0], b.eval(&inputs)[0]);
+            }
+            CecResult::Equivalent => panic!("must not be equivalent"),
+        }
+    }
+
+    #[test]
+    fn subtle_inequivalence_found_by_sat() {
+        // Two functions agreeing everywhere except one minterm: random
+        // sim may miss it, SAT must find it.
+        let mut a = Aig::new("a");
+        let pis = a.add_pis(12);
+        let conj = a.and_many(&pis);
+        let o = a.or(conj, pis[0]);
+        a.add_po(o);
+
+        let mut b = Aig::new("b");
+        let pis_b = b.add_pis(12);
+        b.add_po(pis_b[0]);
+        // a = AND(all) OR pi0 differs from pi0 exactly on the minterm
+        // where all other inputs are 1 and pi0 = 0... actually AND(all)
+        // requires pi0 too, so they are equivalent!
+        assert_eq!(check_equivalence(&a, &b), CecResult::Equivalent);
+
+        // Now make a real difference: OR of AND(pis[1..]) and pi0.
+        let mut c = Aig::new("c");
+        let pis_c = c.add_pis(12);
+        let conj = c.and_many(&pis_c[1..]);
+        let o = c.or(conj, pis_c[0]);
+        c.add_po(o);
+        match check_equivalence(&c, &b) {
+            CecResult::Counterexample { inputs, output } => {
+                assert_eq!(output, 0);
+                assert_ne!(c.eval(&inputs)[0], b.eval(&inputs)[0]);
+            }
+            CecResult::Equivalent => panic!("c and b differ on one minterm"),
+        }
+    }
+
+    #[test]
+    fn multi_output_mismatch_reports_index() {
+        let mut a = Aig::new("a");
+        let p = a.add_pis(2);
+        let x = a.and(p[0], p[1]);
+        let y = a.or(p[0], p[1]);
+        a.add_po(x);
+        a.add_po(y);
+
+        let mut b = Aig::new("b");
+        let q = b.add_pis(2);
+        let x = b.and(q[0], q[1]);
+        let y = b.xor(q[0], q[1]); // differs
+        b.add_po(x);
+        b.add_po(y);
+
+        match check_equivalence(&a, &b) {
+            CecResult::Counterexample { output, .. } => assert_eq!(output, 1),
+            CecResult::Equivalent => panic!("outputs differ"),
+        }
+    }
+}

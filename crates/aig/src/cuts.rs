@@ -1,0 +1,274 @@
+//! K-feasible cut enumeration with priority pruning, plus cut-function
+//! computation — shared infrastructure for rewriting and technology
+//! mapping.
+
+use crate::graph::{Aig, NodeId};
+use cntfet_boolfn::TruthTable;
+use std::collections::HashMap;
+
+/// A cut: a set of leaf nodes that together dominate a root node
+/// (every path from a PI to the root passes through a leaf).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    /// Sorted leaf nodes.
+    leaves: Vec<NodeId>,
+    /// Signature (bloom-style) for fast subset tests.
+    sig: u64,
+}
+
+impl Cut {
+    fn from_leaves(mut leaves: Vec<NodeId>) -> Cut {
+        leaves.sort();
+        leaves.dedup();
+        let sig = leaves.iter().fold(0u64, |s, n| s | 1 << (n.index() % 64));
+        Cut { leaves, sig }
+    }
+
+    /// Unit cut {node}.
+    pub fn unit(node: NodeId) -> Cut {
+        Cut::from_leaves(vec![node])
+    }
+
+    /// The sorted leaves.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Merges two cuts if the union stays within `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        if (self.sig | other.sig).count_ones() as usize > k {
+            // Quick reject only when even the optimistic signature
+            // union is too large (signatures may alias, so this test
+            // is conservative in the other direction).
+        }
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        i += 1;
+                        a
+                    } else if b < a {
+                        j += 1;
+                        b
+                    } else {
+                        i += 1;
+                        j += 1;
+                        a
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => break,
+            };
+            leaves.push(next);
+            if leaves.len() > k {
+                return None;
+            }
+        }
+        Some(Cut::from_leaves(leaves))
+    }
+
+    /// True iff `self`'s leaves are a subset of `other`'s.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.sig & !other.sig != 0 || self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Per-node cut sets for an AIG.
+#[derive(Debug)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// Cuts of a node (first cut is the unit cut).
+    pub fn of(&self, node: NodeId) -> &[Cut] {
+        &self.cuts[node.index()]
+    }
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts per node (priority
+/// cuts: smaller cuts first, dominated cuts removed).
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
+    assert!(k >= 2, "cut size must be at least 2");
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    for id in aig.node_ids() {
+        if id == NodeId::CONST {
+            cuts[id.index()] = vec![Cut::unit(id)];
+            continue;
+        }
+        if aig.is_pi(id) {
+            cuts[id.index()] = vec![Cut::unit(id)];
+            continue;
+        }
+        let (f0, f1) = aig.fanins(id);
+        let set0 = cuts[f0.node().index()].clone();
+        let set1 = cuts[f1.node().index()].clone();
+        let mut merged: Vec<Cut> = Vec::new();
+        for c0 in &set0 {
+            for c1 in &set1 {
+                if let Some(c) = c0.merge(c1, k) {
+                    if !merged.iter().any(|m| m.dominates(&c)) {
+                        merged.retain(|m| !c.dominates(m));
+                        merged.push(c);
+                    }
+                }
+            }
+        }
+        merged.sort_by_key(Cut::size);
+        merged.truncate(max_cuts.saturating_sub(1));
+        let mut all = vec![Cut::unit(id)];
+        all.extend(merged);
+        cuts[id.index()] = all;
+    }
+    CutSet { cuts }
+}
+
+/// Computes the function of `root` in terms of a cut's leaves
+/// (leaf `i` becomes variable `i`).
+///
+/// # Panics
+///
+/// Panics if the cut has more than [`cntfet_boolfn::MAX_VARS`] leaves
+/// or does not actually cover the root's cone.
+pub fn cut_function(aig: &Aig, root: NodeId, cut: &Cut) -> TruthTable {
+    let k = cut.size();
+    assert!(k <= cntfet_boolfn::MAX_VARS);
+    let mut memo: HashMap<NodeId, TruthTable> = HashMap::new();
+    for (i, &leaf) in cut.leaves().iter().enumerate() {
+        memo.insert(leaf, TruthTable::var(k, i));
+    }
+    memo.insert(NodeId::CONST, TruthTable::zero(k));
+    fn rec(aig: &Aig, n: NodeId, memo: &mut HashMap<NodeId, TruthTable>, k: usize) -> TruthTable {
+        if let Some(t) = memo.get(&n) {
+            return t.clone();
+        }
+        assert!(aig.is_and(n), "cut does not cover the cone (reached PI n{n:?})");
+        let (f0, f1) = aig.fanins(n);
+        let mut a = rec(aig, f0.node(), memo, k);
+        if f0.is_complement() {
+            a = !a;
+        }
+        let mut b = rec(aig, f1.node(), memo, k);
+        if f1.is_complement() {
+            b = !b;
+        }
+        let t = a & b;
+        memo.insert(n, t.clone());
+        t
+    }
+    rec(aig, root, &mut memo, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new("t");
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let d = g.add_pi();
+        let x = g.xor(a, b);
+        let y = g.and(c, d);
+        let z = g.or(x, y);
+        g.add_po(z);
+        g
+    }
+
+    #[test]
+    fn unit_cuts_exist() {
+        let g = sample_aig();
+        let cs = enumerate_cuts(&g, 4, 8);
+        for id in g.and_ids() {
+            let cuts = cs.of(id);
+            assert!(!cuts.is_empty());
+            assert_eq!(cuts[0], Cut::unit(id));
+        }
+    }
+
+    #[test]
+    fn root_has_pi_cut() {
+        let g = sample_aig();
+        let cs = enumerate_cuts(&g, 4, 16);
+        let root = g.pos()[0].node();
+        let pi_cut = cs
+            .of(root)
+            .iter()
+            .find(|c| c.leaves().iter().all(|&l| g.is_pi(l)))
+            .expect("4-input function must have a full PI cut");
+        assert_eq!(pi_cut.size(), 4);
+    }
+
+    #[test]
+    fn cut_function_matches_cone() {
+        let g = sample_aig();
+        let cs = enumerate_cuts(&g, 4, 16);
+        let root = g.pos()[0].node();
+        let pi_cut = cs
+            .of(root)
+            .iter()
+            .find(|c| c.size() == 4 && c.leaves().iter().all(|&l| g.is_pi(l)))
+            .unwrap()
+            .clone();
+        let mut tt = cut_function(&g, root, &pi_cut);
+        if g.pos()[0].is_complement() {
+            tt = !tt;
+        }
+        // Leaves are sorted by node id = PI creation order here.
+        let expect = TruthTable::from_fn(4, |m| {
+            let (a, b, c, d) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+            (a ^ b) || (c && d)
+        });
+        assert_eq!(tt, expect);
+    }
+
+    #[test]
+    fn dominated_cuts_are_pruned() {
+        let g = sample_aig();
+        let cs = enumerate_cuts(&g, 4, 16);
+        for id in g.and_ids() {
+            let cuts = cs.of(id);
+            for (i, a) in cuts.iter().enumerate() {
+                for (j, b) in cuts.iter().enumerate() {
+                    if i != j && a.dominates(b) {
+                        // Unit cut dominates nothing else by construction;
+                        // other dominations must have been pruned.
+                        assert_eq!(a.size(), 1, "dominated cut kept at node {id:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut::from_leaves(vec![NodeId::CONST]);
+        let g = sample_aig();
+        let cs = enumerate_cuts(&g, 2, 8);
+        // With k=2 no cut exceeds 2 leaves.
+        for id in g.and_ids() {
+            for c in cs.of(id) {
+                assert!(c.size() <= 2);
+            }
+        }
+        let _ = a;
+    }
+}

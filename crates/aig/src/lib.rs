@@ -1,0 +1,43 @@
+//! And-Inverter Graphs for multi-level logic synthesis.
+//!
+//! An [`Aig`] is a DAG of two-input AND nodes with optional edge
+//! complementation — the standard intermediate representation of
+//! modern logic synthesis (ABC-style). This crate provides the graph
+//! with structural hashing, 64-bit parallel simulation, truth-table
+//! extraction for small cones, Tseitin CNF export, and SAT-based
+//! combinational equivalence checking built on [`cntfet_sat`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_aig::{Aig, check_equivalence, CecResult};
+//!
+//! // Two structurally different full adders.
+//! let mut a = Aig::new("fa1");
+//! let pis = a.add_pis(3);
+//! let s1 = a.xor(pis[0], pis[1]);
+//! let sum = a.xor(s1, pis[2]);
+//! a.add_po(sum);
+//!
+//! let mut b = Aig::new("fa2");
+//! let pis = b.add_pis(3);
+//! let sum = b.xor_many(&pis);
+//! b.add_po(sum);
+//!
+//! assert_eq!(check_equivalence(&a, &b), CecResult::Equivalent);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod blif;
+mod cec;
+mod cuts;
+mod graph;
+mod sweep;
+
+pub use blif::{parse_blif, write_blif, ParseBlifError};
+pub use cec::{check_equivalence, equivalent, sat_lit, tseitin, CecResult};
+pub use cuts::{cut_function, enumerate_cuts, Cut, CutSet};
+pub use graph::{Aig, Lit, NodeId};
+pub use sweep::check_equivalence_sweeping;

@@ -1,0 +1,333 @@
+//! SAT sweeping (fraig-style) combinational equivalence checking.
+//!
+//! Plain miter-SAT struggles on arithmetic circuits (the classic
+//! multiplier-miter problem). Sweeping exploits the structural
+//! similarity of the two networks: candidate-equivalent internal node
+//! pairs are detected by random simulation, proven one by one with a
+//! conflict-budgeted SAT call in topological order, and every proven
+//! equality is added back to the solver as clauses — so later proofs
+//! ride on earlier ones, and the final output miters become trivial.
+
+use crate::cec::{sat_lit, tseitin, CecResult};
+use crate::graph::{Aig, Lit, NodeId};
+use cntfet_sat::{SolveResult, Solver};
+use std::collections::HashMap;
+
+/// Conflict budget per internal equivalence proof.
+const NODE_BUDGET: u64 = 2_000;
+/// Simulation words (64 patterns each) for candidate detection.
+const SIM_WORDS: usize = 4;
+
+/// Checks equivalence of two AIGs with identical interfaces using SAT
+/// sweeping. Functionally identical to
+/// [`crate::check_equivalence`], but scales to multiplier-class
+/// circuits.
+///
+/// # Panics
+///
+/// Panics if the PI/PO counts differ.
+pub fn check_equivalence_sweeping(a: &Aig, b: &Aig) -> CecResult {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+
+    // ---- joint network (shared PIs, shared structure via strash) ----
+    let mut joint = Aig::new("joint");
+    let pis = joint.add_pis(a.num_pis());
+    let pos_a = append(a, &mut joint, &pis);
+    let pos_b = append(b, &mut joint, &pis);
+
+    // ---- simulation signatures ----
+    let mut rng_state = 0x1357_9BDF_2468_ACE0u64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let n = joint.num_nodes();
+    let mut sigs: Vec<Vec<u64>> = vec![Vec::with_capacity(SIM_WORDS + 8); n];
+    let mut sim_round = |joint: &Aig, sigs: &mut Vec<Vec<u64>>, forced: Option<&[bool]>| {
+        let inputs: Vec<u64> = (0..joint.num_pis())
+            .map(|i| {
+                let mut w = next();
+                if let Some(cex) = forced {
+                    // Bit 0 carries the counterexample pattern.
+                    w = (w & !1) | u64::from(cex[i]);
+                }
+                w
+            })
+            .collect();
+        let vals = joint.simulate_words(&inputs);
+        for (i, v) in vals.iter().enumerate() {
+            sigs[i].push(*v);
+        }
+    };
+    for _ in 0..SIM_WORDS {
+        sim_round(&joint, &mut sigs, None);
+    }
+
+    // ---- SAT instance over the joint network ----
+    let mut solver = Solver::new();
+    let vars = tseitin(&joint, &mut solver);
+
+    // Union-find with complement phases: node -> (repr, phase).
+    let mut repr: Vec<(u32, bool)> = (0..n as u32).map(|i| (i, false)).collect();
+    fn find(repr: &mut Vec<(u32, bool)>, x: u32) -> (u32, bool) {
+        let (p, ph) = repr[x as usize];
+        if p == x {
+            return (x, false);
+        }
+        let (root, root_ph) = find(repr, p);
+        let total = ph ^ root_ph;
+        repr[x as usize] = (root, total);
+        (root, total)
+    }
+
+    // Normalized signature: complement-canonical (flip all words if
+    // bit 0 of word 0 is set) so n and ¬n share a bucket.
+    let norm = |sig: &[u64]| -> (Vec<u64>, bool) {
+        if sig[0] & 1 == 1 {
+            (sig.iter().map(|w| !w).collect(), true)
+        } else {
+            (sig.to_vec(), false)
+        }
+    };
+
+    // Bucket map: normalized signature -> representative node id.
+    let mut buckets: HashMap<Vec<u64>, u32> = HashMap::new();
+    // Constant node: signature all zeros, phase false.
+    buckets.insert(vec![0u64; sigs[0].len()], 0);
+
+    let ids: Vec<NodeId> = joint.and_ids().collect();
+    let mut i = 0usize;
+    while i < ids.len() {
+        let id = ids[i];
+        let (sig_n, phase_n) = norm(&sigs[id.index()]);
+        match buckets.get(&sig_n) {
+            None => {
+                buckets.insert(sig_n, id.index() as u32);
+                i += 1;
+            }
+            Some(&r) => {
+                // Candidate: id == r ^ (phase_n ^ phase_r).
+                let (_, phase_r) = norm(&sigs[r as usize]);
+                let want_phase = phase_n ^ phase_r;
+                // Already known?
+                let (root_n, ph_n) = find(&mut repr, id.index() as u32);
+                let (root_r, ph_r) = find(&mut repr, r);
+                if root_n == root_r {
+                    i += 1;
+                    continue;
+                }
+                // Prove id ⊕ (r ^ want_phase) unsatisfiable.
+                let ln = vars[id.index()].pos();
+                let lr = vars[r as usize].lit(!want_phase);
+                let m = solver.new_var();
+                solver.add_clause(&[m.neg(), ln, lr]);
+                solver.add_clause(&[m.neg(), ln.negate(), lr.negate()]);
+                solver.add_clause(&[m.pos(), ln.negate(), lr]);
+                solver.add_clause(&[m.pos(), ln, lr.negate()]);
+                match solver.solve_limited(&[m.pos()], NODE_BUDGET) {
+                    Some(SolveResult::Unsat) => {
+                        // Proven equal: record and teach the solver.
+                        repr[root_n as usize] = (root_r, ph_n ^ ph_r ^ want_phase);
+                        solver.add_clause(&[ln.negate(), lr]);
+                        solver.add_clause(&[ln, lr.negate()]);
+                        i += 1;
+                    }
+                    Some(SolveResult::Sat) => {
+                        // Counterexample: refine every signature with a
+                        // fresh word seeded by it, rebuild buckets, and
+                        // retry this node.
+                        let cex: Vec<bool> = joint
+                            .pis()
+                            .iter()
+                            .map(|pi| solver.value(vars[pi.index()]).unwrap_or(false))
+                            .collect();
+                        sim_round(&joint, &mut sigs, Some(&cex));
+                        let width = sigs[0].len();
+                        buckets.clear();
+                        buckets.insert(vec![0u64; width], 0);
+                        for &prev in ids.iter().take(i) {
+                            let (s, _) = norm(&sigs[prev.index()]);
+                            buckets.entry(s).or_insert(prev.index() as u32);
+                        }
+                    }
+                    None => {
+                        // Budget exhausted: treat as distinct.
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- output miters (should be trivial now) ----
+    for (o, (&la, &lb)) in pos_a.iter().zip(pos_b.iter()).enumerate() {
+        // Fast path: both in the same equivalence class.
+        let both_const = la.is_const() && lb.is_const();
+        if both_const {
+            if la == lb {
+                continue;
+            }
+            return counterexample(a, b, o);
+        }
+        let sa = sat_lit(&vars, la);
+        let sb = sat_lit(&vars, lb);
+        let m = solver.new_var();
+        solver.add_clause(&[m.neg(), sa, sb]);
+        solver.add_clause(&[m.neg(), sa.negate(), sb.negate()]);
+        solver.add_clause(&[m.pos(), sa.negate(), sb]);
+        solver.add_clause(&[m.pos(), sa, sb.negate()]);
+        match solver.solve(&[m.pos()]) {
+            SolveResult::Unsat => {}
+            SolveResult::Sat => {
+                let inputs: Vec<bool> = joint
+                    .pis()
+                    .iter()
+                    .map(|pi| solver.value(vars[pi.index()]).unwrap_or(false))
+                    .collect();
+                return CecResult::Counterexample { inputs, output: o };
+            }
+        }
+    }
+    CecResult::Equivalent
+}
+
+/// Imports `src` into `dst` reusing the shared PIs; returns the PO
+/// literals in `dst`.
+fn append(src: &Aig, dst: &mut Aig, pis: &[Lit]) -> Vec<Lit> {
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.num_nodes()];
+    for (i, &pi) in src.pis().iter().enumerate() {
+        map[pi.index()] = pis[i];
+    }
+    for id in src.and_ids() {
+        let (f0, f1) = src.fanins(id);
+        let a = map[f0.node().index()].negate_if(f0.is_complement());
+        let b = map[f1.node().index()].negate_if(f1.is_complement());
+        map[id.index()] = dst.and(a, b);
+    }
+    src.pos()
+        .iter()
+        .map(|po| map[po.node().index()].negate_if(po.is_complement()))
+        .collect()
+}
+
+/// Finds a distinguishing assignment for output `o` by brute
+/// simulation (only used for trivial constant mismatches).
+fn counterexample(a: &Aig, b: &Aig, o: usize) -> CecResult {
+    let mut rng = 0xD00Du64;
+    loop {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let inputs: Vec<bool> = (0..a.num_pis()).map(|i| rng >> (i % 64) & 1 == 1).collect();
+        if a.eval(&inputs)[o] != b.eval(&inputs)[o] {
+            return CecResult::Counterexample { inputs, output: o };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_agrees_with_plain_cec_on_structures() {
+        let mut a = Aig::new("a");
+        let p = a.add_pis(6);
+        let x = a.xor_many(&p);
+        a.add_po(x);
+        let mut b = Aig::new("b");
+        let q = b.add_pis(6);
+        let mut acc = q[0];
+        for &l in &q[1..] {
+            acc = b.xor(acc, l);
+        }
+        b.add_po(acc);
+        assert_eq!(check_equivalence_sweeping(&a, &b), CecResult::Equivalent);
+
+        // Break it.
+        let po = b.pos()[0];
+        b.set_po(0, po.negate());
+        match check_equivalence_sweeping(&a, &b) {
+            CecResult::Counterexample { inputs, output } => {
+                assert_ne!(a.eval(&inputs)[output], b.eval(&inputs)[output]);
+            }
+            CecResult::Equivalent => panic!("inequivalent pair reported equivalent"),
+        }
+    }
+
+    #[test]
+    fn sweep_handles_small_multipliers() {
+        // Two structurally different 6-bit multipliers: FIFO-reduced
+        // columns vs a shift-and-add ripple structure.
+        let m1 = multiplier_columns(6);
+        let m2 = multiplier_shift_add(6);
+        assert_eq!(check_equivalence_sweeping(&m1, &m2), CecResult::Equivalent);
+    }
+
+    fn multiplier_columns(n: usize) -> Aig {
+        // Use the same column algorithm as cntfet-circuits (inlined to
+        // avoid a dev-dependency cycle).
+        use std::collections::VecDeque;
+        let mut g = Aig::new("m1");
+        let a = g.add_pis(n);
+        let b = g.add_pis(n);
+        let mut cols: Vec<VecDeque<Lit>> = vec![VecDeque::new(); 2 * n];
+        for i in 0..n {
+            for j in 0..n {
+                let pp = g.and(a[i], b[j]);
+                cols[i + j].push_back(pp);
+            }
+        }
+        let mut out = Vec::new();
+        for c in 0..(2 * n) {
+            while cols[c].len() > 1 {
+                let x = cols[c].pop_front().unwrap();
+                let y = cols[c].pop_front().unwrap();
+                let z = cols[c].pop_front().unwrap_or(Lit::FALSE);
+                let xy = g.xor(x, y);
+                let s = g.xor(xy, z);
+                let c1 = g.and(x, y);
+                let c2 = g.and(xy, z);
+                let carry = g.or(c1, c2);
+                cols[c].push_back(s);
+                if c + 1 < 2 * n {
+                    cols[c + 1].push_back(carry);
+                }
+            }
+            out.push(cols[c].front().copied().unwrap_or(Lit::FALSE));
+        }
+        for o in out {
+            g.add_po(o);
+        }
+        g
+    }
+
+    fn multiplier_shift_add(n: usize) -> Aig {
+        let mut g = Aig::new("m2");
+        let a = g.add_pis(n);
+        let b = g.add_pis(n);
+        // acc += (a & b[j]) << j, ripple adder per row.
+        let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * n];
+        for j in 0..n {
+            let row: Vec<Lit> = (0..n).map(|i| g.and(a[i], b[j])).collect();
+            let mut carry = Lit::FALSE;
+            for i in 0..=n {
+                let idx = i + j;
+                let addend = if i < n { row[i] } else { Lit::FALSE };
+                let x = g.xor(acc[idx], addend);
+                let s = g.xor(x, carry);
+                let c1 = g.and(acc[idx], addend);
+                let c2 = g.and(x, carry);
+                carry = g.or(c1, c2);
+                acc[idx] = s;
+            }
+        }
+        for o in acc {
+            g.add_po(o);
+        }
+        g
+    }
+}

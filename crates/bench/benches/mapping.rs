@@ -1,0 +1,37 @@
+//! Criterion benchmarks of technology mapping (the Table 3 engine) on
+//! representative benchmarks and libraries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let add16 = cntfet_synth::resyn2rs(&cntfet_circuits::ripple_adder(16));
+    let c1908 = cntfet_synth::resyn2rs(&cntfet_circuits::c1908_like());
+    let tg = cntfet_core::Library::new(cntfet_core::LogicFamily::TgStatic);
+    let cmos = cntfet_core::Library::new(cntfet_core::LogicFamily::CmosStatic);
+    let opts = cntfet_techmap::MapOptions::default();
+
+    c.bench_function("map/add16/tg_static", |b| {
+        b.iter(|| cntfet_techmap::map(black_box(&add16), &tg, opts))
+    });
+    c.bench_function("map/add16/cmos", |b| {
+        b.iter(|| cntfet_techmap::map(black_box(&add16), &cmos, opts))
+    });
+    c.bench_function("map/c1908/tg_static", |b| {
+        b.iter(|| cntfet_techmap::map(black_box(&c1908), &tg, opts))
+    });
+    c.bench_function("verify_mapping/add16/tg_static", |b| {
+        let m = cntfet_techmap::map(&add16, &tg, opts);
+        b.iter(|| cntfet_techmap::verify_mapping(black_box(&add16), &m, &tg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_mapping
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the switch-level solver over the full gate
+//! family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_switchlevel(c: &mut Criterion) {
+    let f16 = cntfet_core::gate_netlist(
+        cntfet_core::GateId::new(16),
+        cntfet_core::LogicFamily::TgStatic,
+    )
+    .unwrap();
+    c.bench_function("solve/f16_static", |b| {
+        let inputs = f16.input_vector(0b1010);
+        b.iter(|| cntfet_switchlevel::solve(black_box(&f16.netlist), black_box(&inputs)))
+    });
+    c.bench_function("solve/all46_static_one_vector", |b| {
+        let gates: Vec<_> = cntfet_core::GateId::all()
+            .filter_map(|g| cntfet_core::gate_netlist(g, cntfet_core::LogicFamily::TgStatic))
+            .collect();
+        b.iter(|| {
+            for gn in &gates {
+                let v = gn.input_vector(0b0101);
+                black_box(cntfet_switchlevel::solve(&gn.netlist, &v));
+            }
+        })
+    });
+    c.bench_function("dynamic_gnor/precharge_evaluate", |b| {
+        let g = cntfet_core::DynamicGnor::new();
+        b.iter(|| {
+            let mut sim = cntfet_switchlevel::DynamicSim::new(&g.netlist);
+            sim.step(&g.inputs(false, false, true, false, true));
+            black_box(sim.step(&g.inputs(true, false, true, false, true)).state(g.y))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_switchlevel
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the AIG optimization passes on the paper's
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let add16 = cntfet_circuits::ripple_adder(16);
+    let c1355 = cntfet_circuits::c1355_like();
+    c.bench_function("balance/add16", |b| {
+        b.iter(|| cntfet_synth::balance(black_box(&add16)))
+    });
+    c.bench_function("rewrite/add16", |b| {
+        b.iter(|| cntfet_synth::rewrite(black_box(&add16), false))
+    });
+    c.bench_function("resyn2rs/add16", |b| {
+        b.iter(|| cntfet_synth::resyn2rs(black_box(&add16)))
+    });
+    c.bench_function("resyn2rs/c1355", |b| {
+        b.iter(|| cntfet_synth::resyn2rs(black_box(&c1355)))
+    });
+    c.bench_function("generator/c6288_multiplier", |b| {
+        b.iter(|| cntfet_circuits::array_multiplier(black_box(16)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_synthesis
+}
+criterion_main!(benches);

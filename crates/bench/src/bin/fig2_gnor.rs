@@ -1,0 +1,38 @@
+//! Regenerates the observation of **Figure 2**: the dynamic GNOR gate
+//! `Y = (A⊕B) + (C⊕D)` works, but its output degrades to |VTp| when
+//! both free variables are 1 (pull-down network all p-type).
+
+use cntfet_core::DynamicGnor;
+use cntfet_switchlevel::DynamicSim;
+
+fn main() {
+    println!("== Figure 2 reproduction: dynamic GNOR and its weakness ==\n");
+    let g = DynamicGnor::new();
+    println!("{}", g.netlist);
+    println!(
+        "{:<6} {:<6} {:<6} {:<6} | {:<10} {:>18} {:>12}",
+        "A", "B", "C", "D", "f=(A⊕B)+(C⊕D)", "Y after evaluate", "full swing?"
+    );
+    for m in 0..16u32 {
+        let (a, b, c, d) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+        let mut sim = DynamicSim::new(&g.netlist);
+        sim.step(&g.inputs(false, a, b, c, d)); // precharge
+        let s = sim.step(&g.inputs(true, a, b, c, d)); // evaluate
+        let f = (a ^ b) || (c ^ d);
+        let state = s.state(g.y);
+        println!(
+            "{:<6} {:<6} {:<6} {:<6} | {:<14} {:>18} {:>12}",
+            a as u8,
+            b as u8,
+            c as u8,
+            d as u8,
+            f as u8,
+            state.to_string(),
+            if s.is_full_swing(g.y) { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nRows with B=D=1 and f=1 settle at |VTp| instead of VSS — the degraded\n\
+         level the paper's static transmission-gate family eliminates (Sec. 3.1)."
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates the sizing annotations of **Figures 4 and 5**: device
+//! widths (W/L) of the gates F00–F09 in the static transmission-gate
+//! family, and the three compact F05 variants of Fig. 5.
+
+use cntfet_core::{gate_netlist, GateId, LogicFamily};
+
+fn show(gate: GateId, family: LogicFamily) {
+    let Some(gn) = gate_netlist(gate, family) else {
+        return;
+    };
+    println!(
+        "\n{} [{}]  f = {}   (T={}, area={:.2})",
+        gate,
+        family,
+        gate.function_text(),
+        gn.netlist.num_devices(),
+        gn.netlist.total_width()
+    );
+    print!("  widths: ");
+    for d in gn.netlist.devices() {
+        print!("{}={:.3} ", d.name, d.width);
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Figures 4/5 reproduction: transistor sizing ==");
+    println!("(paper annotates W/L per device; unit-inverter drive, equal rise/fall)");
+    for i in 0..10 {
+        show(GateId::new(i), LogicFamily::TgStatic);
+    }
+    println!("\n-- Fig. 5: compact F05 variants --");
+    show(GateId::new(5), LogicFamily::TgPseudo);
+    show(GateId::new(5), LogicFamily::PassStatic);
+    show(GateId::new(5), LogicFamily::PassPseudo);
+    println!(
+        "\nPaper reference points: F05 static PD = TG@4/3 + C@2, PU = TG@2/3 + C'@1\n\
+         (total area 7); pseudo PD widened 4/3× with a 1/3 pull-up (Fig. 5a:\n\
+         16/9, 8/3, 1/3); pass-pseudo 16/3, 8/3, 1/3 (Fig. 5c)."
+    );
+}

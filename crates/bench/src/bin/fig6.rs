@@ -1,0 +1,42 @@
+//! Regenerates **Figure 6** of the paper: the ratio of CMOS to CNTFET
+//! absolute delay per benchmark (static and pseudo families), printed
+//! as an ASCII bar chart.
+
+use cntfet_bench::run_suite;
+
+fn main() {
+    println!("== Figure 6 reproduction: absolute-delay speedup vs CMOS ==\n");
+    let rows = run_suite(false, None);
+    let max = rows
+        .iter()
+        .map(|r| r.speedup_static().max(r.speedup_pseudo()))
+        .fold(1.0f64, f64::max);
+    let scale = 40.0 / max;
+    println!("{:<8} {:>7} {:>7}", "bench", "static", "pseudo");
+    for r in &rows {
+        let s = r.speedup_static();
+        let p = r.speedup_pseudo();
+        println!(
+            "{:<8} {:>6.1}x {:>6.1}x  |{:<40}|{:<40}",
+            r.name,
+            s,
+            p,
+            "█".repeat((s * scale) as usize),
+            "▒".repeat((p * scale) as usize)
+        );
+    }
+    let n = rows.len() as f64;
+    let avg_s: f64 = rows.iter().map(|r| r.speedup_static()).sum::<f64>() / n;
+    let avg_p: f64 = rows.iter().map(|r| r.speedup_pseudo()).sum::<f64>() / n;
+    println!("\nAverage speedup: static {avg_s:.1}× | pseudo {avg_p:.1}×");
+    println!("paper:           static 6.9×  | pseudo 5.8×");
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup_static().partial_cmp(&b.speedup_static()).unwrap())
+        .unwrap();
+    println!(
+        "largest static speedup: {} at {:.1}× (paper: multiplier ~10×, ECC >8×)",
+        best.name,
+        best.speedup_static()
+    );
+}

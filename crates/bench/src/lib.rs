@@ -1,0 +1,207 @@
+//! Shared experiment harness: the synth→map pipeline over the paper's
+//! benchmark suite, with Table-3-style reporting. The `table1/2/3`,
+//! `fig*` and `full_repro` binaries and the Criterion benches all
+//! build on this crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cntfet_circuits::{paper_benchmarks, Benchmark};
+use cntfet_core::{Library, LogicFamily};
+use cntfet_synth::resyn2rs;
+use cntfet_techmap::{map, verify_mapping, MapOptions, MapStats};
+
+/// Mapping results of one benchmark across the three Table 3 families.
+#[derive(Debug)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// (inputs, outputs).
+    pub io: (usize, usize),
+    /// Paper's function description.
+    pub function: String,
+    /// Static CNTFET result.
+    pub tg_static: MapStats,
+    /// Pseudo CNTFET result.
+    pub tg_pseudo: MapStats,
+    /// CMOS result.
+    pub cmos: MapStats,
+    /// Whether each mapping passed SAT equivalence checking.
+    pub verified: bool,
+}
+
+impl Table3Row {
+    /// Absolute-delay speedup of the static family vs CMOS (Fig. 6).
+    pub fn speedup_static(&self) -> f64 {
+        self.cmos.delay_ps / self.tg_static.delay_ps
+    }
+
+    /// Absolute-delay speedup of the pseudo family vs CMOS (Fig. 6).
+    pub fn speedup_pseudo(&self) -> f64 {
+        self.cmos.delay_ps / self.tg_pseudo.delay_ps
+    }
+}
+
+/// Runs the full Table 3 pipeline on one benchmark.
+///
+/// `verify` enables SAT equivalence checking of every mapping (adds
+/// runtime on the large circuits).
+pub fn run_benchmark(b: &Benchmark, verify: bool) -> Table3Row {
+    let optimized = resyn2rs(&b.aig);
+    let opts = MapOptions::default();
+    let families = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic];
+    let mut stats = Vec::with_capacity(3);
+    let mut verified = true;
+    for family in families {
+        let lib = Library::new(family);
+        let m = map(&optimized, &lib, opts);
+        if verify {
+            verified &= verify_mapping(&optimized, &m, &lib)
+                == cntfet_aig::CecResult::Equivalent;
+        }
+        stats.push(m.stats);
+    }
+    Table3Row {
+        name: b.name.to_string(),
+        io: b.io,
+        function: b.function.to_string(),
+        tg_static: stats[0],
+        tg_pseudo: stats[1],
+        cmos: stats[2],
+        verified,
+    }
+}
+
+/// Runs the whole suite (all 15 benchmarks). `verify` as in
+/// [`run_benchmark`]; `subset` optionally restricts by name.
+pub fn run_suite(verify: bool, subset: Option<&[&str]>) -> Vec<Table3Row> {
+    paper_benchmarks()
+        .iter()
+        .filter(|b| subset.map(|s| s.contains(&b.name)).unwrap_or(true))
+        .map(|b| run_benchmark(b, verify))
+        .collect()
+}
+
+/// Column-wise averages in the style of Table 3's "Average" row.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteAverages {
+    /// Mean over benchmarks, per family: (gates, area, levels,
+    /// delay_norm, delay_ps).
+    pub tg_static: (f64, f64, f64, f64, f64),
+    /// See `tg_static`.
+    pub tg_pseudo: (f64, f64, f64, f64, f64),
+    /// See `tg_static`.
+    pub cmos: (f64, f64, f64, f64, f64),
+}
+
+fn avg(rows: &[Table3Row], pick: impl Fn(&Table3Row) -> MapStats) -> (f64, f64, f64, f64, f64) {
+    let n = rows.len() as f64;
+    let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for r in rows {
+        let s = pick(r);
+        acc.0 += s.gates as f64;
+        acc.1 += s.area;
+        acc.2 += s.levels as f64;
+        acc.3 += s.delay_norm;
+        acc.4 += s.delay_ps;
+    }
+    (acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n, acc.4 / n)
+}
+
+/// Computes suite averages.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn suite_averages(rows: &[Table3Row]) -> SuiteAverages {
+    assert!(!rows.is_empty());
+    SuiteAverages {
+        tg_static: avg(rows, |r| r.tg_static),
+        tg_pseudo: avg(rows, |r| r.tg_pseudo),
+        cmos: avg(rows, |r| r.cmos),
+    }
+}
+
+/// Pretty-prints rows in the paper's Table 3 layout.
+pub fn print_table3(rows: &[Table3Row]) {
+    println!(
+        "{:<8} {:>9} {:<18} | {:>6} {:>9} {:>4} {:>8} {:>8} | {:>6} {:>9} {:>4} {:>8} {:>8} | {:>6} {:>9} {:>4} {:>8} {:>8}",
+        "Name", "I/O", "Function", "No.", "Area", "Lvl", "Norm", "Abs[ps]", "No.", "Area", "Lvl",
+        "Norm", "Abs[ps]", "No.", "Area", "Lvl", "Norm", "Abs[ps]"
+    );
+    println!(
+        "{:<37}| {:^40}| {:^40}| {:^40}",
+        "", "CNTFET TG static", "CNTFET TG pseudo", "CMOS static"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>4}/{:<4} {:<18} | {:>6} {:>9.1} {:>4} {:>8.1} {:>8.1} | {:>6} {:>9.1} {:>4} {:>8.1} {:>8.1} | {:>6} {:>9.1} {:>4} {:>8.1} {:>8.1}",
+            r.name,
+            r.io.0,
+            r.io.1,
+            r.function,
+            r.tg_static.gates,
+            r.tg_static.area,
+            r.tg_static.levels,
+            r.tg_static.delay_norm,
+            r.tg_static.delay_ps,
+            r.tg_pseudo.gates,
+            r.tg_pseudo.area,
+            r.tg_pseudo.levels,
+            r.tg_pseudo.delay_norm,
+            r.tg_pseudo.delay_ps,
+            r.cmos.gates,
+            r.cmos.area,
+            r.cmos.levels,
+            r.cmos.delay_norm,
+            r.cmos.delay_ps,
+        );
+    }
+    let a = suite_averages(rows);
+    println!(
+        "{:<37} | {:>6.1} {:>9.1} {:>4.1} {:>8.1} {:>8.1} | {:>6.1} {:>9.1} {:>4.1} {:>8.1} {:>8.1} | {:>6.1} {:>9.1} {:>4.1} {:>8.1} {:>8.1}",
+        "Average",
+        a.tg_static.0, a.tg_static.1, a.tg_static.2, a.tg_static.3, a.tg_static.4,
+        a.tg_pseudo.0, a.tg_pseudo.1, a.tg_pseudo.2, a.tg_pseudo.3, a.tg_pseudo.4,
+        a.cmos.0, a.cmos.1, a.cmos.2, a.cmos.3, a.cmos.4,
+    );
+    // Improvement row (vs CMOS), as in the paper's footer.
+    let imp = |ours: f64, theirs: f64| 100.0 * (1.0 - ours / theirs);
+    println!(
+        "{:<37} | {:>5.1}% {:>8.1}% {:>3.1}% {:>7.1}% {:>7.1}x | {:>5.1}% {:>8.1}% {:>3.1}% {:>7.1}% {:>7.1}x |",
+        "Improvement vs CMOS",
+        imp(a.tg_static.0, a.cmos.0),
+        imp(a.tg_static.1, a.cmos.1),
+        imp(a.tg_static.2, a.cmos.2),
+        imp(a.tg_static.3, a.cmos.3),
+        a.cmos.4 / a.tg_static.4,
+        imp(a.tg_pseudo.0, a.cmos.0),
+        imp(a.tg_pseudo.1, a.cmos.1),
+        imp(a.tg_pseudo.2, a.cmos.2),
+        imp(a.tg_pseudo.3, a.cmos.3),
+        a.cmos.4 / a.tg_pseudo.4,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_on_small_benchmarks() {
+        let rows = run_suite(true, Some(&["add-16", "C1355"]));
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.verified, "{} failed verification", r.name);
+            // The XOR-rich circuits must favour CNTFET in gate count.
+            assert!(
+                r.tg_static.gates < r.cmos.gates,
+                "{}: {} vs {}",
+                r.name,
+                r.tg_static.gates,
+                r.cmos.gates
+            );
+            assert!(r.speedup_static() > 1.0, "{} speedup", r.name);
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Boolean expression trees with a parser and pretty-printer.
+//!
+//! Variables are indexed `0..=25` and print as `A..Z`. The parser
+//! accepts the operator spellings used in the DATE'09 paper
+//! (`⊕`, `·`, postfix `'`) as well as ASCII (`^`, `*`/`&`, `!`, `+`).
+
+use crate::cube::var_name;
+use crate::tt::TruthTable;
+use std::fmt;
+use std::str::FromStr;
+
+/// A Boolean expression.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_boolfn::Expr;
+///
+/// let e: Expr = "(A ^ B) * C".parse()?;
+/// assert_eq!(e.support(), 0b111);
+/// let t = e.to_tt(3);
+/// assert!(t.eval(0b101)); // A=1, B=0, C=1
+/// # Ok::<(), cntfet_boolfn::ParseExprError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(bool),
+    /// A variable, indexed from 0 (printed `A`).
+    Var(u8),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Conjunction of two or more operands.
+    And(Vec<Expr>),
+    /// Disjunction of two or more operands.
+    Or(Vec<Expr>),
+    /// Exclusive-or of two or more operands.
+    Xor(Vec<Expr>),
+}
+
+impl Expr {
+    /// Variable `v` as an expression.
+    pub fn var(v: usize) -> Expr {
+        assert!(v < 26, "variable index out of range");
+        Expr::Var(v as u8)
+    }
+
+    /// Negation (with double-negation collapsing).
+    pub fn not(self) -> Expr {
+        match self {
+            Expr::Not(inner) => *inner,
+            Expr::Const(b) => Expr::Const(!b),
+            e => Expr::Not(Box::new(e)),
+        }
+    }
+
+    /// Conjunction of operands (flattens nested ANDs).
+    pub fn and(operands: Vec<Expr>) -> Expr {
+        Self::nary(operands, true)
+    }
+
+    /// Disjunction of operands (flattens nested ORs).
+    pub fn or(operands: Vec<Expr>) -> Expr {
+        Self::nary(operands, false)
+    }
+
+    fn nary(operands: Vec<Expr>, is_and: bool) -> Expr {
+        let mut flat = Vec::with_capacity(operands.len());
+        for op in operands {
+            match (is_and, op) {
+                (true, Expr::And(inner)) => flat.extend(inner),
+                (false, Expr::Or(inner)) => flat.extend(inner),
+                (true, Expr::Const(true)) | (false, Expr::Const(false)) => {}
+                (_, Expr::Const(b)) => return Expr::Const(b),
+                (_, e) => flat.push(e),
+            }
+        }
+        match flat.len() {
+            0 => Expr::Const(is_and),
+            1 => flat.pop().unwrap(),
+            _ => {
+                if is_and {
+                    Expr::And(flat)
+                } else {
+                    Expr::Or(flat)
+                }
+            }
+        }
+    }
+
+    /// Exclusive-or of operands (flattens, folds constants).
+    pub fn xor(operands: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(operands.len());
+        let mut parity = false;
+        for op in operands {
+            match op {
+                Expr::Xor(inner) => flat.extend(inner),
+                Expr::Const(b) => parity ^= b,
+                e => flat.push(e),
+            }
+        }
+        let base = match flat.len() {
+            0 => Expr::Const(false),
+            1 => flat.pop().unwrap(),
+            _ => Expr::Xor(flat),
+        };
+        if parity {
+            base.not()
+        } else {
+            base
+        }
+    }
+
+    /// Bitmask of variables occurring in the expression.
+    pub fn support(&self) -> u32 {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(v) => 1 << v,
+            Expr::Not(e) => e.support(),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                es.iter().map(Expr::support).fold(0, |a, b| a | b)
+            }
+        }
+    }
+
+    /// Number of distinct variables.
+    pub fn support_size(&self) -> usize {
+        self.support().count_ones() as usize
+    }
+
+    /// Highest variable index plus one (0 for constants).
+    pub fn max_var_excl(&self) -> usize {
+        32 - self.support().leading_zeros() as usize
+    }
+
+    /// Number of leaf literals (variable occurrences).
+    pub fn num_literals(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Not(e) => e.num_literals(),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                es.iter().map(Expr::num_literals).sum()
+            }
+        }
+    }
+
+    /// Evaluates on a minterm (bit `v` of `m` = value of variable `v`).
+    pub fn eval(&self, m: u64) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => m >> v & 1 == 1,
+            Expr::Not(e) => !e.eval(m),
+            Expr::And(es) => es.iter().all(|e| e.eval(m)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(m)),
+            Expr::Xor(es) => es.iter().fold(false, |acc, e| acc ^ e.eval(m)),
+        }
+    }
+
+    /// Truth table over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a variable `>= nvars`.
+    pub fn to_tt(&self, nvars: usize) -> TruthTable {
+        assert!(
+            self.max_var_excl() <= nvars,
+            "expression uses variable beyond nvars"
+        );
+        match self {
+            Expr::Const(b) => {
+                if *b {
+                    TruthTable::one(nvars)
+                } else {
+                    TruthTable::zero(nvars)
+                }
+            }
+            Expr::Var(v) => TruthTable::var(nvars, *v as usize),
+            Expr::Not(e) => !e.to_tt(nvars),
+            Expr::And(es) => es
+                .iter()
+                .map(|e| e.to_tt(nvars))
+                .fold(TruthTable::one(nvars), |a, b| a & b),
+            Expr::Or(es) => es
+                .iter()
+                .map(|e| e.to_tt(nvars))
+                .fold(TruthTable::zero(nvars), |a, b| a | b),
+            Expr::Xor(es) => es
+                .iter()
+                .map(|e| e.to_tt(nvars))
+                .fold(TruthTable::zero(nvars), |a, b| a ^ b),
+        }
+    }
+
+    /// Applies a variable substitution `v -> map[v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a used variable has no mapping (index ≥ `map.len()`).
+    pub fn rename_vars(&self, map: &[usize]) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Var(v) => Expr::var(map[*v as usize]),
+            Expr::Not(e) => Expr::Not(Box::new(e.rename_vars(map))),
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.rename_vars(map)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.rename_vars(map)).collect()),
+            Expr::Xor(es) => Expr::Xor(es.iter().map(|e| e.rename_vars(map)).collect()),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Or(_) => 0,
+            Expr::Xor(_) => 1,
+            Expr::And(_) => 2,
+            _ => 3,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        let prec = self.precedence();
+        let need_parens = prec < parent;
+        if need_parens {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Const(b) => write!(f, "{}", if *b { '1' } else { '0' })?,
+            Expr::Var(v) => write!(f, "{}", var_name(*v as usize))?,
+            Expr::Not(e) => match **e {
+                Expr::Var(v) => write!(f, "{}'", var_name(v as usize))?,
+                ref inner => {
+                    write!(f, "!")?;
+                    inner.fmt_prec(f, 3)?;
+                }
+            },
+            Expr::And(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    e.fmt_prec(f, prec + 1)?;
+                }
+            }
+            Expr::Or(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    e.fmt_prec(f, prec + 1)?;
+                }
+            }
+            Expr::Xor(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "⊕")?;
+                    }
+                    e.fmt_prec(f, prec + 1)?;
+                }
+            }
+        }
+        if need_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// Error produced when parsing an [`Expr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    msg: String,
+    position: usize,
+}
+
+impl ParseExprError {
+    /// Byte offset in the input where parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.position)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { chars: src.char_indices().collect(), pos: 0, src }
+    }
+
+    fn err(&self, msg: &str) -> ParseExprError {
+        let position = self
+            .chars
+            .get(self.pos)
+            .map(|&(i, _)| i)
+            .unwrap_or(self.src.len());
+        ParseExprError { msg: msg.to_string(), position }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c.is_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.chars.get(self.pos).map(|&(_, c)| c);
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseExprError> {
+        let mut ops = vec![self.parse_xor()?];
+        while matches!(self.peek(), Some('+') | Some('|')) {
+            self.bump();
+            ops.push(self.parse_xor()?);
+        }
+        Ok(Expr::or(ops))
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut ops = vec![self.parse_and()?];
+        while matches!(self.peek(), Some('^') | Some('⊕')) {
+            self.bump();
+            ops.push(self.parse_and()?);
+        }
+        Ok(Expr::xor(ops))
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseExprError> {
+        let mut ops = vec![self.parse_unary()?];
+        loop {
+            match self.peek() {
+                Some('*') | Some('&') | Some('·') => {
+                    self.bump();
+                    ops.push(self.parse_unary()?);
+                }
+                // Juxtaposition: "AB" or "A(B+C)".
+                Some(c) if c.is_ascii_alphabetic() || c == '(' || c == '!' || c == '~' => {
+                    ops.push(self.parse_unary()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Expr::and(ops))
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some('!') | Some('~') => {
+                self.bump();
+                Ok(self.parse_unary()?.not())
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseExprError> {
+        let mut e = self.parse_atom()?;
+        while matches!(self.peek(), Some('\'') | Some('’')) {
+            self.bump();
+            e = e.not();
+        }
+        Ok(e)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let e = self.parse_or()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some('0') => {
+                self.bump();
+                Ok(Expr::Const(false))
+            }
+            Some('1') => {
+                self.bump();
+                Ok(Expr::Const(true))
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                self.bump();
+                Ok(Expr::var((c.to_ascii_uppercase() as u8 - b'A') as usize))
+            }
+            _ => Err(self.err("expected variable, constant or '('")),
+        }
+    }
+}
+
+impl FromStr for Expr {
+    type Err = ParseExprError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = Parser::new(s);
+        let e = p.parse_or()?;
+        if p.peek().is_some() {
+            return Err(p.err("unexpected trailing input"));
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(s: &str, nvars: usize) -> TruthTable {
+        s.parse::<Expr>().unwrap().to_tt(nvars)
+    }
+
+    #[test]
+    fn parse_paper_notation() {
+        // F05 from Table 1: (A⊕B)·C
+        let f = tt("(A⊕B)·C", 3);
+        for m in 0..8u64 {
+            let (a, b, c) = (m & 1, m >> 1 & 1, m >> 2 & 1);
+            assert_eq!(f.eval(m), ((a ^ b) & c) == 1);
+        }
+    }
+
+    #[test]
+    fn parse_ascii_equivalents() {
+        assert_eq!(tt("(A^B)*C", 3), tt("(A⊕B)·C", 3));
+        assert_eq!(tt("A+B|C", 3), tt("A + B + C", 3));
+        assert_eq!(tt("!A", 1), tt("A'", 1));
+        assert_eq!(tt("A B", 2), tt("A·B", 2));
+    }
+
+    #[test]
+    fn precedence() {
+        // NOT > AND > XOR > OR
+        assert_eq!(tt("A+B·C", 3), tt("A+(B·C)", 3));
+        assert_eq!(tt("A^B·C", 3), tt("A^(B·C)", 3));
+        assert_eq!(tt("A+B^C", 3), tt("A+(B^C)", 3));
+        assert_eq!(tt("A·B'", 2), tt("A·(B')", 2));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let exprs = [
+            "(A⊕B)·C",
+            "A + B·C",
+            "(A⊕D)·(B⊕E)·(C⊕F)",
+            "A'·B + C",
+            "(A + B)·(C⊕D)",
+        ];
+        for s in exprs {
+            let e: Expr = s.parse().unwrap();
+            let printed = e.to_string();
+            let reparsed: Expr = printed.parse().unwrap();
+            let n = e.max_var_excl().max(1);
+            assert_eq!(e.to_tt(n), reparsed.to_tt(n), "{s} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn constructors_simplify() {
+        let a = Expr::var(0);
+        assert_eq!(Expr::and(vec![a.clone(), Expr::Const(true)]), a);
+        assert_eq!(Expr::and(vec![a.clone(), Expr::Const(false)]), Expr::Const(false));
+        assert_eq!(Expr::or(vec![a.clone(), Expr::Const(true)]), Expr::Const(true));
+        assert_eq!(a.clone().not().not(), a);
+        // xor const folding
+        let x = Expr::xor(vec![a.clone(), Expr::Const(true)]);
+        assert_eq!(x, a.not());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Expr>().is_err());
+        assert!("(A+B".parse::<Expr>().is_err());
+        assert!("A+B)".parse::<Expr>().is_err());
+        let err = "A + ?".parse::<Expr>().unwrap_err();
+        assert!(err.position() > 0);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn literals_and_support() {
+        let e: Expr = "(A⊕D) + (B⊕D)·C".parse().unwrap();
+        assert_eq!(e.num_literals(), 5);
+        assert_eq!(e.support(), 0b1111);
+        assert_eq!(e.support_size(), 4);
+        assert_eq!(e.max_var_excl(), 4);
+    }
+}

@@ -1,0 +1,444 @@
+//! NPN (negation–permutation–negation) canonicalization of Boolean
+//! functions of up to 6 variables.
+//!
+//! Two functions are NPN-equivalent when one can be obtained from the
+//! other by complementing inputs, permuting inputs, and/or
+//! complementing the output. Technology mapping uses the canonical
+//! representative to index library cells: a cut matches a cell iff
+//! their canonical forms are equal.
+
+use crate::tt::TruthTable;
+
+/// An NPN transform: `apply(f)(x) = f(y) ^ output_flip` where
+/// `y[perm[i]] = x[i] ^ input_flip_bit(i)` — i.e. first complement
+/// selected inputs, then rename input `i` to position `perm[i]`, then
+/// optionally complement the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    nvars: u8,
+    perm: [u8; 6],
+    input_flips: u8,
+    output_flip: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform on `nvars` variables.
+    pub fn identity(nvars: usize) -> Self {
+        assert!(nvars <= 6);
+        let mut perm = [0u8; 6];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i as u8;
+        }
+        NpnTransform { nvars: nvars as u8, perm, input_flips: 0, output_flip: false }
+    }
+
+    /// Builds a transform from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..nvars`.
+    pub fn new(nvars: usize, perm: &[usize], input_flips: u8, output_flip: bool) -> Self {
+        assert!(nvars <= 6 && perm.len() == nvars);
+        let mut t = Self::identity(nvars);
+        let mut seen = 0u8;
+        for (i, &p) in perm.iter().enumerate() {
+            assert!(p < nvars && seen & (1 << p) == 0, "invalid permutation");
+            seen |= 1 << p;
+            t.perm[i] = p as u8;
+        }
+        t.input_flips = input_flips & ((1u8 << nvars).wrapping_sub(1));
+        t.output_flip = output_flip;
+        t
+    }
+
+    /// Number of variables the transform acts on.
+    pub fn nvars(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// Destination position of input `i`.
+    pub fn perm(&self, i: usize) -> usize {
+        self.perm[i] as usize
+    }
+
+    /// Whether input `i` is complemented before permutation.
+    pub fn input_flipped(&self, i: usize) -> bool {
+        self.input_flips >> i & 1 == 1
+    }
+
+    /// Whether the output is complemented.
+    pub fn output_flipped(&self) -> bool {
+        self.output_flip
+    }
+
+    /// Applies the transform to a truth table.
+    pub fn apply(&self, f: &TruthTable) -> TruthTable {
+        assert_eq!(f.nvars(), self.nvars());
+        let mut t = f.clone();
+        for i in 0..self.nvars() {
+            if self.input_flipped(i) {
+                t = t.flip_var(i);
+            }
+        }
+        let perm: Vec<usize> = (0..self.nvars()).map(|i| self.perm(i)).collect();
+        t = t.permute_vars(&perm);
+        if self.output_flip {
+            t = !t;
+        }
+        t
+    }
+
+    /// Sequential composition: `self.then(next).apply(f) ==
+    /// next.apply(self.apply(f))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn then(&self, next: &NpnTransform) -> NpnTransform {
+        assert_eq!(self.nvars, next.nvars, "transform arity mismatch");
+        let n = self.nvars();
+        let mut out = NpnTransform::identity(n);
+        // If g = self(f) with f-var i fed by x[self.perm[i]] ⊕ flip1_i,
+        // and h = next(g) with g-var j fed by y[next.perm[j]] ⊕ flip2_j,
+        // then h = T(f) with f-var i fed through g-var self.perm[i]:
+        // x[next.perm[self.perm[i]]] ⊕ flip2_{self.perm[i]} ⊕ flip1_i.
+        for i in 0..n {
+            let mid = self.perm(i);
+            out.perm[i] = next.perm[mid] as u8;
+            let flip = self.input_flipped(i) ^ next.input_flipped(mid);
+            if flip {
+                out.input_flips |= 1 << i;
+            }
+        }
+        out.output_flip = self.output_flip ^ next.output_flip;
+        out
+    }
+
+    /// The inverse transform: `t.inverse().apply(t.apply(f)) == f`.
+    pub fn inverse(&self) -> Self {
+        let n = self.nvars();
+        let mut inv = Self::identity(n);
+        for i in 0..n {
+            let p = self.perm(i);
+            inv.perm[p] = i as u8;
+            // After inverting the permutation, input p of the inverse
+            // must undo the flip originally applied to input i.
+            if self.input_flipped(i) {
+                inv.input_flips |= 1 << p;
+            }
+        }
+        inv.output_flip = self.output_flip;
+        inv
+    }
+}
+
+/// Result of canonicalization: the canonical table and a transform
+/// with `transform.apply(original) == canonical`.
+#[derive(Debug, Clone)]
+pub struct NpnCanon {
+    /// Canonical representative of the NPN class.
+    pub table: TruthTable,
+    /// Transform mapping the original function to `table`.
+    pub transform: NpnTransform,
+}
+
+/// Computes the NPN-canonical form using signature-based pruning with
+/// exhaustive tie-breaking.
+///
+/// Deterministic per NPN class: two functions get the same canonical
+/// table iff they are NPN-equivalent. Worst case (highly symmetric
+/// functions) degenerates towards exhaustive search but stays fast for
+/// `nvars ≤ 6`.
+///
+/// # Panics
+///
+/// Panics if `f.nvars() > 6`.
+pub fn npn_canonical(f: &TruthTable) -> NpnCanon {
+    let n = f.nvars();
+    assert!(n <= 6, "NPN canonicalization supports at most 6 variables");
+    let half = 1u64 << (n.saturating_sub(1));
+
+    // Phase 1: output polarity — canonical form has at most half ones.
+    let ones = f.count_ones();
+    let out_options: &[bool] = if ones < half {
+        &[false]
+    } else if ones > half {
+        &[true]
+    } else {
+        &[false, true]
+    };
+
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+
+    for &out in out_options {
+        let g = if out { !f } else { f.clone() };
+        // Phase 2: input polarities — canonical requires
+        // ones(cofactor1(v)) <= ones(cofactor0(v)); ties keep both.
+        let mut flip_choices: Vec<Vec<bool>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let c1 = g.cofactor1(v).count_ones();
+            let c0 = g.cofactor0(v).count_ones();
+            flip_choices.push(if c1 < c0 {
+                vec![false]
+            } else if c1 > c0 {
+                vec![true]
+            } else {
+                vec![false, true]
+            });
+        }
+        // Enumerate flip combinations (product of choices).
+        let mut flip_sets = vec![0u8];
+        for (v, choices) in flip_choices.iter().enumerate() {
+            if choices.len() == 2 {
+                let mut extra = flip_sets.clone();
+                for fset in &mut extra {
+                    *fset |= 1 << v;
+                }
+                flip_sets.extend(extra);
+            } else if choices[0] {
+                for fset in &mut flip_sets {
+                    *fset |= 1 << v;
+                }
+            }
+        }
+
+        for flips in flip_sets {
+            let mut h = g.clone();
+            for v in 0..n {
+                if flips >> v & 1 == 1 {
+                    h = h.flip_var(v);
+                }
+            }
+            // Phase 3: permutation — sort variables by cofactor1 ones
+            // count (ascending); tie groups explored exhaustively.
+            let keys: Vec<u64> = (0..n).map(|v| h.cofactor1(v).count_ones()).collect();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&v| keys[v]);
+
+            // Group tied variables and enumerate permutations inside
+            // each group.
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for &v in &order {
+                match groups.last_mut() {
+                    Some(gr) if keys[gr[0]] == keys[v] => gr.push(v),
+                    _ => groups.push(vec![v]),
+                }
+            }
+            enumerate_group_perms(&groups, &mut |arrangement| {
+                // arrangement[k] = source variable placed at position k.
+                // perm maps source var -> destination position.
+                let mut perm = vec![0usize; n];
+                for (dst, &src) in arrangement.iter().enumerate() {
+                    perm[src] = dst;
+                }
+                let candidate = h.permute_vars(&perm);
+                let replace = match &best {
+                    None => true,
+                    Some((b, _)) => candidate < *b,
+                };
+                if replace {
+                    let t = NpnTransform::new(n, &perm, flips, out);
+                    best = Some((candidate, t));
+                }
+            });
+        }
+    }
+
+    let (table, transform) = best.expect("at least one candidate");
+    debug_assert_eq!(transform.apply(f), table);
+    NpnCanon { table, transform }
+}
+
+/// Calls `visit` with every arrangement obtained by permuting the
+/// members inside each tie group (groups themselves stay in order).
+fn enumerate_group_perms(groups: &[Vec<usize>], visit: &mut impl FnMut(&[usize])) {
+    fn rec(
+        groups: &[Vec<usize>],
+        gi: usize,
+        prefix: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if gi == groups.len() {
+            visit(prefix);
+            return;
+        }
+        let mut group = groups[gi].clone();
+        permute_all(&mut group, 0, &mut |arr| {
+            let len = prefix.len();
+            prefix.extend_from_slice(arr);
+            rec(groups, gi + 1, prefix, visit);
+            prefix.truncate(len);
+        });
+    }
+    fn permute_all(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+        if k == items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute_all(items, k + 1, visit);
+            items.swap(k, i);
+        }
+    }
+    let mut prefix = Vec::new();
+    rec(groups, 0, &mut prefix, visit);
+}
+
+/// Exhaustive reference canonicalization (for testing): tries all
+/// `n!·2^n·2` transforms. Only sensible for `nvars ≤ 4`.
+pub fn npn_canonical_exhaustive(f: &TruthTable) -> NpnCanon {
+    let n = f.nvars();
+    assert!(n <= 5, "exhaustive canonicalization limited to 5 variables");
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        for flips in 0..(1u8 << n) {
+            for out in [false, true] {
+                let t = NpnTransform::new(n, &perm, flips, out);
+                let candidate = t.apply(f);
+                let replace = match &best {
+                    None => true,
+                    Some((b, _)) => candidate < *b,
+                };
+                if replace {
+                    best = Some((candidate, t));
+                }
+            }
+        }
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    let (table, transform) = best.unwrap();
+    NpnCanon { table, transform }
+}
+
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt4(bits: u64) -> TruthTable {
+        TruthTable::from_bits(4, bits)
+    }
+
+    #[test]
+    fn transform_roundtrip() {
+        let f = tt4(0x1234);
+        let t = NpnTransform::new(4, &[2, 0, 3, 1], 0b0101, true);
+        let g = t.apply(&f);
+        assert_eq!(t.inverse().apply(&g), f);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let f = tt4(0xCAFE);
+        assert_eq!(NpnTransform::identity(4).apply(&f), f);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let fs = [tt4(0x1234), tt4(0xBEEF), tt4(0x8001)];
+        let t1 = NpnTransform::new(4, &[2, 0, 3, 1], 0b0110, true);
+        let t2 = NpnTransform::new(4, &[1, 3, 0, 2], 0b1001, false);
+        for f in &fs {
+            assert_eq!(t1.then(&t2).apply(f), t2.apply(&t1.apply(f)));
+            assert_eq!(t2.then(&t1).apply(f), t1.apply(&t2.apply(f)));
+        }
+        // inverse ∘ t == identity
+        for f in &fs {
+            assert_eq!(t1.then(&t1.inverse()).apply(f), *f);
+        }
+    }
+
+    #[test]
+    fn canonical_invariant_under_random_transforms() {
+        let seeds = [0x2B5Eu64, 0x1A53, 0x0F0F, 0xDEAD, 0x7777, 0x1248];
+        for &s in &seeds {
+            let f = tt4(s);
+            let canon = npn_canonical(&f).table;
+            // Apply a bunch of transforms; canonical form must agree.
+            let transforms = [
+                NpnTransform::new(4, &[1, 0, 2, 3], 0b0011, false),
+                NpnTransform::new(4, &[3, 2, 1, 0], 0b1010, true),
+                NpnTransform::new(4, &[0, 2, 1, 3], 0b1111, true),
+                NpnTransform::new(4, &[2, 3, 0, 1], 0b0000, false),
+            ];
+            for t in &transforms {
+                let g = t.apply(&f);
+                assert_eq!(npn_canonical(&g).table, canon, "seed {s:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_class_consistent_on_3vars() {
+        // The fast canonicalizer need not agree with the exhaustive
+        // lexicographic minimum, but it must induce exactly the same
+        // partition into NPN classes over all 256 functions.
+        use std::collections::HashMap;
+        let mut class_to_fast: HashMap<TruthTable, TruthTable> = HashMap::new();
+        let mut fast_to_class: HashMap<TruthTable, TruthTable> = HashMap::new();
+        for bits in 0..256u64 {
+            let f = TruthTable::from_bits(3, bits);
+            let fast = npn_canonical(&f).table;
+            let class = npn_canonical_exhaustive(&f).table;
+            // Same class ⇒ same fast representative.
+            if let Some(prev) = class_to_fast.insert(class.clone(), fast.clone()) {
+                assert_eq!(prev, fast, "class split by fast canonicalizer");
+            }
+            // Different class ⇒ different fast representative.
+            if let Some(prev) = fast_to_class.insert(fast.clone(), class.clone()) {
+                assert_eq!(prev, class, "classes merged by fast canonicalizer");
+            }
+            // The representative must itself belong to the class.
+            assert_eq!(npn_canonical_exhaustive(&fast).table, class);
+        }
+        // 3-variable functions form exactly 14 NPN classes.
+        assert_eq!(class_to_fast.len(), 14);
+    }
+
+    #[test]
+    fn xor_class_is_canonical_fixed_point() {
+        // Parity is its own class; canonicalization of any XOR/XNOR
+        // arrangement of 3 vars must coincide.
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let x1 = &(&a ^ &b) ^ &c;
+        let x2 = !&x1;
+        let x3 = &(&c ^ &a) ^ &b;
+        let c1 = npn_canonical(&x1).table;
+        assert_eq!(npn_canonical(&x2).table, c1);
+        assert_eq!(npn_canonical(&x3).table, c1);
+    }
+
+    #[test]
+    fn transform_reported_maps_source_to_canon() {
+        for bits in [0x6996u64, 0x8000, 0xFEED, 0x0001] {
+            let f = tt4(bits);
+            let canon = npn_canonical(&f);
+            assert_eq!(canon.transform.apply(&f), canon.table);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! ALU and control-logic generators: the "dedicated ALU" benchmark
+//! (dalu) and the large ISCAS'85 ALU+control circuits (C2670, C3540,
+//! C5315, C7552) are reconstructed as parametric compositions of a
+//! 16-operation ALU, comparators, decoders, parity trees and mux
+//! selection — the same functional mix, at the same I/O counts.
+
+use crate::rng::SplitMix64;
+use cntfet_aig::{Aig, Lit};
+
+/// A 16-operation n-bit ALU in the spirit of the 74181.
+///
+/// Inputs: `a[n]`, `b[n]`, `s[4]` (op select), `m` (mode), `cin`.
+/// Outputs: `f[n]`, `cout`, `zero`, `a_eq_b`.
+///
+/// Operation table (s, with m=0 arithmetic / m=1 logic):
+/// arithmetic: 0 a+b, 1 a+b+cin, 2 a−b−1+cin, 3 a+a, 4 a+1, 5 b+cin,
+/// 6 a−1+cin, 7 a+b+1; logic: 0 AND, 1 OR, 2 XOR, 3 XNOR, 4 ¬a, 5 ¬b,
+/// 6 NAND, 7 NOR (upper s bit swaps a/b operands).
+pub fn alu16(g: &mut Aig, a: &[Lit], b: &[Lit], s: &[Lit], m: Lit, cin: Lit) -> AluOutputs {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(s.len(), 4);
+    let n = a.len();
+    // Operand swap on s[3].
+    let xa: Vec<Lit> = (0..n).map(|i| g.mux(s[3], b[i], a[i])).collect();
+    let xb: Vec<Lit> = (0..n).map(|i| g.mux(s[3], a[i], b[i])).collect();
+
+    // Logic unit: 8 ops selected by s[2:0].
+    let mut logic = Vec::with_capacity(n);
+    for i in 0..n {
+        let and_ = g.and(xa[i], xb[i]);
+        let or_ = g.or(xa[i], xb[i]);
+        let xor_ = g.xor(xa[i], xb[i]);
+        let l01 = g.mux(s[0], or_, and_);
+        let l23 = g.mux(s[0], xor_.negate(), xor_);
+        let l45 = g.mux(s[0], xb[i].negate(), xa[i].negate());
+        let l67 = g.mux(s[0], or_.negate(), and_.negate());
+        let low = g.mux(s[1], l23, l01);
+        let high = g.mux(s[1], l67, l45);
+        logic.push(g.mux(s[2], high, low));
+    }
+
+    // Arithmetic unit: operand conditioning + ripple carry.
+    // op 2: b complemented; op 3: b := a; op 4: b := 0, forced +1 via
+    // cin override; op 5: a := 0; op 6: b := all ones; op 7 carry 1.
+    let s0 = s[0];
+    let s1 = s[1];
+    let s2 = s[2];
+    let op2 = {
+        let t = g.and(s1, s0.negate());
+        g.and(t, s2.negate())
+    };
+    let op3 = {
+        let t = g.and(s1, s0);
+        g.and(t, s2.negate())
+    };
+    let op4 = {
+        let t = g.and(s1.negate(), s0.negate());
+        g.and(t, s2)
+    };
+    let op5 = {
+        let t = g.and(s1.negate(), s0);
+        g.and(t, s2)
+    };
+    let op6 = {
+        let t = g.and(s1, s0.negate());
+        g.and(t, s2)
+    };
+    let op7 = {
+        let t = g.and(s1, s0);
+        g.and(t, s2)
+    };
+    let op1 = {
+        let t = g.and(s1.negate(), s0);
+        g.and(t, s2.negate())
+    };
+
+    let mut arith = Vec::with_capacity(n);
+    // Effective operands.
+    let mut eff_a = Vec::with_capacity(n);
+    let mut eff_b = Vec::with_capacity(n);
+    for i in 0..n {
+        let a_zeroed = g.and(xa[i], op5.negate());
+        eff_a.push(a_zeroed);
+        // b term: default xb; op2: ¬xb; op3: xa; op4: 0; op6: 1.
+        let bneg = g.xor(xb[i], op2);
+        let b3 = g.mux(op3, xa[i], bneg);
+        let b4 = g.and(b3, op4.negate());
+        let b6 = g.or(b4, op6);
+        eff_b.push(b6);
+    }
+    // Carry-in: ops 1,2,5,6 use cin; ops 4,7 force 1; others 0.
+    let use_cin = {
+        let t = g.or(op1, op2);
+        let t = g.or(t, op5);
+        g.or(t, op6)
+    };
+    let forced_one = g.or(op4, op7);
+    let cin_gated = g.and(cin, use_cin);
+    let mut carry = g.or(cin_gated, forced_one);
+    for i in 0..n {
+        let x = g.xor(eff_a[i], eff_b[i]);
+        let sum = g.xor(x, carry);
+        let c1 = g.and(eff_a[i], eff_b[i]);
+        let c2 = g.and(x, carry);
+        carry = g.or(c1, c2);
+        arith.push(sum);
+    }
+
+    // Mode mux + flags.
+    let f: Vec<Lit> = (0..n).map(|i| g.mux(m, logic[i], arith[i])).collect();
+    let nonzero = g.or_many(&f);
+    let zero = nonzero.negate();
+    let eqs: Vec<Lit> = (0..n).map(|i| g.xnor(a[i], b[i])).collect();
+    let a_eq_b = g.and_many(&eqs);
+    AluOutputs { f, cout: carry, zero, a_eq_b }
+}
+
+/// Outputs of [`alu16`].
+#[derive(Debug, Clone)]
+pub struct AluOutputs {
+    /// Result word.
+    pub f: Vec<Lit>,
+    /// Carry out of the arithmetic unit.
+    pub cout: Lit,
+    /// Result-is-zero flag.
+    pub zero: Lit,
+    /// Operand equality flag.
+    pub a_eq_b: Lit,
+}
+
+/// Reference model of [`alu16`].
+pub fn alu16_reference(n: usize, a: u64, b: u64, s: u8, m: bool, cin: bool) -> (u64, bool, bool, bool) {
+    let mask = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+    let (xa, xb) = if s & 8 != 0 { (b, a) } else { (a, b) };
+    let f = if m {
+        (match s & 7 {
+            0 => xa & xb,
+            1 => xa | xb,
+            2 => xa ^ xb,
+            3 => !(xa ^ xb),
+            4 => !xa,
+            5 => !xb,
+            6 => !(xa & xb),
+            _ => !(xa | xb),
+        }) & mask
+    } else {
+        let (ea, eb, c0) = match s & 7 {
+            0 => (xa, xb, 0u64),
+            1 => (xa, xb, cin as u64),
+            2 => (xa, !xb & mask, cin as u64),
+            3 => (xa, xa, 0),
+            4 => (xa, 0, 1),
+            5 => (0, xb, cin as u64),
+            6 => (xa, mask, cin as u64),
+            _ => (xa, xb, 1),
+        };
+        ea.wrapping_add(eb).wrapping_add(c0) & mask
+    };
+    let cout = if m {
+        false
+    } else {
+        let (ea, eb, c0) = match s & 7 {
+            0 => (xa, xb, 0u64),
+            1 => (xa, xb, cin as u64),
+            2 => (xa, !xb & mask, cin as u64),
+            3 => (xa, xa, 0),
+            4 => (xa, 0, 1),
+            5 => (0, xb, cin as u64),
+            6 => (xa, mask, cin as u64),
+            _ => (xa, xb, 1),
+        };
+        ((ea as u128) + (eb as u128) + c0 as u128) >> n & 1 == 1
+    };
+    (f, cout, f == 0, a == b)
+}
+
+/// The `dalu` benchmark stand-in (75 inputs / 16 outputs): a 16-bit
+/// dedicated ALU — two cascaded ALU stages whose result is selected
+/// and folded down to a 16-bit output bus.
+pub fn dalu_like() -> Aig {
+    let mut g = Aig::new("dalu");
+    let a = g.add_pis(16);
+    let b = g.add_pis(16);
+    let c = g.add_pis(16);
+    let s1 = g.add_pis(4);
+    let s2 = g.add_pis(4);
+    let ctl = g.add_pis(19); // m1, cin1, m2, cin2, select[15] masks
+    debug_assert_eq!(g.num_pis(), 75);
+    let stage1 = alu16(&mut g, &a, &b, &s1, ctl[0], ctl[1]);
+    let stage2 = alu16(&mut g, &stage1.f, &c, &s2, ctl[2], ctl[3]);
+    for i in 0..16 {
+        let masked = if i < 15 {
+            g.and(stage2.f[i], ctl[4 + i].negate())
+        } else {
+            let flags = g.or(stage2.cout, stage1.a_eq_b);
+            g.mux(stage2.zero, flags, stage2.f[i])
+        };
+        g.add_po(masked);
+    }
+    debug_assert_eq!(g.num_pos(), 16);
+    g
+}
+
+/// Parametric "ALU and control" generator reconstructing the large
+/// ISCAS'85 profiles: consumes exactly `num_in` inputs, produces
+/// exactly `num_out` outputs, deterministically from `seed`.
+///
+/// Structure: data-path blocks (ALU slices, adders, comparators) fed
+/// by input segments, control blocks (decoders, parity trees, mux
+/// networks) steering them, and an output crossbar padding/folding to
+/// the requested width — the functional mix of the originals.
+pub fn alu_control(name: &str, num_in: usize, num_out: usize, seed: u64) -> Aig {
+    assert!(num_in >= 24, "generator needs at least 24 inputs");
+    let mut g = Aig::new(name.to_string());
+    let pis = g.add_pis(num_in);
+    let mut rng = SplitMix64::new(seed);
+    let mut pool: Vec<Lit> = Vec::new();
+    let mut cursor = 0usize;
+
+    // Consume inputs in blocks until exhausted.
+    while cursor < num_in {
+        let remaining = num_in - cursor;
+        let kind = rng.below(5);
+        match kind {
+            0 if remaining >= 21 => {
+                // 8-bit ALU slice: a[8] b[8] s[4] m(cin from pool).
+                let a = &pis[cursor..cursor + 8];
+                let b = &pis[cursor + 8..cursor + 16];
+                let s = &pis[cursor + 16..cursor + 20];
+                let m = pis[cursor + 20];
+                cursor += 21;
+                let cin = pool.last().copied().unwrap_or(Lit::FALSE);
+                let out = alu16(&mut g, a, b, s, m, cin);
+                pool.extend(out.f);
+                pool.push(out.cout);
+                pool.push(out.zero);
+                pool.push(out.a_eq_b);
+            }
+            1 if remaining >= 8 => {
+                // 4-bit comparator: eq, lt, gt.
+                let a = &pis[cursor..cursor + 4];
+                let b = &pis[cursor + 4..cursor + 8];
+                cursor += 8;
+                let mut eq = Lit::TRUE;
+                let mut lt = Lit::FALSE;
+                for i in (0..4).rev() {
+                    let bit_eq = g.xnor(a[i], b[i]);
+                    let bit_lt = g.and(a[i].negate(), b[i]);
+                    let this_lt = g.and(eq, bit_lt);
+                    lt = g.or(lt, this_lt);
+                    eq = g.and(eq, bit_eq);
+                }
+                let le = g.or(eq, lt);
+                pool.push(eq);
+                pool.push(lt);
+                pool.push(le.negate()); // gt
+            }
+            2 if remaining >= 7 => {
+                // 3:8 decoder with enable.
+                let sel = &pis[cursor..cursor + 3];
+                let en = pis[cursor + 3];
+                let data = &pis[cursor + 4..cursor + 7];
+                cursor += 7;
+                let mixed = g.xor_many(data);
+                for code in 0..8u32 {
+                    let bits: Vec<Lit> = (0..3)
+                        .map(|k| if code >> k & 1 == 1 { sel[k] } else { sel[k].negate() })
+                        .collect();
+                    let hit = g.and_many(&bits);
+                    let gated = g.and(hit, en);
+                    let line = g.xor(gated, mixed);
+                    pool.push(line);
+                }
+            }
+            3 if remaining >= 6 => {
+                // Parity tree over 6 inputs.
+                let bits = &pis[cursor..cursor + 6];
+                cursor += 6;
+                pool.push(g.xor_many(bits));
+            }
+            _ => {
+                // Mux/control cone over up to 4 inputs + pool feedback.
+                let take = remaining.min(4).max(1);
+                let ins = &pis[cursor..cursor + take];
+                cursor += take;
+                let fb1 = pool
+                    .get(rng.below(pool.len().max(1)).min(pool.len().saturating_sub(1)))
+                    .copied()
+                    .unwrap_or(Lit::TRUE);
+                let mut acc = fb1;
+                for &i in ins {
+                    acc = match rng.below(3) {
+                        0 => g.and(acc, i),
+                        1 => g.or(acc, i.negate()),
+                        _ => g.mux(i, acc, acc.negate()),
+                    };
+                }
+                pool.push(acc);
+            }
+        }
+    }
+
+    // Output crossbar: fold the pool to exactly num_out outputs.
+    assert!(!pool.is_empty());
+    let mut outputs = Vec::with_capacity(num_out);
+    if pool.len() >= num_out {
+        // Select evenly, folding the unselected tail in via XOR so no
+        // generated logic dangles.
+        let stride = pool.len() as f64 / num_out as f64;
+        for i in 0..num_out {
+            outputs.push(pool[(i as f64 * stride) as usize]);
+        }
+        // Fold remaining signals into the last few outputs.
+        let chosen: std::collections::HashSet<usize> =
+            (0..num_out).map(|i| (i as f64 * stride) as usize).collect();
+        let mut spill: Vec<Lit> =
+            pool.iter().enumerate().filter(|(i, _)| !chosen.contains(i)).map(|(_, &l)| l).collect();
+        let mut oi = 0;
+        while let Some(l) = spill.pop() {
+            let o = outputs[num_out - 1 - (oi % num_out.min(8))];
+            outputs[num_out - 1 - (oi % num_out.min(8))] = g.xor(o, l);
+            oi += 1;
+        }
+    } else {
+        outputs.extend_from_slice(&pool);
+        // Expand with derived signals.
+        let mut i = 0;
+        while outputs.len() < num_out {
+            let a = pool[i % pool.len()];
+            let b = pool[(i * 7 + 3) % pool.len()];
+            let c = pool[(i * 13 + 5) % pool.len()];
+            let ab = g.and(a, b.negate());
+            outputs.push(g.xor(ab, c));
+            i += 1;
+        }
+    }
+    for o in outputs {
+        g.add_po(o);
+    }
+    debug_assert_eq!(g.num_pos(), num_out);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_matches_reference() {
+        let n = 8;
+        let mut g = Aig::new("alu-test");
+        let a = g.add_pis(n);
+        let b = g.add_pis(n);
+        let s = g.add_pis(4);
+        let m = g.add_pi();
+        let cin = g.add_pi();
+        let out = alu16(&mut g, &a, &b, &s, m, cin);
+        for o in &out.f {
+            g.add_po(*o);
+        }
+        g.add_po(out.cout);
+        g.add_po(out.zero);
+        g.add_po(out.a_eq_b);
+
+        let mut seed = 0x5555_AAAA_u64;
+        for _ in 0..400 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(17);
+            let av = seed >> 8 & 0xFF;
+            let bv = seed >> 24 & 0xFF;
+            let sv = (seed >> 40 & 0xF) as u8;
+            let mv = seed >> 45 & 1 == 1;
+            let cv = seed >> 46 & 1 == 1;
+            let mut inputs = Vec::new();
+            for i in 0..n {
+                inputs.push(av >> i & 1 == 1);
+            }
+            for i in 0..n {
+                inputs.push(bv >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                inputs.push(sv >> i & 1 == 1);
+            }
+            inputs.push(mv);
+            inputs.push(cv);
+            let got = g.eval(&inputs);
+            let mut f = 0u64;
+            for i in 0..n {
+                if got[i] {
+                    f |= 1 << i;
+                }
+            }
+            let (want_f, want_cout, want_zero, want_eq) =
+                alu16_reference(n, av, bv, sv, mv, cv);
+            assert_eq!(f, want_f, "f: a={av:#x} b={bv:#x} s={sv} m={mv} cin={cv}");
+            if !mv {
+                assert_eq!(got[n], want_cout, "cout: a={av:#x} b={bv:#x} s={sv} cin={cv}");
+            }
+            assert_eq!(got[n + 1], want_zero, "zero");
+            assert_eq!(got[n + 2], want_eq, "a_eq_b");
+        }
+    }
+
+    #[test]
+    fn dalu_interface() {
+        let g = dalu_like();
+        assert_eq!(g.num_pis(), 75);
+        assert_eq!(g.num_pos(), 16);
+        assert!(g.num_ands() > 400);
+    }
+
+    #[test]
+    fn alu_control_hits_exact_io() {
+        for (name, i, o, seed) in [
+            ("C2670", 233usize, 140usize, 0x2670u64),
+            ("C3540", 50, 22, 0x3540),
+            ("C5315", 178, 123, 0x5315),
+            ("C7552", 207, 108, 0x7552),
+        ] {
+            let g = alu_control(name, i, o, seed);
+            assert_eq!(g.num_pis(), i, "{name} inputs");
+            assert_eq!(g.num_pos(), o, "{name} outputs");
+            assert!(g.num_ands() > 100, "{name} too small: {}", g.num_ands());
+        }
+    }
+
+    #[test]
+    fn alu_control_is_deterministic() {
+        let a = alu_control("x", 50, 22, 99);
+        let b = alu_control("x", 50, 22, 99);
+        assert_eq!(a.num_ands(), b.num_ands());
+        let ins: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
+        assert_eq!(a.eval(&ins), b.eval(&ins));
+    }
+}

@@ -1,0 +1,244 @@
+//! Arithmetic circuit generators: adders and the C6288-style array
+//! multiplier — the paper's XOR-rich headline benchmarks.
+
+use cntfet_aig::{Aig, Lit};
+
+/// Builds a full adder; returns `(sum, carry_out)`.
+pub fn full_adder(g: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let x = g.xor(a, b);
+    let sum = g.xor(x, cin);
+    let c1 = g.and(a, b);
+    let c2 = g.and(x, cin);
+    let cout = g.or(c1, c2);
+    (sum, cout)
+}
+
+/// The paper's `add-16/32/64` benchmarks: an n-bit ripple-carry adder
+/// with carry-in. Interface: inputs `a[n], b[n], cin` (2n+1), outputs
+/// `sum[n], cout` (n+1) — matching Table 3's 33/17, 65/33, 129/65.
+pub fn ripple_adder(n: usize) -> Aig {
+    let mut g = Aig::new(format!("add-{n}"));
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let cin = g.add_pi();
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, c) = full_adder(&mut g, a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    for s in sums {
+        g.add_po(s);
+    }
+    g.add_po(carry);
+    g
+}
+
+/// A carry-lookahead adder over 4-bit groups (same interface as
+/// [`ripple_adder`]) — used by the ablation benchmarks to contrast
+/// adder architectures.
+pub fn cla_adder(n: usize) -> Aig {
+    let mut g = Aig::new(format!("cla-{n}"));
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    let cin = g.add_pi();
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(n);
+    for group in (0..n).step_by(4) {
+        let hi = (group + 4).min(n);
+        // Generate/propagate for the group bits.
+        let mut p = Vec::new();
+        let mut gen = Vec::new();
+        for i in group..hi {
+            p.push(g.xor(a[i], b[i]));
+            gen.push(g.and(a[i], b[i]));
+        }
+        // Carries within the group, fully flattened (true lookahead):
+        // c_{i+1} = g_i + p_i·g_{i-1} + … + p_i·…·p_0·c_0.
+        let mut carries = vec![carry];
+        for i in 0..(hi - group) {
+            let mut terms = vec![gen[i]];
+            for j in (0..i).rev() {
+                // p_i·p_{i-1}·…·p_{j+1}·g_j
+                let mut prod = gen[j];
+                for &pk in &p[j + 1..=i] {
+                    prod = g.and(prod, pk);
+                }
+                terms.push(prod);
+            }
+            // p_i·…·p_0·c_0
+            let mut prod = carry;
+            for &pk in &p[0..=i] {
+                prod = g.and(prod, pk);
+            }
+            terms.push(prod);
+            carries.push(g.or_many(&terms));
+        }
+        for i in 0..(hi - group) {
+            sums.push(g.xor(p[i], carries[i]));
+        }
+        carry = *carries.last().unwrap();
+    }
+    for s in sums {
+        g.add_po(s);
+    }
+    g.add_po(carry);
+    g
+}
+
+/// The C6288-style n×n array multiplier (paper benchmark C6288 is the
+/// 16×16 instance: 32 inputs, 32 outputs). Carry-save reduction of the
+/// AND partial products with layered (Wallace-style) full/half adders
+/// — each column is consumed FIFO so reduction depth stays
+/// logarithmic, followed by the final carry ripple.
+pub fn array_multiplier(n: usize) -> Aig {
+    use std::collections::VecDeque;
+    let mut g = Aig::new(if n == 16 { "C6288".to_string() } else { format!("mul-{n}") });
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    // Partial products pp[i][j] = a[i] & b[j] contributes to bit i+j.
+    let mut columns: Vec<VecDeque<Lit>> = vec![VecDeque::new(); 2 * n];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = g.and(a[i], b[j]);
+            columns[i + j].push_back(pp);
+        }
+    }
+    // Column-wise carry-save reduction: take the three oldest signals
+    // (FIFO) through a full adder; the sum re-enters at the back so
+    // fresh layers stack instead of chaining serially.
+    let mut outputs = Vec::with_capacity(2 * n);
+    for col in 0..(2 * n) {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let x = columns[col].pop_front().unwrap();
+                let y = columns[col].pop_front().unwrap();
+                let z = columns[col].pop_front().unwrap();
+                let (s, c) = full_adder(&mut g, x, y, z);
+                columns[col].push_back(s);
+                if col + 1 < 2 * n {
+                    columns[col + 1].push_back(c);
+                }
+            } else {
+                let x = columns[col].pop_front().unwrap();
+                let y = columns[col].pop_front().unwrap();
+                let s = g.xor(x, y);
+                let c = g.and(x, y);
+                columns[col].push_back(s);
+                if col + 1 < 2 * n {
+                    columns[col + 1].push_back(c);
+                }
+            }
+        }
+        outputs.push(columns[col].front().copied().unwrap_or(Lit::FALSE));
+    }
+    for o in outputs {
+        g.add_po(o);
+    }
+    g
+}
+
+/// Reference evaluation of an adder AIG built by [`ripple_adder`] /
+/// [`cla_adder`].
+pub fn eval_adder(aig: &Aig, n: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
+    let mut inputs = Vec::with_capacity(2 * n + 1);
+    for i in 0..n {
+        inputs.push(a >> i & 1 == 1);
+    }
+    for i in 0..n {
+        inputs.push(b >> i & 1 == 1);
+    }
+    inputs.push(cin);
+    let out = aig.eval(&inputs);
+    let mut sum = 0u64;
+    for i in 0..n {
+        if out[i] {
+            sum |= 1 << i;
+        }
+    }
+    (sum, out[n])
+}
+
+/// Reference evaluation of a multiplier AIG built by
+/// [`array_multiplier`].
+pub fn eval_multiplier(aig: &Aig, n: usize, a: u64, b: u64) -> u128 {
+    let mut inputs = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        inputs.push(a >> i & 1 == 1);
+    }
+    for i in 0..n {
+        inputs.push(b >> i & 1 == 1);
+    }
+    let out = aig.eval(&inputs);
+    let mut prod = 0u128;
+    for (i, &bit) in out.iter().enumerate() {
+        if bit {
+            prod |= 1 << i;
+        }
+    }
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_adder_interface_matches_paper() {
+        for (n, i, o) in [(16usize, 33usize, 17usize), (32, 65, 33), (64, 129, 65)] {
+            let g = ripple_adder(n);
+            assert_eq!(g.num_pis(), i, "add-{n} inputs");
+            assert_eq!(g.num_pos(), o, "add-{n} outputs");
+        }
+    }
+
+    #[test]
+    fn adders_add() {
+        let n = 16;
+        let r = ripple_adder(n);
+        let c = cla_adder(n);
+        let mut seed = 0xACE1_u64;
+        for _ in 0..200 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = seed >> 13 & 0xFFFF;
+            let b = seed >> 29 & 0xFFFF;
+            let cin = seed & 1 == 1;
+            let want = a + b + cin as u64;
+            for (name, g) in [("ripple", &r), ("cla", &c)] {
+                let (s, cout) = eval_adder(g, n, a, b, cin);
+                assert_eq!(s, want & 0xFFFF, "{name} sum a={a} b={b}");
+                assert_eq!(cout, want >> 16 & 1 == 1, "{name} cout");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_interface_and_function() {
+        let g = array_multiplier(8);
+        assert_eq!(g.num_pis(), 16);
+        assert_eq!(g.num_pos(), 16);
+        let mut seed = 0xBEEF_u64;
+        for _ in 0..100 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let a = seed >> 7 & 0xFF;
+            let b = seed >> 23 & 0xFF;
+            assert_eq!(eval_multiplier(&g, 8, a, b), (a as u128) * (b as u128), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn c6288_is_16x16() {
+        let g = array_multiplier(16);
+        assert_eq!(g.num_pis(), 32);
+        assert_eq!(g.num_pos(), 32);
+        // FIFO reduction keeps the depth in the region of the real
+        // C6288's ripple array (a couple hundred AIG levels), not the
+        // ~450 a naive serial chain produces.
+        assert!(g.depth() < 300, "multiplier depth {}", g.depth());
+        // Spot checks.
+        assert_eq!(eval_multiplier(&g, 16, 0xFFFF, 0xFFFF), 0xFFFFu128 * 0xFFFFu128);
+        assert_eq!(eval_multiplier(&g, 16, 12345, 54321), 12345u128 * 54321u128);
+        assert_eq!(eval_multiplier(&g, 16, 0, 54321), 0);
+    }
+}

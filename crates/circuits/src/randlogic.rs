@@ -1,0 +1,227 @@
+//! Seeded random multi-level logic generators: stand-ins for the
+//! unstructured MCNC "logic" benchmarks (i10, t481, i18), plus small
+//! utility circuits (parity, majority, mux trees) used by examples and
+//! ablation benches.
+
+use crate::rng::SplitMix64;
+use cntfet_aig::{Aig, Lit};
+
+/// Deterministic random multi-level network with exactly `num_in`
+/// inputs and `num_out` outputs.
+///
+/// Every input participates (a first layer pairs all inputs), internal
+/// operations mix AND/OR/XOR/MUX with random edge polarities and a
+/// locality bias that produces ISCAS-like reconvergence, and outputs
+/// tap the deepest region of the pool.
+pub fn random_logic(name: &str, num_in: usize, num_out: usize, seed: u64) -> Aig {
+    assert!(num_in >= 2);
+    let mut g = Aig::new(name.to_string());
+    let pis = g.add_pis(num_in);
+    let mut rng = SplitMix64::new(seed);
+    let mut pool: Vec<Lit> = Vec::new();
+
+    // Layer 0: consume all the inputs pairwise.
+    for pair in pis.chunks(2) {
+        let l = if pair.len() == 2 {
+            match rng.below(3) {
+                0 => g.and(pair[0], pair[1].negate_if(rng.coin())),
+                1 => g.or(pair[0].negate_if(rng.coin()), pair[1]),
+                _ => g.xor(pair[0], pair[1]),
+            }
+        } else {
+            pair[0]
+        };
+        pool.push(l);
+    }
+
+    // Internal expansion: scale with both interface sides so the
+    // network has ISCAS-like substance even for narrow outputs.
+    let ops = (num_in * 3 + num_out * 8).max(48);
+    let pick = |rng: &mut SplitMix64, n: usize| -> usize {
+        // Locality bias: favour recent signals for depth.
+        if rng.coin() {
+            n - 1 - rng.below((n / 3).max(1))
+        } else {
+            rng.below(n)
+        }
+    };
+    for _ in 0..ops {
+        let n = pool.len();
+        let a = pool[pick(&mut rng, n)].negate_if(rng.coin());
+        let b = pool[pick(&mut rng, n)].negate_if(rng.coin());
+        let l = match rng.below(4) {
+            0 => g.and(a, b),
+            1 => g.or(a, b),
+            2 => g.xor(a, b),
+            _ => {
+                let s = pool[pick(&mut rng, n)];
+                g.mux(s, a, b)
+            }
+        };
+        pool.push(l);
+    }
+
+    // Outputs: each folds three deep signals so narrow interfaces
+    // (e.g. t481's single output) still observe a wide, deep cone.
+    for _ in 0..num_out {
+        let n = pool.len();
+        let a = pool[pick(&mut rng, n)];
+        let b = pool[pick(&mut rng, n)].negate_if(rng.coin());
+        let c = pool[pick(&mut rng, n)];
+        let inner = match rng.below(3) {
+            0 => g.and(b, c),
+            1 => g.or(b, c),
+            _ => g.xor(b, c),
+        };
+        let out = g.xor(a, inner);
+        pool.push(out);
+        g.add_po(out);
+    }
+    g
+}
+
+/// n-input parity tree (classic XOR-rich kernel).
+pub fn parity(n: usize) -> Aig {
+    let mut g = Aig::new(format!("parity-{n}"));
+    let pis = g.add_pis(n);
+    let p = g.xor_many(&pis);
+    g.add_po(p);
+    g
+}
+
+/// n-input majority (n odd): sorting-network-free carry-save count
+/// compare.
+pub fn majority(n: usize) -> Aig {
+    assert!(n % 2 == 1, "majority needs an odd input count");
+    let mut g = Aig::new(format!("maj-{n}"));
+    let pis = g.add_pis(n);
+    // Popcount via full-adder reduction, then compare > n/2.
+    let mut bits: Vec<Vec<Lit>> = vec![pis.clone()]; // bits[k] = weight-2^k signals
+    let mut k = 0;
+    while k < bits.len() {
+        while bits[k].len() > 1 {
+            if bits[k].len() >= 3 {
+                let x = bits[k].pop().unwrap();
+                let y = bits[k].pop().unwrap();
+                let z = bits[k].pop().unwrap();
+                let (s, c) = crate::arith::full_adder(&mut g, x, y, z);
+                bits[k].push(s);
+                if bits.len() == k + 1 {
+                    bits.push(Vec::new());
+                }
+                bits[k + 1].push(c);
+            } else {
+                let x = bits[k].pop().unwrap();
+                let y = bits[k].pop().unwrap();
+                let s = g.xor(x, y);
+                let c = g.and(x, y);
+                bits[k].push(s);
+                if bits.len() == k + 1 {
+                    bits.push(Vec::new());
+                }
+                bits[k + 1].push(c);
+            }
+        }
+        k += 1;
+    }
+    let count: Vec<Lit> = bits.iter().map(|v| v.first().copied().unwrap_or(Lit::FALSE)).collect();
+    // count > n/2 ⇔ count >= (n+1)/2: compare against the constant.
+    let threshold = (n + 1) / 2;
+    let width = count.len();
+    // MSB-first magnitude comparison: track "prefix equal" and
+    // "already greater".
+    let mut eq = Lit::TRUE;
+    let mut gt = Lit::FALSE;
+    for i in (0..width).rev() {
+        let t_bit = threshold >> i & 1 == 1;
+        if t_bit {
+            eq = g.and(eq, count[i]);
+        } else {
+            let win = g.and(eq, count[i]);
+            gt = g.or(gt, win);
+            eq = g.and(eq, count[i].negate());
+        }
+    }
+    let ge = g.or(gt, eq);
+    g.add_po(ge);
+    g
+}
+
+/// k-level mux tree: `2^k` data inputs + `k` selects, one output.
+pub fn mux_tree(k: usize) -> Aig {
+    let mut g = Aig::new(format!("mux-{k}"));
+    let data = g.add_pis(1 << k);
+    let sel = g.add_pis(k);
+    let mut layer = data;
+    for s in 0..k {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(g.mux(sel[s], pair[1], pair[0]));
+        }
+        layer = next;
+    }
+    g.add_po(layer[0]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_logic_interfaces() {
+        for (name, i, o, seed) in [
+            ("i10", 257usize, 224usize, 0x1010u64),
+            ("t481", 16, 1, 0x0481),
+            ("i18", 133, 81, 0x0018),
+        ] {
+            let g = random_logic(name, i, o, seed);
+            assert_eq!(g.num_pis(), i, "{name}");
+            assert_eq!(g.num_pos(), o, "{name}");
+            assert!(g.num_ands() > o, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn random_logic_is_deterministic() {
+        let a = random_logic("x", 16, 4, 7);
+        let b = random_logic("x", 16, 4, 7);
+        let ins: Vec<bool> = (0..16).map(|i| i % 5 < 2).collect();
+        assert_eq!(a.eval(&ins), b.eval(&ins));
+    }
+
+    #[test]
+    fn parity_is_parity() {
+        let g = parity(9);
+        for trial in 0..50u64 {
+            let v = trial.wrapping_mul(0x9E37_79B9_7F4A_7C15) & 0x1FF;
+            let ins: Vec<bool> = (0..9).map(|i| v >> i & 1 == 1).collect();
+            assert_eq!(g.eval(&ins)[0], v.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn majority_is_majority() {
+        for n in [3usize, 5, 7, 9] {
+            let g = majority(n);
+            for v in 0..(1u64 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| v >> i & 1 == 1).collect();
+                let want = v.count_ones() as usize > n / 2;
+                assert_eq!(g.eval(&ins)[0], want, "n={n} v={v:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let k = 3;
+        let g = mux_tree(k);
+        for sel in 0..8u64 {
+            for data in [0x5Au64, 0xC3, 0xFF, 0x00] {
+                let mut ins: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
+                ins.extend((0..k).map(|i| sel >> i & 1 == 1));
+                assert_eq!(g.eval(&ins)[0], data >> sel & 1 == 1, "sel={sel} data={data:#x}");
+            }
+        }
+    }
+}

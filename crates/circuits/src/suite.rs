@@ -1,0 +1,198 @@
+//! The 15-benchmark suite of the paper's Table 3, with the published
+//! I/O profiles and functional classes.
+
+use crate::alu::{alu_control, dalu_like};
+use crate::arith::{array_multiplier, ripple_adder};
+use crate::des::des_like;
+use crate::ecc::{c1355_like, c1908_like};
+use crate::randlogic::random_logic;
+use cntfet_aig::Aig;
+
+/// Functional class of a benchmark (drives the analysis of which
+/// circuits benefit most from XOR-capable libraries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchClass {
+    /// ALU-plus-control ISCAS'85 style.
+    AluControl,
+    /// Error-correcting (syndrome/correct, XOR-rich).
+    ErrorCorrecting,
+    /// Array multiplier (XOR-rich).
+    Multiplier,
+    /// Data encryption (S-boxes + XOR mixing).
+    Encryption,
+    /// Unstructured multi-level logic.
+    Logic,
+    /// Ripple adder (XOR-rich).
+    Adder,
+}
+
+/// One benchmark instance.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Table 3 name.
+    pub name: &'static str,
+    /// Expected (inputs, outputs) as printed in the paper.
+    pub io: (usize, usize),
+    /// Functional class.
+    pub class: BenchClass,
+    /// Paper's description string.
+    pub function: &'static str,
+    /// The circuit.
+    pub aig: Aig,
+}
+
+/// Builds all 15 benchmarks of Table 3 in the paper's row order.
+pub fn paper_benchmarks() -> Vec<Benchmark> {
+    use BenchClass::*;
+    vec![
+        Benchmark {
+            name: "C2670",
+            io: (233, 140),
+            class: AluControl,
+            function: "ALU and control",
+            aig: alu_control("C2670", 233, 140, 0x2670),
+        },
+        Benchmark {
+            name: "C1908",
+            io: (33, 25),
+            class: ErrorCorrecting,
+            function: "Error correcting",
+            aig: c1908_like(),
+        },
+        Benchmark {
+            name: "C3540",
+            io: (50, 22),
+            class: AluControl,
+            function: "ALU and control",
+            aig: alu_control("C3540", 50, 22, 0x3540),
+        },
+        Benchmark {
+            name: "dalu",
+            io: (75, 16),
+            class: AluControl,
+            function: "Dedicated ALU",
+            aig: dalu_like(),
+        },
+        Benchmark {
+            name: "C7552",
+            io: (207, 108),
+            class: AluControl,
+            function: "ALU and control",
+            aig: alu_control("C7552", 207, 108, 0x7552),
+        },
+        Benchmark {
+            name: "C6288",
+            io: (32, 32),
+            class: Multiplier,
+            function: "Multiplier",
+            aig: array_multiplier(16),
+        },
+        Benchmark {
+            name: "C5315",
+            io: (178, 123),
+            class: AluControl,
+            function: "ALU and selector",
+            aig: alu_control("C5315", 178, 123, 0x5315),
+        },
+        Benchmark {
+            name: "des",
+            io: (256, 245),
+            class: Encryption,
+            function: "Data encryption",
+            aig: des_like(),
+        },
+        Benchmark {
+            name: "i10",
+            io: (257, 224),
+            class: Logic,
+            function: "Logic",
+            aig: random_logic("i10", 257, 224, 0x1010),
+        },
+        Benchmark {
+            name: "t481",
+            io: (16, 1),
+            class: Logic,
+            function: "Logic",
+            aig: random_logic("t481", 16, 1, 0x0481),
+        },
+        Benchmark {
+            name: "i18",
+            io: (133, 81),
+            class: Logic,
+            function: "Logic",
+            aig: random_logic("i18", 133, 81, 0x0018),
+        },
+        Benchmark {
+            name: "C1355",
+            io: (41, 32),
+            class: ErrorCorrecting,
+            function: "Error correcting",
+            aig: c1355_like(),
+        },
+        Benchmark {
+            name: "add-16",
+            io: (33, 17),
+            class: Adder,
+            function: "16-bit adder",
+            aig: ripple_adder(16),
+        },
+        Benchmark {
+            name: "add-32",
+            io: (65, 33),
+            class: Adder,
+            function: "32-bit adder",
+            aig: ripple_adder(32),
+        },
+        Benchmark {
+            name: "add-64",
+            io: (129, 65),
+            class: Adder,
+            function: "64-bit adder",
+            aig: ripple_adder(64),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table3_io() {
+        let suite = paper_benchmarks();
+        assert_eq!(suite.len(), 15);
+        for b in &suite {
+            assert_eq!(b.aig.num_pis(), b.io.0, "{} inputs", b.name);
+            assert_eq!(b.aig.num_pos(), b.io.1, "{} outputs", b.name);
+            assert!(b.aig.num_ands() > 0, "{} is empty", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_names_match_paper_order() {
+        let names: Vec<&str> = paper_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            [
+                "C2670", "C1908", "C3540", "dalu", "C7552", "C6288", "C5315", "des", "i10",
+                "t481", "i18", "C1355", "add-16", "add-32", "add-64"
+            ]
+        );
+    }
+
+    #[test]
+    fn xor_rich_benchmarks_are_flagged() {
+        let suite = paper_benchmarks();
+        let xor_rich: Vec<&str> = suite
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b.class,
+                    BenchClass::Adder | BenchClass::Multiplier | BenchClass::ErrorCorrecting
+                )
+            })
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(xor_rich, ["C1908", "C6288", "C1355", "add-16", "add-32", "add-64"]);
+    }
+}

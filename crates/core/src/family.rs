@@ -1,0 +1,152 @@
+//! The logic families of the paper (Sec. 3) and their
+//! technology-level constants.
+
+use std::fmt;
+
+/// A circuit family in which the 46 gate functions can be implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicFamily {
+    /// Ambipolar CNTFET static logic with transmission-gate XOR
+    /// elements and a complementary (dual) pull-up network — the
+    /// paper's flagship family (Sec. 3.1).
+    TgStatic,
+    /// Transmission-gate pull-down with a single weak always-on
+    /// pull-up device (Sec. 3.2, Fig. 5a).
+    TgPseudo,
+    /// Pass-transistor XOR elements in both networks, with an output
+    /// restoration inverter (Sec. 3.2, Fig. 5b).
+    PassStatic,
+    /// Pass-transistor pull-down with a weak pull-up (Sec. 3.2,
+    /// Fig. 5c).
+    PassPseudo,
+    /// Conventional CMOS static logic at the same 32 nm node —
+    /// the paper's baseline. XOR elements are not available.
+    CmosStatic,
+}
+
+impl LogicFamily {
+    /// All families, in the order Table 2 reports them.
+    pub const ALL: [LogicFamily; 5] = [
+        LogicFamily::TgStatic,
+        LogicFamily::TgPseudo,
+        LogicFamily::PassStatic,
+        LogicFamily::PassPseudo,
+        LogicFamily::CmosStatic,
+    ];
+
+    /// The three families compared in Table 3.
+    pub const MAPPED: [LogicFamily; 3] =
+        [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic];
+
+    /// Technology-dependent intrinsic delay τ in picoseconds
+    /// (paper Table 2 footer: τ₁ = 0.59 ps for CNTFETs, τ₂ = 3.00 ps
+    /// for 32 nm CMOS — a 5.1× technology advantage, ref. \[1\]).
+    pub fn tau_ps(self) -> f64 {
+        match self {
+            LogicFamily::CmosStatic => 3.00,
+            _ => 0.59,
+        }
+    }
+
+    /// True for ambipolar CNTFET families.
+    pub fn is_cntfet(self) -> bool {
+        !matches!(self, LogicFamily::CmosStatic)
+    }
+
+    /// True for ratioed (pseudo) families with a weak always-on
+    /// pull-up instead of a complementary network.
+    pub fn is_pseudo(self) -> bool {
+        matches!(self, LogicFamily::TgPseudo | LogicFamily::PassPseudo)
+    }
+
+    /// Input capacitance of the family's unit inverter (sum of gate
+    /// widths): CNTFET Wp = Wn = 1 (equal mobilities) ⇒ 2; CMOS
+    /// Wp = 2·Wn ⇒ 3.
+    pub fn inverter_input_cap(self) -> f64 {
+        match self {
+            LogicFamily::CmosStatic => 3.0,
+            _ => 2.0,
+        }
+    }
+
+    /// Normalized area of the inverter this family would append to a
+    /// gate output (pseudo families use a pseudo inverter).
+    pub fn output_inverter_area(self) -> f64 {
+        if self.is_pseudo() {
+            // 4/3 pull-down + 1/3 weak pull-up.
+            5.0 / 3.0
+        } else {
+            2.0
+        }
+    }
+
+    /// Pull-down sizing factor: pseudo networks are widened by 4/3 so
+    /// the output falls low enough against the fighting pull-up
+    /// (paper Sec. 4.2: the pull-up is 4× weaker than the pull-down).
+    pub fn pd_width_factor(self) -> f64 {
+        if self.is_pseudo() {
+            4.0 / 3.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean switching resistance over rising and falling transitions,
+    /// normalized to the unit inverter: static families are sized to
+    /// R in both directions; pseudo families rise through the weak
+    /// pull-up (3R) and fall with the ratioed pull-down (effectively
+    /// R), averaging 2R.
+    pub fn mean_drive_resistance(self) -> f64 {
+        if self.is_pseudo() {
+            2.0
+        } else {
+            1.0
+        }
+    }
+}
+
+impl fmt::Display for LogicFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogicFamily::TgStatic => "CNTFET transmission-gate static",
+            LogicFamily::TgPseudo => "CNTFET transmission-gate pseudo",
+            LogicFamily::PassStatic => "CNTFET pass-transistor static",
+            LogicFamily::PassPseudo => "CNTFET pass-transistor pseudo",
+            LogicFamily::CmosStatic => "CMOS static",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technology_constants() {
+        assert_eq!(LogicFamily::TgStatic.tau_ps(), 0.59);
+        assert_eq!(LogicFamily::CmosStatic.tau_ps(), 3.00);
+        // The 5.1x factor from the paper.
+        let ratio = LogicFamily::CmosStatic.tau_ps() / LogicFamily::TgStatic.tau_ps();
+        assert!((ratio - 5.08).abs() < 0.01);
+    }
+
+    #[test]
+    fn family_predicates() {
+        assert!(LogicFamily::TgPseudo.is_pseudo());
+        assert!(!LogicFamily::TgStatic.is_pseudo());
+        assert!(LogicFamily::TgStatic.is_cntfet());
+        assert!(!LogicFamily::CmosStatic.is_cntfet());
+        assert_eq!(LogicFamily::TgStatic.inverter_input_cap(), 2.0);
+        assert_eq!(LogicFamily::CmosStatic.inverter_input_cap(), 3.0);
+        assert_eq!(LogicFamily::TgStatic.mean_drive_resistance(), 1.0);
+        assert_eq!(LogicFamily::PassPseudo.mean_drive_resistance(), 2.0);
+    }
+
+    #[test]
+    fn display_names() {
+        for f in LogicFamily::ALL {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The dynamic generalized-NOR gate of the paper's Fig. 2 — the prior
+//! art whose output-degradation weakness motivates the static
+//! transmission-gate family.
+//!
+//! `Y = (A⊕B) + (C⊕D)` in dynamic logic: a precharge p-device, an
+//! evaluate n-device, and one ambipolar transistor per XOR term whose
+//! polarity gate is the "free variable" (B, D). When B = D = 1 both
+//! pull-down devices are p-configured and the evaluated low saturates
+//! at |VTp| instead of VSS.
+
+use cntfet_switchlevel::{Netlist, NodeId, PolarityControl};
+
+/// The dynamic GNOR circuit with handles to its terminals.
+#[derive(Debug)]
+pub struct DynamicGnor {
+    /// Transistor netlist (6 devices).
+    pub netlist: Netlist,
+    /// Clock: 0 = precharge, 1 = evaluate.
+    pub clk: NodeId,
+    /// Data inputs A and C (regular gates).
+    pub a: NodeId,
+    /// See [`DynamicGnor::a`].
+    pub c: NodeId,
+    /// Free variables B and D (polarity gates).
+    pub b: NodeId,
+    /// See [`DynamicGnor::b`].
+    pub d: NodeId,
+    /// The dynamic output node.
+    pub y: NodeId,
+}
+
+impl DynamicGnor {
+    /// Builds the Fig. 2 circuit.
+    pub fn new() -> Self {
+        let mut n = Netlist::new("dynamic_gnor");
+        let clk = n.add_input("clk");
+        let a = n.add_input("A");
+        let b = n.add_input("B");
+        let c = n.add_input("C");
+        let d = n.add_input("D");
+        let y = n.add_output("Y");
+        let mid = n.add_node("mid");
+        let vdd = n.vdd();
+        let vss = n.vss();
+        // Precharge p-device TPC.
+        n.add_device("tpc", clk, PolarityControl::FixedP, vdd, y, 1.0);
+        // One ambipolar device per XOR term: conducts iff gate ⊕ pg.
+        n.add_device("mxor_ab", a, PolarityControl::Signal(b), y, mid, 2.0);
+        n.add_device("mxor_cd", c, PolarityControl::Signal(d), y, mid, 2.0);
+        // Evaluate n-device TEV.
+        n.add_device("tev", clk, PolarityControl::FixedN, mid, vss, 2.0);
+        DynamicGnor { netlist: n, clk, a, b, c, d, y }
+    }
+
+    /// Input vector in netlist order for `(clk, a, b, c, d)`.
+    pub fn inputs(&self, clk: bool, a: bool, b: bool, c: bool, d: bool) -> Vec<bool> {
+        vec![clk, a, b, c, d]
+    }
+}
+
+impl Default for DynamicGnor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_switchlevel::{DynamicSim, NodeState, Rank};
+
+    /// The function is (A⊕B)+(C⊕D) — and the output is full swing
+    /// whenever at least one conducting pull-down device is
+    /// n-configured.
+    #[test]
+    fn gnor_function_and_degradation() {
+        let g = DynamicGnor::new();
+        for m in 0..16u32 {
+            let (a, b, c, d) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+            let mut sim = DynamicSim::new(&g.netlist);
+            sim.step(&g.inputs(false, a, b, c, d)); // precharge
+            let s = sim.step(&g.inputs(true, a, b, c, d)); // evaluate
+            let f = (a ^ b) || (c ^ d);
+            // Dynamic convention: Y precharged high, pulled low when
+            // the PD network conducts: Y = ¬f.
+            assert_eq!(s.logic(g.y), Some(!f), "m={m:04b}");
+            if f {
+                // A conducting device is n-configured iff its polarity
+                // gate is low; only n-configured devices pass a clean
+                // VSS. If every conducting path is p-configured the
+                // output saturates at |VTp| — the paper's Fig. 2
+                // weakness (worst case: B = D = 1).
+                let n_path = ((a ^ b) && !b) || ((c ^ d) && !d);
+                if n_path {
+                    assert!(
+                        s.is_full_swing(g.y),
+                        "m={m:04b}: an n-configured device should restore VSS"
+                    );
+                } else {
+                    assert_eq!(
+                        s.state(g.y),
+                        NodeState::Driven { rank: Rank::WeakLow, ratioed: false },
+                        "m={m:04b}"
+                    );
+                }
+            } else {
+                // Held at the precharged level.
+                assert_eq!(s.state(g.y), NodeState::Floating(Some(Rank::Vdd)), "m={m:04b}");
+            }
+        }
+    }
+}

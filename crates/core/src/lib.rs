@@ -1,0 +1,66 @@
+//! The ambipolar-CNTFET logic-gate library of Ben Jamaa, Mohanram and
+//! De Micheli (DATE 2009) — the paper's primary contribution,
+//! implemented as a characterizable, mappable, switch-level-verifiable
+//! cell family.
+//!
+//! Ambipolar Schottky-barrier CNTFETs carry a second gate (the
+//! *polarity gate*) that electrically selects p- or n-type behaviour.
+//! Pairing two such devices into a transmission gate yields a circuit
+//! element that conducts exactly when `gate ⊕ control` — an XOR for
+//! the price of a pass gate. Series/parallel networks of these
+//! elements realize the 46 generalized NOR/NAND/AOI/OAI functions of
+//! the paper's Table 1, against 7 for CMOS with the same topology.
+//!
+//! What lives here:
+//!
+//! * [`GateId`] — the 46 functions of Table 1 ([`functions`]);
+//! * [`Network`]/[`SizedNetwork`] — series/parallel pull networks,
+//!   dual-network derivation and the unit-drive sizing rules
+//!   ([`network`]);
+//! * [`characterize`] — transistor count, normalized area, worst and
+//!   average FO4 delay for the four families of Table 2 ([`chars`]);
+//! * [`enumerate_gates`] — the topology enumeration behind the
+//!   "46 vs 7" claim ([`enumerate`]);
+//! * [`gate_netlist`] — transistor netlists for switch-level
+//!   verification ([`to_netlist`]);
+//! * [`Library`]/[`Cell`] — mapping-ready libraries with genlib
+//!   export ([`library`]);
+//! * [`DynamicGnor`] — the prior-art dynamic gate of Fig. 2 whose
+//!   degraded output motivates the static family ([`gnor`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_core::{characterize, GateId, LogicFamily};
+//!
+//! // F05 = (A⊕B)·C in the static transmission-gate family:
+//! // 6 transistors, area 7, worst FO4 ≈ 8.2τ (paper Table 2).
+//! let c = characterize(GateId::new(5), LogicFamily::TgStatic).unwrap();
+//! assert_eq!(c.transistors, 6);
+//! assert!((c.area - 7.0).abs() < 1e-9);
+//! assert!((c.fo4_worst - 8.17).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chars;
+pub mod enumerate;
+pub mod family;
+pub mod functions;
+pub mod gnor;
+pub mod library;
+pub mod network;
+pub mod to_netlist;
+
+pub use chars::{characterize, characterize_family, family_averages, FamilyAverages, GateChar};
+pub use enumerate::{enumerate_gates, np_canonical, EnumerationResult};
+pub use family::LogicFamily;
+pub use functions::GateId;
+pub use gnor::DynamicGnor;
+pub use library::{Cell, Library};
+pub use network::{
+    element_style, ElemKind, ElementStyle, Network, NetworkError, NetworkSide, SizedElement,
+    SizedNetwork,
+};
+pub use to_netlist::{gate_netlist, GateNetlist};

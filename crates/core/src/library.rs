@@ -1,0 +1,240 @@
+//! Technology libraries for mapping: characterized cells with
+//! functions, areas and pin delays, plus a genlib-style text export.
+
+use crate::chars::{characterize, GateChar};
+use crate::family::LogicFamily;
+use crate::functions::GateId;
+use cntfet_boolfn::{factor, isop, TruthTable};
+
+/// A mappable library cell.
+///
+/// The stored `function` is the Table 1 pull-down function `f`; the
+/// physical cell computes `f'` and, through its output inverter, `f`
+/// as well — CNTFET cells therefore provide both output polarities,
+/// while CMOS cells provide only `f'`.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell name (e.g. `F05`).
+    pub name: String,
+    /// Source gate.
+    pub gate: GateId,
+    /// Pull-down function over `num_inputs` variables.
+    pub function: TruthTable,
+    /// Number of input signals.
+    pub num_inputs: usize,
+    /// Normalized area used during mapping.
+    pub area: f64,
+    /// Per-pin FO4 delay (τ units) used during mapping.
+    pub pin_delay: Vec<f64>,
+    /// Per-pin input capacitance (unit-transistor widths).
+    pub pin_cap: Vec<f64>,
+    /// Output-node capacitance (parasitics, plus the output inverter
+    /// for CNTFET cells).
+    pub output_cap: f64,
+    /// Average FO4 delay.
+    pub delay_avg: f64,
+}
+
+/// A characterized technology library.
+#[derive(Debug, Clone)]
+pub struct Library {
+    family: LogicFamily,
+    cells: Vec<Cell>,
+    inverter_area: f64,
+    inverter_delay: f64,
+}
+
+impl Library {
+    /// Builds the library for a family.
+    ///
+    /// CNTFET cells carry their output inverter (area and delay
+    /// overhead included) so both output polarities are free during
+    /// mapping; the CMOS library prices inverters separately.
+    pub fn new(family: LogicFamily) -> Library {
+        let mut cells = Vec::new();
+        for gate in GateId::all() {
+            let Some(ch) = characterize(gate, family) else { continue };
+            cells.push(Self::cell_from_char(&ch, family));
+        }
+        let inv = characterize(GateId::new(0), family).expect("inverter always exists");
+        let (inverter_area, inverter_delay) = if family.is_cntfet() {
+            // Both polarities already provided by every cell.
+            (ch_area(&inv, family), inv.fo4_avg)
+        } else {
+            (inv.area, inv.fo4_avg)
+        };
+        Library { family, cells, inverter_area, inverter_delay }
+    }
+
+    fn cell_from_char(ch: &GateChar, family: LogicFamily) -> Cell {
+        let expr = ch.gate.function();
+        let k = expr.max_var_excl().max(1);
+        let function = expr.to_tt(k);
+        let with_inv = family.is_cntfet();
+        let delay_overhead = if with_inv { family.mean_drive_resistance() } else { 0.0 };
+        let pin_delay: Vec<f64> = (0..k as u8)
+            .map(|v| ch.pin_fo4.get(&v).copied().unwrap_or(ch.fo4_avg) + delay_overhead)
+            .collect();
+        let pin_cap: Vec<f64> = (0..k as u8)
+            .map(|v| ch.pin_cap.get(&v).copied().unwrap_or(0.0))
+            .collect();
+        // CNTFET cells carry their output inverter: its input gate cap
+        // loads the internal node and its drains load the output.
+        let output_cap = if with_inv {
+            ch.output_cap + 2.0 * family.inverter_input_cap()
+        } else {
+            ch.output_cap
+        };
+        Cell {
+            name: ch.gate.to_string(),
+            gate: ch.gate,
+            function,
+            num_inputs: k,
+            area: if with_inv { ch.area_with_inv } else { ch.area },
+            pin_delay,
+            pin_cap,
+            output_cap,
+            delay_avg: if with_inv { ch.fo4_avg_with_inv } else { ch.fo4_avg },
+        }
+    }
+
+    /// The family this library implements.
+    pub fn family(&self) -> LogicFamily {
+        self.family
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Technology intrinsic delay τ in picoseconds.
+    pub fn tau_ps(&self) -> f64 {
+        self.family.tau_ps()
+    }
+
+    /// Area of an explicit inverter (used by CMOS mapping for
+    /// polarity fixes; CNTFET cells never need one).
+    pub fn inverter_area(&self) -> f64 {
+        self.inverter_area
+    }
+
+    /// Delay of an explicit inverter in τ units.
+    pub fn inverter_delay(&self) -> f64 {
+        self.inverter_delay
+    }
+
+    /// True when cells provide both output polarities and accept both
+    /// input polarities at no cost (ambipolar CNTFET libraries).
+    pub fn free_polarity(&self) -> bool {
+        self.family.is_cntfet()
+    }
+
+    /// A copy of the library keeping only the cells accepted by
+    /// `keep` — used e.g. to restrict mapping to the gates a regular
+    /// fabric's generalized blocks can realize in a single block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter removes every cell.
+    pub fn filtered(&self, keep: impl Fn(&Cell) -> bool) -> Library {
+        let cells: Vec<Cell> = self.cells.iter().filter(|c| keep(c)).cloned().collect();
+        assert!(!cells.is_empty(), "filter removed every cell");
+        Library {
+            family: self.family,
+            cells,
+            inverter_area: self.inverter_area,
+            inverter_delay: self.inverter_delay,
+        }
+    }
+
+    /// Exports the library in a genlib-flavoured text format (the
+    /// interface the paper used with SIS/ABC-style mappers).
+    pub fn to_genlib(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} library — tau = {} ps, {} cells\n",
+            self.family,
+            self.tau_ps(),
+            self.cells.len()
+        ));
+        for c in &self.cells {
+            // Output function f' in SOP form over pins A..F.
+            let fprime = !&c.function;
+            let sop = factor(&isop(&fprime));
+            out.push_str(&format!(
+                "GATE {:8} {:7.3} Y={};  # avg FO4 {:.2} tau\n",
+                c.name,
+                c.area,
+                format!("{sop}").replace('·', "*").replace('⊕', "^").replace(" + ", "+"),
+                c.delay_avg,
+            ));
+            for (i, d) in c.pin_delay.iter().enumerate() {
+                out.push_str(&format!(
+                    "  PIN {} NONINV 1 999 {:.3} 0.0 {:.3} 0.0\n",
+                    (b'A' + i as u8) as char,
+                    d,
+                    d
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn ch_area(ch: &GateChar, family: LogicFamily) -> f64 {
+    if family.is_cntfet() {
+        ch.area_with_inv
+    } else {
+        ch.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cntfet_static_library_has_46_cells() {
+        let lib = Library::new(LogicFamily::TgStatic);
+        assert_eq!(lib.cells().len(), 46);
+        assert!(lib.free_polarity());
+        assert_eq!(lib.tau_ps(), 0.59);
+    }
+
+    #[test]
+    fn cmos_library_has_7_cells_and_priced_inverter() {
+        let lib = Library::new(LogicFamily::CmosStatic);
+        assert_eq!(lib.cells().len(), 7);
+        assert!(!lib.free_polarity());
+        assert!((lib.inverter_area() - 3.0).abs() < 1e-9);
+        assert!((lib.inverter_delay() - 5.0).abs() < 1e-9);
+        assert_eq!(lib.tau_ps(), 3.00);
+    }
+
+    #[test]
+    fn cell_functions_and_pins_consistent() {
+        let lib = Library::new(LogicFamily::TgStatic);
+        for c in lib.cells() {
+            assert_eq!(c.pin_delay.len(), c.num_inputs);
+            assert_eq!(c.function.nvars(), c.num_inputs);
+            assert!(c.area > 0.0);
+            for &d in &c.pin_delay {
+                assert!(d > 0.0);
+            }
+        }
+        // F05 area includes the output inverter: 7 + 2 = 9.
+        let f05 = lib.cells().iter().find(|c| c.name == "F05").unwrap();
+        assert!((f05.area - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn genlib_export_mentions_every_cell() {
+        let lib = Library::new(LogicFamily::TgPseudo);
+        let g = lib.to_genlib();
+        for c in lib.cells() {
+            assert!(g.contains(&c.name), "genlib missing {}", c.name);
+        }
+        assert!(g.contains("PIN A"));
+    }
+}

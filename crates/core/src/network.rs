@@ -1,0 +1,497 @@
+//! Series/parallel transistor networks: construction from Boolean
+//! expressions, dual-network derivation, sizing and capacitance
+//! extraction.
+//!
+//! A pull-down network conducts when its function is 1. Literals map
+//! to single devices and XOR pairs map to the paper's transmission
+//! gates (or single ambipolar pass devices in the pass families).
+//! The pull-up network is the structural dual: series ↔ parallel with
+//! literals re-configured p-type and XOR elements re-wired as XNOR.
+
+use crate::family::LogicFamily;
+use cntfet_boolfn::Expr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One pull-network element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// A single device whose regular gate is driven by the variable.
+    Lit(u8),
+    /// An XOR element `gate ⊕ ctrl`: a transmission-gate pair (or a
+    /// single pass device) whose gate terminal sees `gate` and whose
+    /// polarity gate sees `ctrl`.
+    Xor(u8, u8),
+}
+
+impl ElemKind {
+    /// Variables the element reads: (gate signal, optional control).
+    pub fn signals(self) -> (u8, Option<u8>) {
+        match self {
+            ElemKind::Lit(v) => (v, None),
+            ElemKind::Xor(g, c) => (g, Some(c)),
+        }
+    }
+}
+
+/// A series/parallel composition of elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Network {
+    /// Elements conducting when *all* children conduct. The **last**
+    /// child is adjacent to the network's output node.
+    Series(Vec<Network>),
+    /// Elements conducting when *any* child conducts (all children
+    /// adjacent to both end nodes).
+    Parallel(Vec<Network>),
+    /// A single element.
+    Leaf(ElemKind),
+}
+
+/// Error building a [`Network`] from an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkError {
+    msg: String,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported network expression: {}", self.msg)
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl Network {
+    /// Builds the pull-down network for a Table-1-style expression:
+    /// positive series/parallel structure over literals and 2-input
+    /// XORs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for negations, constants, or XORs of more than
+    /// two variables (none occur in the 46-gate family).
+    pub fn from_expr(e: &Expr) -> Result<Network, NetworkError> {
+        match e {
+            Expr::Var(v) => Ok(Network::Leaf(ElemKind::Lit(*v))),
+            Expr::And(es) => Ok(Network::Series(
+                es.iter().map(Network::from_expr).collect::<Result<_, _>>()?,
+            )),
+            Expr::Or(es) => Ok(Network::Parallel(
+                es.iter().map(Network::from_expr).collect::<Result<_, _>>()?,
+            )),
+            Expr::Xor(es) => match es.as_slice() {
+                [Expr::Var(g), Expr::Var(c)] => Ok(Network::Leaf(ElemKind::Xor(*g, *c))),
+                _ => Err(NetworkError { msg: format!("non-binary or non-literal XOR: {e}") }),
+            },
+            other => Err(NetworkError { msg: format!("{other}") }),
+        }
+    }
+
+    /// The dual network (pull-up of a pull-down): series becomes
+    /// parallel and vice versa. Series child order is reversed so the
+    /// element nearest the rail in the pull-down sits nearest the
+    /// output in the pull-up, matching the layouts of the paper's
+    /// Fig. 4.
+    pub fn dual(&self) -> Network {
+        match self {
+            Network::Leaf(k) => Network::Leaf(*k),
+            Network::Series(cs) => Network::Parallel(cs.iter().map(Network::dual).collect()),
+            Network::Parallel(cs) => {
+                let mut children: Vec<Network> = cs.iter().map(Network::dual).collect();
+                children.reverse();
+                Network::Series(children)
+            }
+        }
+    }
+
+    /// All elements, in layout order.
+    pub fn elements(&self) -> Vec<ElemKind> {
+        let mut out = Vec::new();
+        self.collect_elements(&mut out);
+        out
+    }
+
+    fn collect_elements(&self, out: &mut Vec<ElemKind>) {
+        match self {
+            Network::Leaf(k) => out.push(*k),
+            Network::Series(cs) | Network::Parallel(cs) => {
+                for c in cs {
+                    c.collect_elements(out);
+                }
+            }
+        }
+    }
+
+    /// Maximum number of elements in series on any path.
+    pub fn series_depth(&self) -> usize {
+        match self {
+            Network::Leaf(_) => 1,
+            Network::Series(cs) => cs.iter().map(Network::series_depth).sum(),
+            Network::Parallel(cs) => cs.iter().map(Network::series_depth).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Which pull network an element sits in (affects device polarity and
+/// CMOS sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkSide {
+    /// Pull-down (to VSS): n-configured literals, XOR wiring.
+    PullDown,
+    /// Pull-up (to VDD): p-configured literals, XNOR wiring.
+    PullUp,
+}
+
+/// Physical realization of one element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementStyle {
+    /// Ambipolar CNTFET configured n-type (unit resistance R).
+    CntfetN,
+    /// Ambipolar CNTFET configured p-type (unit resistance R; CNT
+    /// electron and hole mobilities are equal).
+    CntfetP,
+    /// CMOS n-device (unit resistance R).
+    CmosN,
+    /// CMOS p-device (unit resistance 2R — hole mobility).
+    CmosP,
+    /// CNTFET transmission gate: two ambipolar devices in parallel
+    /// (effective unit resistance 2R/3, paper Sec. 4.1).
+    TGate,
+    /// Single ambipolar pass device (worst-case resistance 2R,
+    /// paper Sec. 4.2).
+    PassDevice,
+}
+
+impl ElementStyle {
+    /// On-resistance of a unit-width element of this style, in units
+    /// of the unit-transistor resistance R.
+    pub fn unit_resistance(self) -> f64 {
+        match self {
+            ElementStyle::CntfetN | ElementStyle::CntfetP | ElementStyle::CmosN => 1.0,
+            ElementStyle::CmosP => 2.0,
+            ElementStyle::TGate => 2.0 / 3.0,
+            ElementStyle::PassDevice => 2.0,
+        }
+    }
+
+    /// Physical devices per element.
+    pub fn device_count(self) -> usize {
+        match self {
+            ElementStyle::TGate => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Chooses the realization style for an element.
+///
+/// Returns `None` when the family cannot realize the element (XOR in
+/// CMOS).
+pub fn element_style(
+    family: LogicFamily,
+    side: NetworkSide,
+    kind: ElemKind,
+) -> Option<ElementStyle> {
+    use ElementStyle::*;
+    use LogicFamily::*;
+    Some(match (family, kind) {
+        (CmosStatic, ElemKind::Lit(_)) => match side {
+            NetworkSide::PullDown => CmosN,
+            NetworkSide::PullUp => CmosP,
+        },
+        (CmosStatic, ElemKind::Xor(..)) => return None,
+        (TgStatic | TgPseudo, ElemKind::Xor(..)) => TGate,
+        (PassStatic | PassPseudo, ElemKind::Xor(..)) => PassDevice,
+        (_, ElemKind::Lit(_)) => match side {
+            NetworkSide::PullDown => CntfetN,
+            NetworkSide::PullUp => CntfetP,
+        },
+    })
+}
+
+/// An element with an assigned style and per-device width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizedElement {
+    /// Logical element.
+    pub kind: ElemKind,
+    /// Physical style.
+    pub style: ElementStyle,
+    /// Width (W/L) of each device in the element.
+    pub width: f64,
+}
+
+impl SizedElement {
+    /// Normalized area: width × device count.
+    pub fn area(&self) -> f64 {
+        self.width * self.style.device_count() as f64
+    }
+
+    /// Parasitic capacitance presented at each channel terminal
+    /// (drain/source cap ≈ gate cap per unit width).
+    pub fn terminal_cap(&self) -> f64 {
+        self.width * self.style.device_count() as f64
+    }
+}
+
+/// A sized series/parallel network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizedNetwork {
+    /// Series composition (last child at the output node).
+    Series(Vec<SizedNetwork>),
+    /// Parallel composition.
+    Parallel(Vec<SizedNetwork>),
+    /// A sized element.
+    Leaf(SizedElement),
+}
+
+impl SizedNetwork {
+    /// Sizes `net` so every root-to-rail path has resistance
+    /// `target_r` (in units of the unit-transistor resistance R).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family cannot realize an element (XOR in CMOS) —
+    /// callers filter those gates out beforehand.
+    pub fn size(net: &Network, target_r: f64, family: LogicFamily, side: NetworkSide) -> Self {
+        match net {
+            Network::Leaf(kind) => {
+                let style = element_style(family, side, *kind)
+                    .expect("family cannot realize this element");
+                SizedNetwork::Leaf(SizedElement {
+                    kind: *kind,
+                    style,
+                    width: style.unit_resistance() / target_r,
+                })
+            }
+            Network::Series(cs) => {
+                let share = target_r / cs.len() as f64;
+                SizedNetwork::Series(
+                    cs.iter().map(|c| Self::size(c, share, family, side)).collect(),
+                )
+            }
+            Network::Parallel(cs) => SizedNetwork::Parallel(
+                cs.iter().map(|c| Self::size(c, target_r, family, side)).collect(),
+            ),
+        }
+    }
+
+    /// Total normalized area (Σ width over devices).
+    pub fn area(&self) -> f64 {
+        match self {
+            SizedNetwork::Leaf(e) => e.area(),
+            SizedNetwork::Series(cs) | SizedNetwork::Parallel(cs) => {
+                cs.iter().map(SizedNetwork::area).sum()
+            }
+        }
+    }
+
+    /// Number of physical transistors.
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            SizedNetwork::Leaf(e) => e.style.device_count(),
+            SizedNetwork::Series(cs) | SizedNetwork::Parallel(cs) => {
+                cs.iter().map(SizedNetwork::transistor_count).sum()
+            }
+        }
+    }
+
+    /// Parasitic capacitance the network presents at its output node
+    /// (terminal caps of output-adjacent elements: one series child,
+    /// every parallel branch). A series stack is assumed laid out with
+    /// its lightest element at the output — the choice that minimizes
+    /// the output parasitic, which is what the paper's Fig. 4 layouts
+    /// do (e.g. the plain transistor of F05 sits at the output, not
+    /// the transmission gate).
+    pub fn output_adjacent_cap(&self) -> f64 {
+        match self {
+            SizedNetwork::Leaf(e) => e.terminal_cap(),
+            SizedNetwork::Series(cs) => cs
+                .iter()
+                .map(SizedNetwork::output_adjacent_cap)
+                .fold(f64::INFINITY, f64::min),
+            SizedNetwork::Parallel(cs) => {
+                cs.iter().map(SizedNetwork::output_adjacent_cap).sum()
+            }
+        }
+    }
+
+    /// Adds this network's contribution to per-signal input pin
+    /// capacitance: a literal loads its variable with the device
+    /// width; an XOR element loads both its gate and control signals
+    /// with one device width each (the complementary pins load the
+    /// complemented rails symmetrically).
+    pub fn accumulate_pin_caps(&self, pins: &mut BTreeMap<u8, f64>) {
+        match self {
+            SizedNetwork::Leaf(e) => match e.kind {
+                ElemKind::Lit(v) => *pins.entry(v).or_insert(0.0) += e.width,
+                ElemKind::Xor(g, c) => {
+                    *pins.entry(g).or_insert(0.0) += e.width;
+                    *pins.entry(c).or_insert(0.0) += e.width;
+                }
+            },
+            SizedNetwork::Series(cs) | SizedNetwork::Parallel(cs) => {
+                for c in cs {
+                    c.accumulate_pin_caps(pins);
+                }
+            }
+        }
+    }
+
+    /// Worst (maximum) root-to-rail path resistance — by construction
+    /// equal to the sizing target; exposed for validation.
+    pub fn max_path_resistance(&self) -> f64 {
+        match self {
+            SizedNetwork::Leaf(e) => e.style.unit_resistance() / e.width,
+            SizedNetwork::Series(cs) => cs.iter().map(SizedNetwork::max_path_resistance).sum(),
+            SizedNetwork::Parallel(cs) => cs
+                .iter()
+                .map(SizedNetwork::max_path_resistance)
+                .fold(0.0f64, f64::max),
+        }
+    }
+
+    /// All sized elements in layout order.
+    pub fn elements(&self) -> Vec<&SizedElement> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a SizedElement>) {
+        match self {
+            SizedNetwork::Leaf(e) => out.push(e),
+            SizedNetwork::Series(cs) | SizedNetwork::Parallel(cs) => {
+                for c in cs {
+                    c.collect(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::GateId;
+
+    fn pd(gate: usize) -> Network {
+        Network::from_expr(&GateId::new(gate).function()).unwrap()
+    }
+
+    #[test]
+    fn f05_structure() {
+        // (A⊕B)·C = series [TG(A,B), Lit(C)] with C at the output.
+        let n = pd(5);
+        assert_eq!(
+            n,
+            Network::Series(vec![
+                Network::Leaf(ElemKind::Xor(0, 1)),
+                Network::Leaf(ElemKind::Lit(2)),
+            ])
+        );
+        assert_eq!(n.series_depth(), 2);
+    }
+
+    #[test]
+    fn dual_swaps_and_reverses() {
+        // F12 = A + B·C; dual = series with A' adjacent to the output.
+        let n = pd(12);
+        let d = n.dual();
+        match d {
+            Network::Series(cs) => {
+                assert_eq!(cs.len(), 2);
+                assert_eq!(cs[1], Network::Leaf(ElemKind::Lit(0)), "A at the output side");
+            }
+            other => panic!("expected series dual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_table1_gates_convert() {
+        for g in GateId::all() {
+            let n = pd(g.index());
+            assert!(n.series_depth() <= 3, "{g} exceeds 3 series elements");
+            assert!(n.elements().len() <= 3, "{g} has more than 3 elements");
+        }
+    }
+
+    #[test]
+    fn sizing_matches_paper_f05() {
+        // Fig. 4 annotates F05's PD: TG at 4/3, transistor at 2;
+        // PU: TG at 2/3, transistor at 1.
+        let n = pd(5);
+        let sized = SizedNetwork::size(&n, 1.0, LogicFamily::TgStatic, NetworkSide::PullDown);
+        let elems = sized.elements();
+        assert!((elems[0].width - 4.0 / 3.0).abs() < 1e-12);
+        assert!((elems[1].width - 2.0).abs() < 1e-12);
+        let pu = SizedNetwork::size(&n.dual(), 1.0, LogicFamily::TgStatic, NetworkSide::PullUp);
+        let mut widths: Vec<f64> = pu.elements().iter().map(|e| e.width).collect();
+        widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((widths[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((widths[1] - 1.0).abs() < 1e-12);
+        // Total area = 7 (Table 2).
+        assert!((sized.area() + pu.area() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sizing_invariant_unit_path_resistance() {
+        for g in GateId::all() {
+            let n = pd(g.index());
+            for side in [NetworkSide::PullDown, NetworkSide::PullUp] {
+                let net = if side == NetworkSide::PullDown { n.clone() } else { n.dual() };
+                let sized = SizedNetwork::size(&net, 1.0, LogicFamily::TgStatic, side);
+                assert!(
+                    (sized.max_path_resistance() - 1.0).abs() < 1e-9,
+                    "{g} {side:?} path resistance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cmos_sizing_doubles_pullup() {
+        // F03 = A·B: CMOS NAND2: PD 2+2, PU 2+2 → area 8 (Table 2).
+        let n = pd(3);
+        let pd_net = SizedNetwork::size(&n, 1.0, LogicFamily::CmosStatic, NetworkSide::PullDown);
+        let pu_net =
+            SizedNetwork::size(&n.dual(), 1.0, LogicFamily::CmosStatic, NetworkSide::PullUp);
+        assert!((pd_net.area() - 4.0).abs() < 1e-12);
+        assert!((pu_net.area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmos_rejects_xor() {
+        assert_eq!(
+            element_style(LogicFamily::CmosStatic, NetworkSide::PullDown, ElemKind::Xor(0, 1)),
+            None
+        );
+    }
+
+    #[test]
+    fn pin_caps_f16() {
+        // F16: control D loads 2/3 per PD TG and 2 per PU TG.
+        let n = pd(16);
+        let pdn = SizedNetwork::size(&n, 1.0, LogicFamily::TgStatic, NetworkSide::PullDown);
+        let pun = SizedNetwork::size(&n.dual(), 1.0, LogicFamily::TgStatic, NetworkSide::PullUp);
+        let mut pins = BTreeMap::new();
+        pdn.accumulate_pin_caps(&mut pins);
+        pun.accumulate_pin_caps(&mut pins);
+        // A,B,C: 2/3 + 2 = 8/3 each; D: 3×(2/3) + 3×2 = 8.
+        assert!((pins[&0] - 8.0 / 3.0).abs() < 1e-9);
+        assert!((pins[&3] - 8.0).abs() < 1e-9);
+        // Output-adjacent caps: PD 3 TGs all adjacent (4), PU last TG (4).
+        assert!((pdn.output_adjacent_cap() - 4.0).abs() < 1e-9);
+        assert!((pun.output_adjacent_cap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_on_unsupported_exprs() {
+        let e: Expr = "A'".parse().unwrap();
+        assert!(Network::from_expr(&e).is_err());
+        let e: Expr = "A ⊕ B ⊕ C".parse().unwrap();
+        assert!(Network::from_expr(&e).is_err());
+        let e: Expr = "(A·B) ⊕ C".parse().unwrap();
+        let err = Network::from_expr(&e).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Export of gates to transistor-level netlists for switch-level
+//! validation.
+//!
+//! The netlists use one input rail per signal polarity (`A`, `A'`, …)
+//! because every XOR element needs both polarities (paper Sec. 3.1);
+//! in a mapped circuit those rails come from the driving cells' output
+//! inverters.
+
+use crate::family::LogicFamily;
+use crate::functions::GateId;
+use crate::network::{ElemKind, ElementStyle, Network, NetworkSide, SizedElement, SizedNetwork};
+use cntfet_switchlevel::{Netlist, NodeId, PolarityControl};
+
+/// A gate exported to a transistor netlist, with handles to its
+/// terminals.
+#[derive(Debug)]
+pub struct GateNetlist {
+    /// The transistor netlist.
+    pub netlist: Netlist,
+    /// Positive input rails, indexed by position in [`GateNetlist::signals`].
+    pub inputs_pos: Vec<NodeId>,
+    /// Complemented input rails.
+    pub inputs_neg: Vec<NodeId>,
+    /// The raw gate output (implements `f'` of the Table 1 function).
+    pub output: NodeId,
+    /// Full-swing restored output (pass-transistor static family
+    /// only; implements `f`).
+    pub restored: Option<NodeId>,
+    /// Signal variables in rail order.
+    pub signals: Vec<u8>,
+}
+
+impl GateNetlist {
+    /// Input vector for a minterm over the gate's signals: positive
+    /// and complemented rails interleaved as declared.
+    pub fn input_vector(&self, minterm: u64) -> Vec<bool> {
+        let mut v = Vec::with_capacity(self.signals.len() * 2);
+        for (i, _s) in self.signals.iter().enumerate() {
+            let bit = minterm >> i & 1 == 1;
+            v.push(bit);
+            v.push(!bit);
+        }
+        v
+    }
+}
+
+struct Emitter<'a> {
+    nl: &'a mut Netlist,
+    signals: &'a [u8],
+    pos: &'a [NodeId],
+    neg: &'a [NodeId],
+    counter: usize,
+}
+
+impl Emitter<'_> {
+    fn rail(&self, v: u8, positive: bool) -> NodeId {
+        let i = self
+            .signals
+            .iter()
+            .position(|&s| s == v)
+            .expect("signal must be in the gate's support");
+        if positive {
+            self.pos[i]
+        } else {
+            self.neg[i]
+        }
+    }
+
+    /// Instantiates a sized network between `top` (output side) and
+    /// `bottom` (rail side). `xnor` complements XOR wiring; `pull_up`
+    /// selects p-configured literals.
+    fn emit(&mut self, net: &SizedNetwork, top: NodeId, bottom: NodeId, xnor: bool, pull_up: bool) {
+        match net {
+            SizedNetwork::Series(cs) => {
+                // Last child adjacent to `top`.
+                let mut upper = top;
+                for (i, c) in cs.iter().enumerate().rev() {
+                    let lower = if i == 0 {
+                        bottom
+                    } else {
+                        self.counter += 1;
+                        self.nl.add_node(format!("int{}", self.counter))
+                    };
+                    self.emit(c, upper, lower, xnor, pull_up);
+                    upper = lower;
+                }
+            }
+            SizedNetwork::Parallel(cs) => {
+                for c in cs {
+                    self.emit(c, top, bottom, xnor, pull_up);
+                }
+            }
+            SizedNetwork::Leaf(SizedElement { kind, style, width }) => {
+                self.counter += 1;
+                let name = format!("m{}", self.counter);
+                match (kind, style) {
+                    (ElemKind::Lit(v), _) => {
+                        let pol = if pull_up {
+                            PolarityControl::FixedP
+                        } else {
+                            PolarityControl::FixedN
+                        };
+                        let g = self.rail(*v, true);
+                        self.nl.add_device(name, g, pol, top, bottom, *width);
+                    }
+                    (ElemKind::Xor(g, c), ElementStyle::TGate) => {
+                        // XOR: (g, g') gates with (c, c') polarity
+                        // controls; XNOR swaps the control rails.
+                        let (cp, cn) = if xnor {
+                            (self.rail(*c, false), self.rail(*c, true))
+                        } else {
+                            (self.rail(*c, true), self.rail(*c, false))
+                        };
+                        let (gp, gn) = (self.rail(*g, true), self.rail(*g, false));
+                        self.nl.add_tgate(&name, gp, gn, cp, cn, top, bottom, *width);
+                    }
+                    (ElemKind::Xor(g, c), _) => {
+                        // Single pass device: conducts when g ⊕ c
+                        // (XNOR uses the complemented control).
+                        let ctrl = self.rail(*c, !xnor);
+                        let gp = self.rail(*g, true);
+                        self.nl.add_device(
+                            name,
+                            gp,
+                            PolarityControl::Signal(ctrl),
+                            top,
+                            bottom,
+                            *width,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the transistor netlist of `gate` in `family`.
+///
+/// Returns `None` when the family cannot implement the gate (CMOS with
+/// XOR elements).
+pub fn gate_netlist(gate: GateId, family: LogicFamily) -> Option<GateNetlist> {
+    if family == LogicFamily::CmosStatic && !gate.in_cmos_subset() {
+        return None;
+    }
+    let expr = gate.function();
+    let net = Network::from_expr(&expr).expect("Table 1 gates are series/parallel");
+    let pd_target = 1.0 / family.pd_width_factor();
+    let pd = SizedNetwork::size(&net, pd_target, family, NetworkSide::PullDown);
+    let pu = match family {
+        LogicFamily::TgPseudo | LogicFamily::PassPseudo => None,
+        _ => Some(SizedNetwork::size(&net.dual(), 1.0, family, NetworkSide::PullUp)),
+    };
+
+    let mut signals: Vec<u8> = Vec::new();
+    let support = expr.support();
+    for v in 0..32 {
+        if support >> v & 1 == 1 {
+            signals.push(v as u8);
+        }
+    }
+
+    let mut nl = Netlist::new(format!("{gate}_{family:?}"));
+    let mut inputs_pos = Vec::new();
+    let mut inputs_neg = Vec::new();
+    for &s in &signals {
+        let name = (b'A' + s) as char;
+        inputs_pos.push(nl.add_input(format!("{name}")));
+        inputs_neg.push(nl.add_input(format!("{name}'")));
+    }
+    let output = nl.add_output("Y");
+    let vdd = nl.vdd();
+    let vss = nl.vss();
+
+    let mut em = Emitter { nl: &mut nl, signals: &signals, pos: &inputs_pos, neg: &inputs_neg, counter: 0 };
+    em.emit(&pd, output, vss, false, false);
+    match &pu {
+        Some(pu_net) => em.emit(pu_net, output, vdd, true, true),
+        None => {
+            // Weak always-on p-type pull-up (gate at VSS), 4× weaker
+            // than the pull-down network.
+            nl.add_device("mpu_weak", vss, PolarityControl::FixedP, vdd, output, 1.0 / 3.0);
+        }
+    }
+
+    // Pass-transistor static: restoration inverter regains full swing.
+    let restored = if family == LogicFamily::PassStatic {
+        let r = nl.add_output("Y_restored");
+        nl.add_device("minv_p", output, PolarityControl::FixedP, vdd, r, 1.0);
+        nl.add_device("minv_n", output, PolarityControl::FixedN, vss, r, 1.0);
+        Some(r)
+    } else {
+        None
+    };
+
+    Some(GateNetlist { netlist: nl, inputs_pos, inputs_neg, output, restored, signals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_switchlevel::solve;
+
+    /// Every gate in every family must implement Y = f' with correct
+    /// logic on all input minterms; static families must be full
+    /// swing.
+    #[test]
+    fn all_gates_functionally_correct_at_switch_level() {
+        for family in [
+            LogicFamily::TgStatic,
+            LogicFamily::TgPseudo,
+            LogicFamily::PassPseudo,
+            LogicFamily::CmosStatic,
+        ] {
+            for gate in GateId::all() {
+                let Some(gn) = gate_netlist(gate, family) else { continue };
+                let expr = gate.function();
+                let k = gn.signals.len();
+                // Map minterm bit i to signal gn.signals[i].
+                for m in 0..(1u64 << k) {
+                    let mut full = 0u64;
+                    for (i, &s) in gn.signals.iter().enumerate() {
+                        if m >> i & 1 == 1 {
+                            full |= 1 << s;
+                        }
+                    }
+                    let want = !expr.eval(full); // Y = f'
+                    let sol = solve(&gn.netlist, &gn.input_vector(m));
+                    assert_eq!(
+                        sol.logic(gn.output),
+                        Some(want),
+                        "{gate} {family:?} minterm {m:#b}"
+                    );
+                    if family == LogicFamily::TgStatic || family == LogicFamily::CmosStatic {
+                        assert!(
+                            sol.is_full_swing(gn.output),
+                            "{gate} {family:?} minterm {m:#b} not full swing"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pass-transistor static: the raw output may be degraded, the
+    /// restored output must be full swing and equal to f.
+    #[test]
+    fn pass_static_restoration() {
+        for gate in [1usize, 5, 9, 16] {
+            let gn = gate_netlist(GateId::new(gate), LogicFamily::PassStatic).unwrap();
+            let restored = gn.restored.unwrap();
+            let expr = GateId::new(gate).function();
+            let k = gn.signals.len();
+            for m in 0..(1u64 << k) {
+                let mut full = 0u64;
+                for (i, &s) in gn.signals.iter().enumerate() {
+                    if m >> i & 1 == 1 {
+                        full |= 1 << s;
+                    }
+                }
+                let sol = solve(&gn.netlist, &gn.input_vector(m));
+                assert_eq!(sol.logic(gn.output), Some(!expr.eval(full)), "raw F{gate:02} m={m}");
+                assert_eq!(sol.logic(restored), Some(expr.eval(full)), "restored F{gate:02} m={m}");
+                assert!(sol.is_full_swing(restored), "restored F{gate:02} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_counts_match_characterization() {
+        for family in [
+            LogicFamily::TgStatic,
+            LogicFamily::TgPseudo,
+            LogicFamily::PassStatic,
+            LogicFamily::PassPseudo,
+            LogicFamily::CmosStatic,
+        ] {
+            for gate in GateId::all() {
+                let Some(gn) = gate_netlist(gate, family) else { continue };
+                let c = crate::chars::characterize(gate, family).unwrap();
+                assert_eq!(
+                    gn.netlist.num_devices(),
+                    c.transistors,
+                    "{gate} {family:?} transistor count"
+                );
+                assert!(
+                    (gn.netlist.total_width() - c.area).abs() < 1e-9,
+                    "{gate} {family:?} area: netlist {} vs chars {}",
+                    gn.netlist.total_width(),
+                    c.area
+                );
+            }
+        }
+    }
+
+    /// The pseudo families' low output must be ratioed-but-correct,
+    /// and their high output full swing.
+    #[test]
+    fn pseudo_low_is_ratioed() {
+        let gn = gate_netlist(GateId::new(2), LogicFamily::TgPseudo).unwrap(); // A+B
+        // A=1 -> f=1 -> Y pulled low against weak PU.
+        let sol = solve(&gn.netlist, &gn.input_vector(0b01));
+        assert_eq!(sol.logic(gn.output), Some(false));
+        assert!(!sol.is_full_swing(gn.output));
+        // A=B=0 -> Y high, full swing.
+        let sol = solve(&gn.netlist, &gn.input_vector(0b00));
+        assert_eq!(sol.logic(gn.output), Some(true));
+        assert!(sol.is_full_swing(gn.output));
+    }
+}

@@ -1,0 +1,139 @@
+//! The generalized logic blocks of the paper's Fig. 8: six-input GNOR
+//! and GNAND gates whose inputs are functionalized in-field.
+//!
+//! A block owns three XOR elements over input pairs
+//! `(in0,in1), (in2,in3), (in4,in5)`; GNOR blocks OR the elements,
+//! GNAND blocks AND them. Tying inputs to constants specializes the
+//! block: `x ⊕ 0 = x`, `x ⊕ 1 = x'`, and a whole element can be
+//! neutralized (`0` for GNOR, `1` for GNAND). Both output polarities
+//! are available (Fig. 7's `out`/`out'` pins).
+
+/// Block flavour (the fabric interleaves the two, Fig. 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// OR of the three XOR elements (generalized NOR gate — the
+    /// physical cell inverts, and also provides the complement).
+    Gnor,
+    /// AND of the three XOR elements.
+    Gnand,
+}
+
+impl BlockKind {
+    /// Neutral element value for an unused XOR slot.
+    pub fn neutral(self) -> bool {
+        matches!(self, BlockKind::Gnand)
+    }
+
+    /// Combines element values.
+    pub fn combine(self, elems: [bool; 3]) -> bool {
+        match self {
+            BlockKind::Gnor => elems[0] || elems[1] || elems[2],
+            BlockKind::Gnand => elems[0] && elems[1] && elems[2],
+        }
+    }
+}
+
+/// Where a block input pin gets its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputCfg {
+    /// Tied to a constant (SRAM mode bits).
+    Const(bool),
+    /// Routed from a signal, optionally using its complement rail.
+    Route {
+        /// The routed source.
+        source: SignalRef,
+        /// Use the complemented output of the source.
+        invert: bool,
+    },
+}
+
+/// A routable signal in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalRef {
+    /// Primary input by index.
+    Pi(usize),
+    /// Output of the block at (row, col).
+    Block(usize, usize),
+}
+
+/// Configuration of one block: six input pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Pin configurations (pairs (0,1), (2,3), (4,5) form elements).
+    pub inputs: [InputCfg; 6],
+    /// Whether the block carries logic (unused blocks are skipped in
+    /// evaluation and bitstream diffs).
+    pub used: bool,
+}
+
+impl BlockConfig {
+    /// An unused block (all pins at the neutral constant).
+    pub fn unused(kind: BlockKind) -> BlockConfig {
+        let neutral = kind.neutral();
+        BlockConfig {
+            inputs: [
+                InputCfg::Const(neutral),
+                InputCfg::Const(false),
+                InputCfg::Const(false),
+                InputCfg::Const(false),
+                InputCfg::Const(false),
+                InputCfg::Const(false),
+            ],
+            used: false,
+        }
+    }
+
+    /// Evaluates the block given resolved pin values.
+    pub fn eval_with(kind: BlockKind, pins: [bool; 6]) -> bool {
+        let e0 = pins[0] ^ pins[1];
+        let e1 = pins[2] ^ pins[3];
+        let e2 = pins[4] ^ pins[5];
+        kind.combine([e0, e1, e2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnor_of_constants() {
+        // (1⊕0) + ... = 1
+        assert!(BlockConfig::eval_with(BlockKind::Gnor, [true, false, false, false, false, false]));
+        // all elements zero
+        assert!(!BlockConfig::eval_with(BlockKind::Gnor, [true, true, false, false, true, true]));
+    }
+
+    #[test]
+    fn gnand_neutral_slots() {
+        // (a⊕b)·1·1 with a=1,b=0 → 1
+        assert!(BlockConfig::eval_with(
+            BlockKind::Gnand,
+            [true, false, true, false, true, false]
+        ));
+        // one element 0 kills the AND
+        assert!(!BlockConfig::eval_with(
+            BlockKind::Gnand,
+            [true, false, false, false, true, false]
+        ));
+    }
+
+    #[test]
+    fn xor_pairs() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let v = BlockConfig::eval_with(
+                    BlockKind::Gnor,
+                    [a, b, false, false, false, false],
+                );
+                assert_eq!(v, a ^ b);
+            }
+        }
+    }
+
+    #[test]
+    fn neutral_values() {
+        assert!(!BlockKind::Gnor.neutral());
+        assert!(BlockKind::Gnand.neutral());
+    }
+}

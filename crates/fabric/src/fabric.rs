@@ -1,0 +1,262 @@
+//! The regular fabric: an interleaved grid of GNOR/GNAND blocks with
+//! a feed-forward SRAM-configured interconnect (paper Fig. 7).
+
+use crate::block::{BlockConfig, BlockKind, InputCfg, SignalRef};
+
+/// Fabric geometry: `rows × cols` blocks; kind alternates along each
+/// row (even columns GNOR, odd GNAND), mirroring the interleaved
+/// layout of Fig. 7a. Routing is feed-forward: a block may read any
+/// primary input or any block output from a strictly earlier row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fabric {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of primary inputs entering the fabric.
+    pub num_pis: usize,
+}
+
+impl Fabric {
+    /// Block kind at a grid position.
+    pub fn kind_at(&self, _row: usize, col: usize) -> BlockKind {
+        if col % 2 == 0 {
+            BlockKind::Gnor
+        } else {
+            BlockKind::Gnand
+        }
+    }
+
+    /// Signals routable into row `row`.
+    pub fn routable_sources(&self, row: usize) -> usize {
+        self.num_pis + row * self.cols
+    }
+
+    /// SRAM bits configuring one input pin in `row`: 2 mode bits
+    /// (const-0 / const-1 / route / route-inverted) plus the source
+    /// select.
+    pub fn config_bits_per_input(&self, row: usize) -> usize {
+        let sources = self.routable_sources(row).max(2);
+        2 + (usize::BITS - (sources - 1).leading_zeros()) as usize
+    }
+
+    /// Total SRAM bits of the fabric.
+    pub fn total_config_bits(&self) -> usize {
+        (0..self.rows)
+            .map(|r| self.cols * 6 * self.config_bits_per_input(r))
+            .sum()
+    }
+}
+
+/// A complete configuration: per-block pin settings plus output taps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Geometry this configuration targets.
+    pub fabric: Fabric,
+    /// Row-major block configurations.
+    pub blocks: Vec<BlockConfig>,
+    /// Primary outputs: tapped signal and polarity.
+    pub outputs: Vec<(Option<SignalRef>, bool)>,
+}
+
+/// Error raised for malformed configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricError {
+    msg: String,
+}
+
+impl FabricError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        FabricError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fabric error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl FabricConfig {
+    /// An all-unused configuration.
+    pub fn empty(fabric: Fabric, num_outputs: usize) -> FabricConfig {
+        let blocks = (0..fabric.rows * fabric.cols)
+            .map(|i| BlockConfig::unused(fabric.kind_at(i / fabric.cols, i % fabric.cols)))
+            .collect();
+        FabricConfig { fabric, blocks, outputs: vec![(None, false); num_outputs] }
+    }
+
+    /// Accessor for a block configuration.
+    pub fn block(&self, row: usize, col: usize) -> &BlockConfig {
+        &self.blocks[row * self.fabric.cols + col]
+    }
+
+    /// Mutable accessor.
+    pub fn block_mut(&mut self, row: usize, col: usize) -> &mut BlockConfig {
+        &mut self.blocks[row * self.fabric.cols + col]
+    }
+
+    /// Validates feed-forward routing (a block only reads PIs or
+    /// earlier rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending block on a violation.
+    pub fn validate(&self) -> Result<(), FabricError> {
+        for row in 0..self.fabric.rows {
+            for col in 0..self.fabric.cols {
+                for cfg in &self.block(row, col).inputs {
+                    if let InputCfg::Route { source: SignalRef::Block(sr, sc), .. } = cfg {
+                        if *sr >= row {
+                            return Err(FabricError::new(format!(
+                                "block ({row},{col}) reads ({sr},{sc}) — not an earlier row"
+                            )));
+                        }
+                        if *sc >= self.fabric.cols {
+                            return Err(FabricError::new("source column out of range"));
+                        }
+                    }
+                    if let InputCfg::Route { source: SignalRef::Pi(i), .. } = cfg {
+                        if *i >= self.fabric.num_pis {
+                            return Err(FabricError::new("PI index out of range"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the configured fabric on primary-input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pis.len() != fabric.num_pis` (validate first for
+    /// routing errors).
+    pub fn evaluate(&self, pis: &[bool]) -> Vec<bool> {
+        assert_eq!(pis.len(), self.fabric.num_pis, "PI width mismatch");
+        let mut values = vec![false; self.fabric.rows * self.fabric.cols];
+        for row in 0..self.fabric.rows {
+            for col in 0..self.fabric.cols {
+                let b = self.block(row, col);
+                if !b.used {
+                    continue;
+                }
+                let mut pins = [false; 6];
+                for (k, cfg) in b.inputs.iter().enumerate() {
+                    pins[k] = match cfg {
+                        InputCfg::Const(v) => *v,
+                        InputCfg::Route { source, invert } => {
+                            let v = match source {
+                                SignalRef::Pi(i) => pis[*i],
+                                SignalRef::Block(r, c) => values[r * self.fabric.cols + c],
+                            };
+                            v ^ invert
+                        }
+                    };
+                }
+                values[row * self.fabric.cols + col] =
+                    BlockConfig::eval_with(self.fabric.kind_at(row, col), pins);
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|(tap, invert)| match tap {
+                None => *invert,
+                Some(SignalRef::Pi(i)) => pis[*i] ^ invert,
+                Some(SignalRef::Block(r, c)) => values[r * self.fabric.cols + c] ^ invert,
+            })
+            .collect()
+    }
+
+    /// Number of used blocks.
+    pub fn used_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.used).count()
+    }
+
+    /// Counts differing pin configurations against another
+    /// configuration of the same fabric — the "in-field
+    /// reprogramming" cost of Sec. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn diff_pins(&self, other: &FabricConfig) -> usize {
+        assert_eq!(self.fabric, other.fabric, "fabric geometry mismatch");
+        let mut d = 0;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            for (ca, cb) in a.inputs.iter().zip(&b.inputs) {
+                if ca != cb {
+                    d += 1;
+                }
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_bits() {
+        let f = Fabric { rows: 3, cols: 4, num_pis: 8 };
+        assert_eq!(f.kind_at(0, 0), BlockKind::Gnor);
+        assert_eq!(f.kind_at(0, 1), BlockKind::Gnand);
+        assert_eq!(f.routable_sources(0), 8);
+        assert_eq!(f.routable_sources(2), 16);
+        assert!(f.total_config_bits() > 0);
+    }
+
+    #[test]
+    fn manual_xor_then_or() {
+        // Row 0: GNOR block at (0,0) computes a⊕b.
+        // Row 1: GNOR block at (1,0) computes (block00 ⊕ 0) + (c ⊕ 0).
+        let fabric = Fabric { rows: 2, cols: 2, num_pis: 3 };
+        let mut cfg = FabricConfig::empty(fabric, 1);
+        {
+            let b = cfg.block_mut(0, 0);
+            b.used = true;
+            b.inputs[0] = InputCfg::Route { source: SignalRef::Pi(0), invert: false };
+            b.inputs[1] = InputCfg::Route { source: SignalRef::Pi(1), invert: false };
+        }
+        {
+            let b = cfg.block_mut(1, 0);
+            b.used = true;
+            b.inputs[0] = InputCfg::Route { source: SignalRef::Block(0, 0), invert: false };
+            b.inputs[1] = InputCfg::Const(false);
+            b.inputs[2] = InputCfg::Route { source: SignalRef::Pi(2), invert: false };
+            b.inputs[3] = InputCfg::Const(false);
+        }
+        cfg.outputs[0] = (Some(SignalRef::Block(1, 0)), false);
+        cfg.validate().unwrap();
+        for m in 0..8u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            let want = (ins[0] ^ ins[1]) || ins[2];
+            assert_eq!(cfg.evaluate(&ins)[0], want, "m={m:03b}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_forward_routes() {
+        let fabric = Fabric { rows: 2, cols: 2, num_pis: 1 };
+        let mut cfg = FabricConfig::empty(fabric, 0);
+        let b = cfg.block_mut(0, 0);
+        b.used = true;
+        b.inputs[0] = InputCfg::Route { source: SignalRef::Block(1, 0), invert: false };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn diff_counts_changes() {
+        let fabric = Fabric { rows: 1, cols: 2, num_pis: 2 };
+        let a = FabricConfig::empty(fabric, 0);
+        let mut b = a.clone();
+        b.block_mut(0, 0).inputs[0] = InputCfg::Route { source: SignalRef::Pi(1), invert: true };
+        b.block_mut(0, 1).inputs[3] = InputCfg::Const(true);
+        assert_eq!(a.diff_pins(&b), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regular fabrics of ambipolar CNTFET generalized gates (paper
+//! Sec. 5, Figs. 7–8).
+//!
+//! The fabric interleaves two block types — six-input generalized NOR
+//! (GNOR) and NAND (GNAND) gates, each three transmission-gate XOR
+//! elements combined by an OR respectively AND — behind an
+//! SRAM-configured feed-forward interconnect. Functionalizing the
+//! polarity-gate inputs in the field specializes a block to any flat
+//! member of the 46-gate library; [`place_mapping`] lowers a
+//! technology-mapped netlist onto an auto-sized fabric and
+//! [`FabricConfig::evaluate`] simulates it.
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_fabric::{fabric_library, place_mapping};
+//! use cntfet_techmap::{map, MapOptions};
+//! use cntfet_aig::Aig;
+//!
+//! // Map a tiny XOR/OR circuit and place it on a fabric.
+//! let mut g = Aig::new("demo");
+//! let p = g.add_pis(3);
+//! let x = g.xor(p[0], p[1]);
+//! let y = g.or(x, p[2]);
+//! g.add_po(y);
+//!
+//! let lib = fabric_library();
+//! let mapping = map(&g, &lib, MapOptions::default());
+//! let placed = place_mapping(&mapping, &lib, 3).unwrap();
+//! assert_eq!(placed.config.evaluate(&[true, false, false]), vec![true]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod block;
+mod fabric;
+mod place;
+
+pub use block::{BlockConfig, BlockKind, InputCfg, SignalRef};
+pub use fabric::{Fabric, FabricConfig, FabricError};
+pub use place::{block_shape, fabric_library, place_mapping, BlockShape, PlacedDesign};

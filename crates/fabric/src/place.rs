@@ -1,0 +1,282 @@
+//! Placement of technology-mapped netlists onto the regular fabric.
+//!
+//! A mapped gate occupies one generalized block when its pull network
+//! is a flat OR (GNOR block) or flat AND (GNAND block) of up to three
+//! elements — the single-block subset of the 46-gate library.
+//! [`fabric_library`] restricts mapping to that subset so every mapped
+//! design places 1:1.
+
+use crate::block::{BlockKind, InputCfg, SignalRef};
+use crate::fabric::{Fabric, FabricConfig, FabricError};
+use cntfet_core::{ElemKind, GateId, Library, LogicFamily, Network};
+use std::collections::HashMap;
+
+/// Shape of a gate as a fabric block.
+#[derive(Debug, Clone)]
+pub struct BlockShape {
+    /// Required block kind.
+    pub kind: BlockKind,
+    /// Elements (≤ 3) over the cell's pin variables.
+    pub elements: Vec<ElemKind>,
+}
+
+/// Returns the block realization of a gate, or `None` if it needs
+/// more than one block (nested series/parallel structure).
+pub fn block_shape(gate: GateId) -> Option<BlockShape> {
+    let net = Network::from_expr(&gate.function()).ok()?;
+    let flat_leaves = |cs: &[Network]| -> Option<Vec<ElemKind>> {
+        cs.iter()
+            .map(|c| match c {
+                Network::Leaf(k) => Some(*k),
+                _ => None,
+            })
+            .collect()
+    };
+    match &net {
+        Network::Leaf(k) => {
+            Some(BlockShape { kind: BlockKind::Gnor, elements: vec![*k] })
+        }
+        Network::Parallel(cs) if cs.len() <= 3 => {
+            flat_leaves(cs).map(|elements| BlockShape { kind: BlockKind::Gnor, elements })
+        }
+        Network::Series(cs) if cs.len() <= 3 => {
+            flat_leaves(cs).map(|elements| BlockShape { kind: BlockKind::Gnand, elements })
+        }
+        _ => None,
+    }
+}
+
+/// The single-block subset of the static CNTFET library (24 of the 46
+/// gates), ready for [`cntfet_techmap::map`].
+pub fn fabric_library() -> Library {
+    Library::new(LogicFamily::TgStatic).filtered(|c| block_shape(c.gate).is_some())
+}
+
+/// A design placed and routed on a fabric.
+#[derive(Debug, Clone)]
+pub struct PlacedDesign {
+    /// The configured fabric.
+    pub config: FabricConfig,
+    /// Block coordinates per mapped AIG node.
+    pub block_of: HashMap<u32, (usize, usize)>,
+}
+
+/// Places a mapped netlist onto a fresh auto-sized fabric.
+///
+/// # Errors
+///
+/// Fails if a gate's cell is not single-block realizable (map with
+/// [`fabric_library`] to guarantee success).
+pub fn place_mapping(
+    mapping: &cntfet_techmap::Mapping,
+    library: &Library,
+    num_pis: usize,
+) -> Result<PlacedDesign, FabricError> {
+    use cntfet_techmap::{PoBinding, Source};
+
+    // First pass: levels and per-row kind counts → geometry.
+    let mut level: HashMap<u32, usize> = HashMap::new();
+    let mut shapes: Vec<BlockShape> = Vec::with_capacity(mapping.gates.len());
+    let mut placements: Vec<(usize, usize)> = Vec::with_capacity(mapping.gates.len());
+    let mut row_even: HashMap<usize, usize> = HashMap::new(); // GNOR columns used
+    let mut row_odd: HashMap<usize, usize> = HashMap::new(); // GNAND columns used
+
+    for gate in &mapping.gates {
+        let cell = &library.cells()[gate.cell];
+        let shape = block_shape(cell.gate).ok_or_else(|| {
+            FabricError::new(format!("cell {} is not single-block realizable", cell.name))
+        })?;
+        let lv = gate
+            .pins
+            .iter()
+            .map(|(src, _)| match src {
+                Source::Pi(_) => 0,
+                Source::Node(n) => *level.get(&(n.index() as u32)).unwrap_or(&0),
+            })
+            .max()
+            .unwrap_or(0)
+            + 1;
+        level.insert(gate.root.index() as u32, lv);
+        let row = lv - 1;
+        let col = match shape.kind {
+            BlockKind::Gnor => {
+                let c = row_even.entry(row).or_insert(0);
+                let col = 2 * *c;
+                *c += 1;
+                col
+            }
+            BlockKind::Gnand => {
+                let c = row_odd.entry(row).or_insert(0);
+                let col = 2 * *c + 1;
+                *c += 1;
+                col
+            }
+        };
+        shapes.push(shape);
+        placements.push((row, col));
+    }
+
+    let rows = placements.iter().map(|&(r, _)| r + 1).max().unwrap_or(1);
+    let cols = placements.iter().map(|&(_, c)| c + 1).max().unwrap_or(2).max(2);
+    let fabric = Fabric { rows, cols, num_pis };
+    let mut config = FabricConfig::empty(fabric, mapping.pos.len());
+    let mut block_of: HashMap<u32, (usize, usize)> = HashMap::new();
+    let mut out_flip: HashMap<u32, bool> = HashMap::new();
+
+    for ((gate, shape), &(row, col)) in mapping.gates.iter().zip(&shapes).zip(&placements) {
+        let resolve = |src: &Source, compl: bool| -> InputCfg {
+            match src {
+                Source::Pi(i) => InputCfg::Route { source: SignalRef::Pi(*i), invert: compl },
+                Source::Node(n) => {
+                    let (r, c) = block_of[&(n.index() as u32)];
+                    let flip = out_flip[&(n.index() as u32)];
+                    InputCfg::Route {
+                        source: SignalRef::Block(r, c),
+                        invert: compl ^ flip,
+                    }
+                }
+            }
+        };
+        let kind = shape.kind;
+        let b = config.block_mut(row, col);
+        b.used = true;
+        // Start with neutral slots.
+        for k in 0..3 {
+            b.inputs[2 * k] = InputCfg::Const(kind.neutral());
+            b.inputs[2 * k + 1] = InputCfg::Const(false);
+        }
+        for (k, elem) in shape.elements.iter().enumerate() {
+            match elem {
+                ElemKind::Lit(v) => {
+                    let (src, compl) = &gate.pins[*v as usize];
+                    b.inputs[2 * k] = resolve(src, *compl);
+                    b.inputs[2 * k + 1] = InputCfg::Const(false);
+                }
+                ElemKind::Xor(gv, cv) => {
+                    let (gs, gc) = &gate.pins[*gv as usize];
+                    let (cs, cc) = &gate.pins[*cv as usize];
+                    b.inputs[2 * k] = resolve(gs, *gc);
+                    b.inputs[2 * k + 1] = resolve(cs, *cc);
+                }
+            }
+        }
+        block_of.insert(gate.root.index() as u32, (row, col));
+        out_flip.insert(gate.root.index() as u32, gate.out_compl);
+    }
+
+    for (i, po) in mapping.pos.iter().enumerate() {
+        config.outputs[i] = match po {
+            PoBinding::Const(v) => (None, *v),
+            PoBinding::Signal(Source::Pi(p), compl) => (Some(SignalRef::Pi(*p)), *compl),
+            PoBinding::Signal(Source::Node(n), compl) => {
+                let (r, c) = block_of[&(n.index() as u32)];
+                let flip = out_flip[&(n.index() as u32)];
+                (Some(SignalRef::Block(r, c)), *compl ^ flip)
+            }
+        };
+    }
+
+    config.validate()?;
+    Ok(PlacedDesign { config, block_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_aig::Aig;
+    use cntfet_techmap::{map, MapOptions};
+
+    #[test]
+    fn single_block_subset_size() {
+        let n = GateId::all().filter(|&g| block_shape(g).is_some()).count();
+        assert_eq!(n, 24, "single-block realizable gates");
+        // Nested shapes are rejected.
+        assert!(block_shape(GateId::new(11)).is_none()); // (A+B)·C
+        assert!(block_shape(GateId::new(24)).is_none()); // (A⊕D)+(B⊕D)·C
+        // Flat shapes accepted with the right kind.
+        assert_eq!(block_shape(GateId::new(16)).unwrap().kind, BlockKind::Gnor);
+        assert_eq!(block_shape(GateId::new(29)).unwrap().kind, BlockKind::Gnand);
+    }
+
+    #[test]
+    fn fabric_library_has_24_cells() {
+        assert_eq!(fabric_library().cells().len(), 24);
+    }
+
+    fn check_placed_equivalence(aig: &Aig) {
+        let lib = fabric_library();
+        let mapping = map(aig, &lib, MapOptions::default());
+        let placed = place_mapping(&mapping, &lib, aig.num_pis()).unwrap();
+        // Exhaustive comparison for small input counts.
+        let n = aig.num_pis();
+        assert!(n <= 12);
+        for m in 0..(1u64 << n) {
+            let ins: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(
+                placed.config.evaluate(&ins),
+                aig.eval(&ins),
+                "minterm {m:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_adder_on_fabric() {
+        let mut g = Aig::new("fa");
+        let p = g.add_pis(3);
+        let x = g.xor(p[0], p[1]);
+        let sum = g.xor(x, p[2]);
+        let c1 = g.and(p[0], p[1]);
+        let c2 = g.and(x, p[2]);
+        let cout = g.or(c1, c2);
+        g.add_po(sum);
+        g.add_po(cout);
+        check_placed_equivalence(&g);
+    }
+
+    #[test]
+    fn small_adder_on_fabric() {
+        let g = cntfet_circuits::ripple_adder(4);
+        check_placed_equivalence(&g);
+    }
+
+    #[test]
+    fn reconfiguration_diff() {
+        // Same geometry, two functions: count changed pins.
+        let mut g1 = Aig::new("f1");
+        let p = g1.add_pis(3);
+        let x = g1.xor(p[0], p[1]);
+        let y = g1.or(x, p[2]);
+        g1.add_po(y);
+        let mut g2 = Aig::new("f2");
+        let q = g2.add_pis(3);
+        let x = g2.xor(q[0], q[2]);
+        let y = g2.and(x, q[1]);
+        g2.add_po(y);
+
+        let lib = fabric_library();
+        let m1 = map(&g1, &lib, MapOptions::default());
+        let m2 = map(&g2, &lib, MapOptions::default());
+        let p1 = place_mapping(&m1, &lib, 3).unwrap();
+        let p2 = place_mapping(&m2, &lib, 3).unwrap();
+        // Embed both into a common geometry for the diff.
+        let rows = p1.config.fabric.rows.max(p2.config.fabric.rows);
+        let cols = p1.config.fabric.cols.max(p2.config.fabric.cols);
+        let fabric = Fabric { rows, cols, num_pis: 3 };
+        let embed = |src: &FabricConfig| {
+            let mut dst = FabricConfig::empty(fabric, src.outputs.len());
+            for r in 0..src.fabric.rows {
+                for c in 0..src.fabric.cols {
+                    *dst.block_mut(r, c) = src.block(r, c).clone();
+                }
+            }
+            dst.outputs = src.outputs.clone();
+            dst
+        };
+        let e1 = embed(&p1.config);
+        let e2 = embed(&p2.config);
+        let diff = e1.diff_pins(&e2);
+        assert!(diff > 0, "different functions must differ");
+        assert!(diff <= fabric.rows * fabric.cols * 6);
+    }
+}

@@ -1,0 +1,899 @@
+//! A compact CDCL SAT solver in the MiniSat lineage: two-watched
+//! literals, first-UIP conflict analysis, VSIDS branching, phase
+//! saving, Luby restarts and activity-based learnt-clause reduction.
+//!
+//! The solver exists to certify logic transformations elsewhere in the
+//! workspace (combinational equivalence checking of optimized and
+//! technology-mapped netlists), so the API is deliberately small.
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_sat::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a.pos(), b.pos()]);
+//! s.add_clause(&[a.neg(), b.pos()]);
+//! assert_eq!(s.solve(&[]), SolveResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! // Adding b' makes it unsatisfiable.
+//! s.add_clause(&[b.neg()]);
+//! assert_eq!(s.solve(&[]), SolveResult::Unsat);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from a raw index. Prefer [`Solver::new_var`].
+    pub fn from_index(i: usize) -> Var {
+        Var(i as u32)
+    }
+
+    /// Index of the variable (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal of this variable with the given sign (`true` ⇒ positive).
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True iff the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Complements the literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬x{}", self.var().index())
+        } else {
+            write!(f, "x{}", self.var().index())
+        }
+    }
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (query it with [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Undef,
+    True,
+    False,
+}
+
+type ClauseRef = u32;
+const REASON_NONE: ClauseRef = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Statistics gathered during solving.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently retained.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by literal code
+    assigns: Vec<Assign>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    // Clause activity
+    cla_inc: f64,
+    // State
+    ok: bool,
+    stats: SolverStats,
+    seen: Vec<bool>,
+}
+
+const HEAP_ABSENT: usize = usize::MAX;
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Introduces a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(Assign::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(REASON_NONE);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(HEAP_ABSENT);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of (problem) clauses currently attached.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Solving statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause; returns `false` if the formula became trivially
+    /// unsatisfiable (empty clause, or conflicting units at level 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable not created with
+    /// [`Solver::new_var`].
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedup, drop false literals, detect tautology.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut filtered = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            assert!(l.var().index() < self.num_vars(), "literal references unknown variable");
+            if i + 1 < ls.len() && ls[i + 1] == l.negate() {
+                return true; // tautology: x ∨ ¬x
+            }
+            match self.lit_value(l) {
+                Assign::True => return true, // already satisfied at level 0
+                Assign::False => {}          // drop falsified literal
+                Assign::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], REASON_NONE);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[lits[0].negate().code()].push(Watcher { cref, blocker: lits[1] });
+        self.watches[lits[1].negate().code()].push(Watcher { cref, blocker: lits[0] });
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        cref
+    }
+
+    fn lit_value(&self, l: Lit) -> Assign {
+        match (self.assigns[l.var().index()], l.is_neg()) {
+            (Assign::Undef, _) => Assign::Undef,
+            (Assign::True, false) | (Assign::False, true) => Assign::True,
+            _ => Assign::False,
+        }
+    }
+
+    /// Value of a variable in the model found by the last successful
+    /// [`Solver::solve`]; `None` if unassigned.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.index()] {
+            Assign::Undef => None,
+            Assign::True => Some(true),
+            Assign::False => Some(false),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_value(l), Assign::Undef);
+        let v = l.var().index();
+        self.assigns[v] = if l.is_neg() { Assign::False } else { Assign::True };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Propagates pending assignments; returns a conflicting clause if
+    /// one arises.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict = None;
+            'outer: while i < watchers.len() {
+                let w = watchers[i];
+                i += 1;
+                // Quick satisfied check via blocker.
+                if self.lit_value(w.blocker) == Assign::True {
+                    watchers[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Make sure the false literal is at position 1.
+                let (first, lits_len) = {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == p.negate() {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits.len())
+                };
+                debug_assert_eq!(self.clauses[cref as usize].lits[1], p.negate());
+                if first != w.blocker && self.lit_value(first) == Assign::True {
+                    watchers[j] = Watcher { cref, blocker: first };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..lits_len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != Assign::False {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[lk.negate().code()].push(Watcher { cref, blocker: first });
+                        continue 'outer;
+                    }
+                }
+                // Clause is unit or conflicting.
+                watchers[j] = Watcher { cref, blocker: first };
+                j += 1;
+                if self.lit_value(first) == Assign::False {
+                    // Conflict: copy remaining watchers back.
+                    while i < watchers.len() {
+                        watchers[j] = watchers[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(cref);
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                }
+            }
+            watchers.truncate(j);
+            self.watches[p.code()] = watchers;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_update(v);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn cla_decay(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (with the
+    /// asserting literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut path_count = 0usize;
+        let mut expanded: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+        let mut to_clear: Vec<Var> = Vec::new();
+
+        loop {
+            self.cla_bump(cref);
+            let start = usize::from(expanded.is_some());
+            let lits: Vec<Lit> = self.clauses[cref as usize].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.var_bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next seen literal on the trail to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            expanded = Some(p);
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            let pv = p.var();
+            cref = self.reason[pv.index()];
+            debug_assert_ne!(cref, REASON_NONE, "non-decision literal must have a reason");
+            // The reason clause keeps its implied literal at slot 0.
+            debug_assert_eq!(self.clauses[cref as usize].lits[0].var(), pv);
+        }
+        learnt[0] = expanded.unwrap().negate();
+
+        // Cheap self-subsumption minimization: a literal is redundant
+        // if its reason's other literals are all already in the clause
+        // (seen) or at level 0.
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            let r = self.reason[l.var().index()];
+            let redundant = r != REASON_NONE
+                && self.clauses[r as usize].lits.iter().all(|&q| {
+                    q.var() == l.var()
+                        || self.seen[q.var().index()]
+                        || self.level[q.var().index()] == 0
+                });
+            if !redundant {
+                minimized.push(l);
+            }
+        }
+        let mut learnt = minimized;
+
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = Assign::Undef;
+            self.reason[v.index()] = REASON_NONE;
+            if self.heap_pos[v.index()] == HEAP_ABSENT {
+                self.heap_insert(v);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ---- binary-heap variable order (max-activity at root) ----
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.heap_pos[self.heap[i].index()] = i;
+                self.heap_pos[self.heap[parent].index()] = parent;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            self.heap_pos[self.heap[i].index()] = i;
+            self.heap_pos[self.heap[best].index()] = best;
+            i = best;
+        }
+    }
+
+    fn heap_update(&mut self, v: Var) {
+        let pos = self.heap_pos[v.index()];
+        if pos != HEAP_ABSENT {
+            self.heap_up(pos);
+            self.heap_down(self.heap_pos[v.index()]);
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.heap_pos[top.index()] = HEAP_ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.index()] == Assign::Undef {
+                return Some(v.lit(self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learnt && !cl.deleted && cl.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap()
+        });
+        let half = learnt_refs.len() / 2;
+        for idx in 0..half {
+            let c = learnt_refs[idx];
+            let locked = {
+                let cl = &self.clauses[c as usize];
+                let l0 = cl.lits[0];
+                self.reason[l0.var().index()] == c && self.lit_value(l0) == Assign::True
+            };
+            if !locked {
+                self.detach_clause(c);
+            }
+        }
+    }
+
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            (c.lits[0].negate().code(), c.lits[1].negate().code())
+        };
+        self.watches[w0].retain(|w| w.cref != cref);
+        self.watches[w1].retain(|w| w.cref != cref);
+        let c = &mut self.clauses[cref as usize];
+        c.deleted = true;
+        if c.learnt {
+            self.stats.learnts = self.stats.learnts.saturating_sub(1);
+        }
+    }
+
+    /// Solves the formula under the given assumptions.
+    ///
+    /// Assumptions are temporary unit constraints for this call only;
+    /// the solver remains usable afterwards with different assumptions
+    /// or additional clauses.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unlimited solve always terminates with a result")
+    }
+
+    /// Like [`Solver::solve`] but gives up after `max_conflicts`
+    /// conflicts, returning `None`. The solver stays usable (learnt
+    /// clauses from the attempt are kept).
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        self.cancel_until(0);
+
+        let mut max_learnts = (self.num_clauses() as f64 * 0.4).max(1000.0);
+        let mut restart_idx = 0u64;
+        let mut conflicts_until_restart = luby(restart_idx) * 100;
+        let mut conflicts_left = max_conflicts;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if conflicts_left == 0 {
+                    self.cancel_until(0);
+                    return None;
+                }
+                conflicts_left -= 1;
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], REASON_NONE);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.cla_bump(cref);
+                    self.unchecked_enqueue(asserting, cref);
+                }
+                self.var_decay();
+                self.cla_decay();
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.stats.learnts as f64 > max_learnts {
+                    self.reduce_db();
+                    max_learnts *= 1.1;
+                }
+            } else {
+                if conflicts_until_restart == 0 && self.decision_level() > assumptions.len() as u32 {
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_until_restart = luby(restart_idx) * 100;
+                    self.cancel_until(assumptions.len() as u32);
+                    continue;
+                }
+                // Establish assumptions, one decision level each.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        Assign::True => {
+                            // Already implied; open an empty level to
+                            // keep level ↔ assumption indexing.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Assign::False => {
+                            return Some(SolveResult::Unsat);
+                        }
+                        Assign::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, REASON_NONE);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return Some(SolveResult::Sat),
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, REASON_NONE);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,…), 0-indexed.
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_then_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause(&[v[0].pos()]));
+        assert!(s.add_clause(&[v[1].neg()]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(false));
+        s.add_clause(&[v[0].neg()]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = vars(&mut s, 1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 20);
+        s.add_clause(&[v[0].pos()]);
+        for i in 0..19 {
+            s.add_clause(&[v[i].neg(), v[i + 1].pos()]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for &x in &v {
+            assert_eq!(s.value(x), Some(true));
+        }
+    }
+
+    fn pigeonhole(n: usize, m: usize) -> (Solver, SolveResult) {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, m)).collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&c);
+        }
+        for hole in 0..m {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[p[i][hole].neg(), p[j][hole].neg()]);
+                }
+            }
+        }
+        let r = s.solve(&[]);
+        (s, r)
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        assert_eq!(pigeonhole(3, 2).1, SolveResult::Unsat);
+        assert_eq!(pigeonhole(5, 4).1, SolveResult::Unsat);
+        let (s, r) = pigeonhole(6, 5);
+        assert_eq!(r, SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        assert_eq!(pigeonhole(4, 4).1, SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0].neg(), v[1].pos()]);
+        s.add_clause(&[v[1].neg(), v[2].pos()]);
+        assert_eq!(s.solve(&[v[0].pos(), v[2].neg()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[v[0].pos()]), SolveResult::Sat);
+        assert_eq!(s.value(v[2]), Some(true));
+        // Solver remains usable with different assumptions.
+        assert_eq!(s.solve(&[v[2].neg()]), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(false));
+    }
+
+    #[test]
+    fn random_3sat_vs_bruteforce() {
+        let mut state = 0xC0FF_EE11_D15E_A5E5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for inst in 0..80 {
+            let nv = 8;
+            let nc = 3 + (next() % 36) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..nc {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nv as u64) as u32;
+                    let neg = next() & 1 == 1;
+                    let var = Var(v);
+                    cl.push(if neg { var.neg() } else { var.pos() });
+                }
+                clauses.push(cl);
+            }
+            let mut bf_sat = false;
+            'bf: for m in 0..(1u64 << nv) {
+                for cl in &clauses {
+                    let sat = cl.iter().any(|l| (m >> l.var().index() & 1 == 1) != l.is_neg());
+                    if !sat {
+                        continue 'bf;
+                    }
+                }
+                bf_sat = true;
+                break;
+            }
+            let mut s = Solver::new();
+            let _v = vars(&mut s, nv);
+            let mut ok = true;
+            for cl in &clauses {
+                ok &= s.add_clause(cl);
+            }
+            let res = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+            assert_eq!(res == SolveResult::Sat, bf_sat, "instance {inst}");
+            if res == SolveResult::Sat {
+                for cl in &clauses {
+                    assert!(cl
+                        .iter()
+                        .any(|l| s.value(l.var()).unwrap() != l.is_neg()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn literals_display_and_negate() {
+        let v = Var(3);
+        assert_eq!(v.pos().negate(), v.neg());
+        assert_eq!(v.pos().to_string(), "x3");
+        assert_eq!(v.neg().to_string(), "¬x3");
+        assert!(v.neg().is_neg());
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(Var::from_index(3), v);
+    }
+}

@@ -1,0 +1,46 @@
+//! Switch-level simulation of ambipolar CNTFET transistor networks.
+//!
+//! The DATE'09 ambipolar-CNTFET paper's circuit-level arguments —
+//! degraded output levels of dynamic GNOR gates, full-swing
+//! restoration by transmission gates, ratioed behaviour of pseudo
+//! logic — are all statements about *switch-level* electrical
+//! behaviour. This crate provides the substrate to check them: a
+//! transistor [`Netlist`] of ambipolar devices (regular gate +
+//! polarity gate), a steady-state [`solve`]r over a degraded-voltage
+//! lattice, and a [`DynamicSim`] for precharge/evaluate circuits.
+//!
+//! The paper used HSPICE with the Stanford CNTFET compact model; this
+//! discrete solver reproduces the *logic-level* phenomena (who
+//! conducts, what level a node reaches, which side of a ratioed fight
+//! wins) that the paper's library design rules rest on.
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_switchlevel::{solve, Netlist, PolarityControl, Rank, NodeState};
+//!
+//! // A single ambipolar pass device: gate=A, polarity-gate=B.
+//! let mut n = Netlist::new("pass");
+//! let a = n.add_input("A");
+//! let b = n.add_input("B");
+//! let s = n.add_input("S");
+//! let y = n.add_output("Y");
+//! n.add_device("m", a, PolarityControl::Signal(b), s, y, 1.0);
+//!
+//! // B=0 ⇒ n-type; with A=1 it conducts but degrades a high S.
+//! let sol = solve(&n, &[true, false, true]);
+//! assert_eq!(sol.state(y), NodeState::Driven { rank: Rank::WeakHigh, ratioed: false });
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dynamic;
+mod netlist;
+mod solver;
+mod state;
+
+pub use dynamic::DynamicSim;
+pub use netlist::{Device, Netlist, NodeId, Polarity, PolarityControl};
+pub use solver::{evaluate_all, solve, solve_with_memory, Solution};
+pub use state::{NodeState, Rank};

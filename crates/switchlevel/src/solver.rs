@@ -1,0 +1,452 @@
+//! Steady-state switch-level solver.
+//!
+//! The solver computes, for every node, the best attainable pull-up
+//! and pull-down condition over all conducting paths from external
+//! sources (rails and primary inputs):
+//!
+//! * **level**: voltage ranks degrade through wrongly-polarized
+//!   devices (n-type passing a high, p-type passing a low). Parallel
+//!   restoring paths — the transmission-gate trick of the paper —
+//!   recover the full rail because the *best* rank over all paths
+//!   wins at steady state (no DC current ⇒ no IR drop).
+//! * **strength**: the minimum-resistance path, used to resolve
+//!   ratioed contention in pseudo logic (a pull network ≥ 3× stronger
+//!   than its opponent wins and the node is flagged `ratioed`).
+//!
+//! Device on/off states may depend on internal nodes (polarity gates,
+//! output inverters), so the solver iterates to a fixpoint; staged
+//! CMOS/CNTFET gate netlists converge in one pass per stage.
+
+use crate::netlist::{Netlist, NodeId, Polarity, PolarityControl};
+use crate::state::{NodeState, Rank};
+
+/// Result of solving a netlist for one input assignment.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    states: Vec<NodeState>,
+}
+
+impl Solution {
+    /// State of a node.
+    pub fn state(&self, n: NodeId) -> NodeState {
+        self.states[n.index()]
+    }
+
+    /// Logic value of a node, if determined.
+    pub fn logic(&self, n: NodeId) -> Option<bool> {
+        self.states[n.index()].logic()
+    }
+
+    /// True iff the node is driven rail-to-rail without contention.
+    pub fn is_full_swing(&self, n: NodeId) -> bool {
+        self.states[n.index()].is_full_swing()
+    }
+}
+
+/// Relative strength required for a ratioed pull network to win
+/// against its opponent (the paper sizes pseudo-logic pull-ups 4×
+/// weaker than the pull-down network). The solver measures strength
+/// by best single path, which under-estimates parallel transmission
+/// gates by up to a factor 3/2 — the threshold of 2.5 still separates
+/// a designed 4× ratio (≥ 2.67 measured) from genuine conflicts (1×).
+const RATIO_THRESHOLD: f64 = 2.5;
+
+const MAX_ITERS: usize = 64;
+
+/// Solves the netlist with the given primary-input values (full-swing,
+/// in `Netlist::inputs` order).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != netlist.inputs().len()`.
+pub fn solve(netlist: &Netlist, inputs: &[bool]) -> Solution {
+    solve_with_memory(netlist, inputs, None)
+}
+
+/// Like [`solve`], but floating nodes retain the rank they had in
+/// `previous` (capacitive memory, for dynamic logic).
+pub fn solve_with_memory(
+    netlist: &Netlist,
+    inputs: &[bool],
+    previous: Option<&Solution>,
+) -> Solution {
+    assert_eq!(inputs.len(), netlist.inputs().len(), "input width mismatch");
+    let n = netlist.num_nodes();
+    let mut states = vec![NodeState::Unknown; n];
+    let mut external = vec![false; n];
+
+    states[netlist.vdd().index()] = NodeState::Driven { rank: Rank::Vdd, ratioed: false };
+    states[netlist.vss().index()] = NodeState::Driven { rank: Rank::Vss, ratioed: false };
+    external[netlist.vdd().index()] = true;
+    external[netlist.vss().index()] = true;
+    for (&node, &v) in netlist.inputs().iter().zip(inputs) {
+        states[node.index()] = NodeState::Driven { rank: Rank::from_logic(v), ratioed: false };
+        external[node.index()] = true;
+    }
+
+    for _ in 0..MAX_ITERS {
+        let next = relax(netlist, &states, &external, previous);
+        if next == states {
+            break;
+        }
+        states = next;
+    }
+    Solution { states }
+}
+
+/// One fixpoint iteration: recompute all non-external nodes from
+/// current device conduction states.
+fn relax(
+    netlist: &Netlist,
+    states: &[NodeState],
+    external: &[bool],
+    previous: Option<&Solution>,
+) -> Vec<NodeState> {
+    let n = netlist.num_nodes();
+
+    // Conduction state of every device under `states`.
+    #[derive(Clone, Copy)]
+    struct OnDevice {
+        a: usize,
+        b: usize,
+        polarity: Polarity,
+        width: f64,
+    }
+    let mut on_devices = Vec::with_capacity(netlist.num_devices());
+    for d in netlist.devices() {
+        let polarity = match d.polarity {
+            PolarityControl::FixedN => Some(Polarity::N),
+            PolarityControl::FixedP => Some(Polarity::P),
+            PolarityControl::Signal(pg) => match states[pg.index()].logic() {
+                Some(true) => Some(Polarity::P),
+                Some(false) => Some(Polarity::N),
+                None => None,
+            },
+        };
+        let gate = states[d.gate.index()].logic();
+        let on = match (polarity, gate) {
+            (Some(Polarity::N), Some(g)) => g,
+            (Some(Polarity::P), Some(g)) => !g,
+            _ => false, // unresolved: treated off until the fixpoint resolves it
+        };
+        if on {
+            on_devices.push(OnDevice {
+                a: d.a.index(),
+                b: d.b.index(),
+                polarity: polarity.unwrap(),
+                width: d.width,
+            });
+        }
+    }
+
+    // Per-node best pull-up / pull-down (rank, conductance).
+    // High traversal starts from external sources at logic 1; low from
+    // external sources at logic 0. `rank` propagates through the
+    // device pass rules; `resistance` accumulates 1/(width·dir).
+    let run = |high: bool| -> (Vec<Option<Rank>>, Vec<f64>) {
+        let mut rank: Vec<Option<Rank>> = vec![None; n];
+        let mut res: Vec<f64> = vec![f64::INFINITY; n];
+        for i in 0..n {
+            if external[i] {
+                if let Some(r) = states[i].rank() {
+                    if r.logic() == high {
+                        rank[i] = Some(r);
+                        res[i] = 0.0;
+                    }
+                }
+            }
+        }
+        // Bellman-Ford style relaxation (small graphs).
+        loop {
+            let mut changed = false;
+            for d in &on_devices {
+                for (from, to) in [(d.a, d.b), (d.b, d.a)] {
+                    // Never drive *through* an externally driven node.
+                    if external[from] && res[from] != 0.0 {
+                        continue;
+                    }
+                    if external[to] {
+                        continue;
+                    }
+                    if let Some(rf) = rank[from] {
+                        let passed = pass(d.polarity, rf, high);
+                        if rank[to].map(|rt| passed > rt) == Some(true) && high
+                            || rank[to].map(|rt| passed < rt) == Some(true) && !high
+                            || rank[to].is_none()
+                        {
+                            rank[to] = Some(match rank[to] {
+                                Some(rt) => {
+                                    if high {
+                                        rt.max(passed)
+                                    } else {
+                                        rt.min(passed)
+                                    }
+                                }
+                                None => passed,
+                            });
+                            changed = true;
+                        }
+                        let dir_r = direction_resistance(d.polarity, high) / d.width;
+                        let cand = res[from] + dir_r;
+                        if cand + 1e-12 < res[to] {
+                            res[to] = cand;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (rank, res)
+    };
+
+    let (high_rank, high_res) = run(true);
+    let (low_rank, low_res) = run(false);
+
+    let mut next = states.to_vec();
+    for i in 0..n {
+        if external[i] {
+            continue;
+        }
+        let h = high_rank[i].map(|r| (r, 1.0 / high_res[i].max(1e-12)));
+        let l = low_rank[i].map(|r| (r, 1.0 / low_res[i].max(1e-12)));
+        next[i] = match (h, l) {
+            (None, None) => {
+                let id = NodeId(i as u32);
+                let remembered = previous.and_then(|p| p.state(id).rank());
+                NodeState::Floating(remembered)
+            }
+            (Some((r, _)), None) => NodeState::Driven { rank: r, ratioed: false },
+            (None, Some((r, _))) => NodeState::Driven { rank: r, ratioed: false },
+            (Some((rh, gh)), Some((rl, gl))) => {
+                if gl >= RATIO_THRESHOLD * gh {
+                    NodeState::Driven { rank: rl, ratioed: true }
+                } else if gh >= RATIO_THRESHOLD * gl {
+                    NodeState::Driven { rank: rh, ratioed: true }
+                } else {
+                    NodeState::Conflict
+                }
+            }
+        };
+    }
+    next
+}
+
+/// Voltage rank after passing through a device.
+fn pass(p: Polarity, r: Rank, high: bool) -> Rank {
+    match (p, high) {
+        // n-type degrades highs to VDD − VTn.
+        (Polarity::N, true) => r.min(Rank::WeakHigh),
+        (Polarity::N, false) => r,
+        // p-type degrades lows to |VTp|.
+        (Polarity::P, false) => r.max(Rank::WeakLow),
+        (Polarity::P, true) => r,
+    }
+}
+
+/// Unit-width channel resistance in the given direction: conduction in
+/// the weak direction costs about twice the on-resistance
+/// (paper Sec. 4.1, citing Weste–Harris).
+fn direction_resistance(p: Polarity, high: bool) -> f64 {
+    match (p, high) {
+        (Polarity::N, true) | (Polarity::P, false) => 2.0,
+        (Polarity::N, false) | (Polarity::P, true) => 1.0,
+    }
+}
+
+/// Exhaustively evaluates an output over all `2^k` assignments of `k`
+/// abstract variables, where `assign` expands a minterm into the
+/// concrete input vector (letting callers supply complemented input
+/// rails). Returns `(minterm, state)` pairs.
+pub fn evaluate_all(
+    netlist: &Netlist,
+    k: usize,
+    assign: impl Fn(u64) -> Vec<bool>,
+    output: NodeId,
+) -> Vec<(u64, NodeState)> {
+    assert!(k <= 20, "too many variables for exhaustive evaluation");
+    (0..(1u64 << k))
+        .map(|m| {
+            let sol = solve(netlist, &assign(m));
+            (m, sol.state(output))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, PolarityControl};
+
+    /// CNTFET inverter.
+    fn inverter() -> (Netlist, NodeId, NodeId) {
+        let mut n = Netlist::new("inv");
+        let a = n.add_input("A");
+        let y = n.add_output("Y");
+        n.add_device("mp", a, PolarityControl::FixedP, n.vdd(), y, 1.0);
+        n.add_device("mn", a, PolarityControl::FixedN, n.vss(), y, 1.0);
+        (n, a, y)
+    }
+
+    #[test]
+    fn inverter_full_swing() {
+        let (n, _a, y) = inverter();
+        let s0 = solve(&n, &[false]);
+        assert_eq!(s0.logic(y), Some(true));
+        assert!(s0.is_full_swing(y));
+        let s1 = solve(&n, &[true]);
+        assert_eq!(s1.logic(y), Some(false));
+        assert!(s1.is_full_swing(y));
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        let mut n = Netlist::new("nand2");
+        let a = n.add_input("A");
+        let b = n.add_input("B");
+        let y = n.add_output("Y");
+        let mid = n.add_node("mid");
+        n.add_device("mpa", a, PolarityControl::FixedP, n.vdd(), y, 1.0);
+        n.add_device("mpb", b, PolarityControl::FixedP, n.vdd(), y, 1.0);
+        n.add_device("mna", a, PolarityControl::FixedN, y, mid, 2.0);
+        n.add_device("mnb", b, PolarityControl::FixedN, mid, n.vss(), 2.0);
+        for m in 0..4u64 {
+            let ins = vec![m & 1 == 1, m & 2 == 2];
+            let s = solve(&n, &ins);
+            assert_eq!(s.logic(y), Some(!(ins[0] && ins[1])), "m={m}");
+            assert!(s.is_full_swing(y), "m={m}");
+        }
+    }
+
+    /// Paper Fig. 3: a bare pass device degrades one polarity, the
+    /// transmission gate restores both.
+    #[test]
+    fn tgate_restores_but_single_device_degrades() {
+        // Single ambipolar device: gate=A, pg=B, passing input S.
+        let mut single = Netlist::new("pass1");
+        let a = single.add_input("A");
+        let b = single.add_input("B");
+        let s = single.add_input("S");
+        let y = single.add_output("Y");
+        single.add_device("m", a, PolarityControl::Signal(b), s, y, 1.0);
+
+        // A=1, B=0 (n-type, on), S=1: degraded high.
+        let sol = solve(&single, &[true, false, true]);
+        assert_eq!(sol.state(y), NodeState::Driven { rank: Rank::WeakHigh, ratioed: false });
+        // Same but S=0: clean low through n-type.
+        let sol = solve(&single, &[true, false, false]);
+        assert!(sol.is_full_swing(y));
+        // A=0, B=1 (p-type, on), S=0: degraded low.
+        let sol = solve(&single, &[false, true, false]);
+        assert_eq!(sol.state(y), NodeState::Driven { rank: Rank::WeakLow, ratioed: false });
+
+        // Transmission gate: both devices, complementary wiring.
+        let mut tg = Netlist::new("tg");
+        let a = tg.add_input("A");
+        let an = tg.add_input("An");
+        let b = tg.add_input("B");
+        let bn = tg.add_input("Bn");
+        let s = tg.add_input("S");
+        let y = tg.add_output("Y");
+        tg.add_tgate("t", a, an, b, bn, s, y, 1.0);
+        // All four passing configurations (A⊕B = 1), both data values.
+        for (av, bv) in [(true, false), (false, true)] {
+            for sv in [false, true] {
+                let sol = solve(&tg, &[av, !av, bv, !bv, sv]);
+                assert_eq!(sol.logic(y), Some(sv));
+                assert!(sol.is_full_swing(y), "A={av} B={bv} S={sv}");
+            }
+        }
+        // Blocking configurations: output floats.
+        for (av, bv) in [(true, true), (false, false)] {
+            let sol = solve(&tg, &[av, !av, bv, !bv, true]);
+            assert_eq!(sol.state(y), NodeState::Floating(None));
+        }
+    }
+
+    /// Pseudo-logic: weak always-on PU fighting a strong PD.
+    #[test]
+    fn pseudo_logic_is_ratioed() {
+        let mut n = Netlist::new("pseudo_inv");
+        let a = n.add_input("A");
+        let y = n.add_output("Y");
+        // Weak p pull-up, gate grounded (always on).
+        n.add_device("mp", n.vss(), PolarityControl::FixedP, n.vdd(), y, 1.0 / 3.0);
+        // Strong n pull-down (4/3 width as in the paper's sizing).
+        n.add_device("mn", a, PolarityControl::FixedN, y, n.vss(), 4.0 / 3.0);
+        // A=0: only PU conducts — full high.
+        let s = solve(&n, &[false]);
+        assert_eq!(s.state(y), NodeState::Driven { rank: Rank::Vdd, ratioed: false });
+        // A=1: contention, PD 4x stronger: ratioed low.
+        let s = solve(&n, &[true]);
+        assert_eq!(s.state(y), NodeState::Driven { rank: Rank::Vss, ratioed: true });
+        assert_eq!(s.logic(y), Some(false));
+        assert!(!s.is_full_swing(y));
+    }
+
+    /// Comparable opposing strengths must report a conflict.
+    #[test]
+    fn balanced_contention_is_conflict() {
+        let mut n = Netlist::new("fight");
+        let y = n.add_output("Y");
+        n.add_device("mp", n.vss(), PolarityControl::FixedP, n.vdd(), y, 1.0);
+        n.add_device("mn", n.vdd(), PolarityControl::FixedN, y, n.vss(), 1.0);
+        let s = solve(&n, &[]);
+        assert_eq!(s.state(y), NodeState::Conflict);
+    }
+
+    /// Two-stage netlist: inverter driving an inverter (checks the
+    /// fixpoint handles internal gate nodes).
+    #[test]
+    fn staged_evaluation() {
+        let mut n = Netlist::new("buf");
+        let a = n.add_input("A");
+        let mid = n.add_node("mid");
+        let y = n.add_output("Y");
+        n.add_device("mp1", a, PolarityControl::FixedP, n.vdd(), mid, 1.0);
+        n.add_device("mn1", a, PolarityControl::FixedN, n.vss(), mid, 1.0);
+        n.add_device("mp2", mid, PolarityControl::FixedP, n.vdd(), y, 1.0);
+        n.add_device("mn2", mid, PolarityControl::FixedN, n.vss(), y, 1.0);
+        for v in [false, true] {
+            let s = solve(&n, &[v]);
+            assert_eq!(s.logic(y), Some(v));
+            assert!(s.is_full_swing(y));
+        }
+    }
+
+    /// Ambipolar polarity gates driven by internal nodes resolve too.
+    #[test]
+    fn internal_polarity_gate() {
+        let mut n = Netlist::new("pg_internal");
+        let a = n.add_input("A");
+        let c = n.add_input("C");
+        let pg = n.add_node("pg");
+        let y = n.add_output("Y");
+        // pg = inverter(C)
+        n.add_device("mp1", c, PolarityControl::FixedP, n.vdd(), pg, 1.0);
+        n.add_device("mn1", c, PolarityControl::FixedN, n.vss(), pg, 1.0);
+        // Device with polarity from pg, gate A, passing VDD to Y plus
+        // an n pull-down when off... keep it simple: pass S=VDD.
+        n.add_device("m", a, PolarityControl::Signal(pg), n.vdd(), y, 1.0);
+        // C=1 -> pg=0 -> n-type: conducts when A=1, degraded high.
+        let s = solve(&n, &[true, true]);
+        assert_eq!(s.state(y), NodeState::Driven { rank: Rank::WeakHigh, ratioed: false });
+        // C=0 -> pg=1 -> p-type: conducts when A=0, full high.
+        let s = solve(&n, &[false, false]);
+        assert_eq!(s.state(y), NodeState::Driven { rank: Rank::Vdd, ratioed: false });
+        // C=1, A=0: n-type off: floating.
+        let s = solve(&n, &[false, true]);
+        assert_eq!(s.state(y), NodeState::Floating(None));
+    }
+
+    #[test]
+    fn evaluate_all_inverter() {
+        let (n, _a, y) = inverter();
+        let rows = evaluate_all(&n, 1, |m| vec![m & 1 == 1], y);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1.logic(), Some(true));
+        assert_eq!(rows[1].1.logic(), Some(false));
+    }
+}

@@ -1,0 +1,160 @@
+//! Discrete voltage levels and node states for switch-level
+//! simulation.
+//!
+//! The solver works on a four-rank voltage lattice that captures the
+//! signal-degradation effects the DATE'09 paper reasons about:
+//!
+//! | rank | voltage      | meaning                        |
+//! |------|--------------|--------------------------------|
+//! | 0    | `VSS`        | strong low                     |
+//! | 1    | `≈ |VTp|`    | degraded low (p-device passed) |
+//! | 2    | `≈ VDD−VTn`  | degraded high (n-device passed)|
+//! | 3    | `VDD`        | strong high                    |
+
+use std::fmt;
+
+/// A discrete voltage rank (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rank {
+    /// Strong low (`VSS`).
+    Vss = 0,
+    /// Degraded low (`≈ |VTp|`): a low passed through a p-type device.
+    WeakLow = 1,
+    /// Degraded high (`≈ VDD − VTn`): a high passed through an n-type
+    /// device.
+    WeakHigh = 2,
+    /// Strong high (`VDD`).
+    Vdd = 3,
+}
+
+impl Rank {
+    /// Logic interpretation (ranks 0–1 ⇒ false, 2–3 ⇒ true).
+    pub fn logic(self) -> bool {
+        matches!(self, Rank::WeakHigh | Rank::Vdd)
+    }
+
+    /// True for the undegraded rails.
+    pub fn is_full_swing(self) -> bool {
+        matches!(self, Rank::Vss | Rank::Vdd)
+    }
+
+    /// Rank from a logic value (full swing).
+    pub fn from_logic(v: bool) -> Rank {
+        if v {
+            Rank::Vdd
+        } else {
+            Rank::Vss
+        }
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rank::Vss => "VSS",
+            Rank::WeakLow => "|VTp|",
+            Rank::WeakHigh => "VDD-VTn",
+            Rank::Vdd => "VDD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Steady-state condition of a circuit node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Actively driven to a voltage.
+    Driven {
+        /// The voltage rank reached.
+        rank: Rank,
+        /// True when an opposing (weaker) path was also conducting, as
+        /// in pseudo/ratioed logic: the level is a resistive-divider
+        /// value near the rank rather than the rank itself.
+        ratioed: bool,
+    },
+    /// Not driven; retains charge (dynamic nodes). Carries the
+    /// remembered rank if any.
+    Floating(Option<Rank>),
+    /// Conflicting strong drivers of comparable strength.
+    Conflict,
+    /// Not yet resolved by the solver.
+    Unknown,
+}
+
+impl NodeState {
+    /// Logic value if determined.
+    pub fn logic(self) -> Option<bool> {
+        match self {
+            NodeState::Driven { rank, .. } => Some(rank.logic()),
+            NodeState::Floating(Some(rank)) => Some(rank.logic()),
+            _ => None,
+        }
+    }
+
+    /// Voltage rank if known.
+    pub fn rank(self) -> Option<Rank> {
+        match self {
+            NodeState::Driven { rank, .. } => Some(rank),
+            NodeState::Floating(r) => r,
+            _ => None,
+        }
+    }
+
+    /// True iff the node is actively driven to a full rail without
+    /// contention — the paper's "full swing" criterion for static
+    /// logic.
+    pub fn is_full_swing(self) -> bool {
+        matches!(self, NodeState::Driven { rank, ratioed: false } if rank.is_full_swing())
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeState::Driven { rank, ratioed: false } => write!(f, "{rank}"),
+            NodeState::Driven { rank, ratioed: true } => write!(f, "~{rank} (ratioed)"),
+            NodeState::Floating(Some(rank)) => write!(f, "Z[{rank}]"),
+            NodeState::Floating(None) => write!(f, "Z"),
+            NodeState::Conflict => write!(f, "X (conflict)"),
+            NodeState::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_logic() {
+        assert!(!Rank::Vss.logic());
+        assert!(!Rank::WeakLow.logic());
+        assert!(Rank::WeakHigh.logic());
+        assert!(Rank::Vdd.logic());
+        assert!(Rank::Vss.is_full_swing());
+        assert!(!Rank::WeakLow.is_full_swing());
+        assert_eq!(Rank::from_logic(true), Rank::Vdd);
+    }
+
+    #[test]
+    fn state_queries() {
+        let s = NodeState::Driven { rank: Rank::WeakHigh, ratioed: false };
+        assert_eq!(s.logic(), Some(true));
+        assert!(!s.is_full_swing());
+        let s = NodeState::Driven { rank: Rank::Vdd, ratioed: false };
+        assert!(s.is_full_swing());
+        let s = NodeState::Driven { rank: Rank::Vss, ratioed: true };
+        assert!(!s.is_full_swing());
+        assert_eq!(NodeState::Floating(Some(Rank::Vdd)).logic(), Some(true));
+        assert_eq!(NodeState::Unknown.logic(), None);
+        assert_eq!(NodeState::Conflict.rank(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rank::WeakHigh.to_string(), "VDD-VTn");
+        let s = NodeState::Driven { rank: Rank::Vss, ratioed: true };
+        assert!(s.to_string().contains("ratioed"));
+        assert_eq!(NodeState::Floating(None).to_string(), "Z");
+    }
+}

@@ -1,0 +1,41 @@
+//! Multi-level logic optimization on And-Inverter Graphs.
+//!
+//! This crate stands in for the optimization half of ABC in the
+//! DATE'09 flow: the paper synthesizes its benchmarks with the
+//! `resyn2rs` script before mapping them onto the CNTFET/CMOS
+//! libraries. The same structure is provided here: depth-driven
+//! [`balance`], area-driven cut [`rewrite`]/[`refactor`] built on
+//! ISOP + algebraic factoring, and the [`resyn2rs`] script combining
+//! them.
+//!
+//! Every pass is function-preserving; the test-suite certifies each
+//! one with SAT-based equivalence checking ([`cntfet_aig`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_aig::{Aig, equivalent};
+//! use cntfet_synth::resyn2rs;
+//!
+//! // An AND chain: depth 7 before, log-depth after.
+//! let mut g = Aig::new("chain");
+//! let pis = g.add_pis(8);
+//! let mut acc = pis[0];
+//! for &p in &pis[1..] {
+//!     acc = g.and(acc, p);
+//! }
+//! g.add_po(acc);
+//!
+//! let opt = resyn2rs(&g);
+//! assert!(equivalent(&g, &opt));
+//! assert!(opt.depth() <= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod passes;
+mod script;
+
+pub use passes::{balance, cleanup, refactor, rewrite};
+pub use script::{quick_opt, resyn2rs, AigStats};

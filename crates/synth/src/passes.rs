@@ -1,0 +1,265 @@
+//! AIG optimization passes: tree balancing (delay) and cut-based
+//! resynthesis (area), the workhorses of the `resyn2rs`-style script
+//! the paper runs before technology mapping.
+
+use cntfet_aig::{cut_function, enumerate_cuts, Aig, Lit, NodeId};
+use cntfet_boolfn::{factor, isop};
+
+/// Rebuilds the AIG with AND trees rebalanced to minimize depth
+/// (logic function preserved; conjunction leaves gathered through
+/// non-complemented AND edges and recombined lowest-level-first).
+pub fn balance(aig: &Aig) -> Aig {
+    let mut out = Aig::new(aig.name().to_string());
+    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    map[NodeId::CONST.index()] = Some(Lit::FALSE);
+    for &pi in aig.pis() {
+        map[pi.index()] = Some(out.add_pi());
+    }
+    let fanout = aig.fanout_counts();
+
+    // Incrementally-maintained levels of the new AIG.
+    let mut lv: Vec<u32> = vec![0; out.num_nodes()];
+    fn level_of(out: &Aig, lv: &mut Vec<u32>, l: Lit) -> u32 {
+        while lv.len() < out.num_nodes() {
+            let id = NodeId::from_index(lv.len());
+            let level = if out.is_and(id) {
+                let (a, b) = out.fanins(id);
+                1 + lv[a.node().index()].max(lv[b.node().index()])
+            } else {
+                0
+            };
+            lv.push(level);
+        }
+        lv[l.node().index()]
+    }
+
+    // Process in topological order (node ids are topologically sorted).
+    for id in aig.node_ids() {
+        if !aig.is_and(id) {
+            continue;
+        }
+        // Gather the multi-input AND: flatten through non-complemented
+        // AND edges whose target is not shared (fanout 1), so shared
+        // logic stays shared.
+        let (f0, f1) = aig.fanins(id);
+        let mut leaves: Vec<Lit> = Vec::new();
+        let mut stack = vec![f0, f1];
+        while let Some(l) = stack.pop() {
+            if !l.is_complement() && aig.is_and(l.node()) && fanout[l.node().index()] == 1 {
+                let (a, b) = aig.fanins(l.node());
+                stack.push(a);
+                stack.push(b);
+            } else {
+                leaves.push(l);
+            }
+        }
+        let new_leaves: Vec<Lit> = leaves
+            .iter()
+            .map(|l| {
+                map[l.node().index()]
+                    .expect("leaf processed earlier in topological order")
+                    .negate_if(l.is_complement())
+            })
+            .collect();
+        // Combine the two lowest-level operands repeatedly
+        // (Huffman-style) for minimum depth.
+        let mut queue: Vec<(u32, Lit)> = new_leaves
+            .into_iter()
+            .map(|l| (level_of(&out, &mut lv, l), l))
+            .collect();
+        while queue.len() > 1 {
+            queue.sort_by_key(|&(level, l)| (std::cmp::Reverse(level), std::cmp::Reverse(l.code())));
+            let (_, a) = queue.pop().unwrap();
+            let (_, b) = queue.pop().unwrap();
+            let n = out.and(a, b);
+            let level = level_of(&out, &mut lv, n);
+            queue.push((level, n));
+        }
+        map[id.index()] = Some(queue.pop().map(|(_, l)| l).unwrap_or(Lit::TRUE));
+    }
+
+    for &po in aig.pos() {
+        let l = map[po.node().index()].expect("PO cone mapped").negate_if(po.is_complement());
+        out.add_po(l);
+    }
+    out.compact()
+}
+
+/// Cut-based resynthesis: for every node, tries replacing its best
+/// `k`-feasible cut cone with a freshly factored implementation and
+/// keeps whichever adds fewer nodes to the rebuilt AIG.
+///
+/// `zero_cost` also accepts replacements of equal size (perturbation,
+/// as in ABC's `rewrite -z`).
+pub fn refactor(aig: &Aig, k: usize, zero_cost: bool) -> Aig {
+    let cuts = enumerate_cuts(aig, k, 8);
+    let mut out = Aig::new(aig.name().to_string());
+    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    map[NodeId::CONST.index()] = Some(Lit::FALSE);
+    for &pi in aig.pis() {
+        map[pi.index()] = Some(out.add_pi());
+    }
+
+    for id in aig.node_ids() {
+        if !aig.is_and(id) {
+            continue;
+        }
+        let (f0, f1) = aig.fanins(id);
+        let a = map[f0.node().index()].unwrap().negate_if(f0.is_complement());
+        let b = map[f1.node().index()].unwrap().negate_if(f1.is_complement());
+
+        // Candidate: resynthesize the largest non-trivial cut.
+        let best_cut = cuts
+            .of(id)
+            .iter()
+            .filter(|c| c.size() >= 2)
+            .max_by_key(|c| c.size())
+            .cloned();
+
+        let mut chosen: Option<Lit> = None;
+        if let Some(cut) = best_cut {
+            let tt = cut_function(aig, id, &cut);
+            let expr = factor(&isop(&tt));
+            let leaves: Vec<Lit> = cut
+                .leaves()
+                .iter()
+                .map(|l| map[l.index()].expect("leaves precede the root"))
+                .collect();
+            // Compare costs by dry-building both forms and counting
+            // added nodes; structural hashing makes repeats free.
+            let before = out.num_nodes();
+            let direct = out.and(a, b);
+            let direct_cost = out.num_nodes() - before;
+            let mid = out.num_nodes();
+            let resyn = out.build_expr(&expr, &leaves);
+            let resyn_cost = out.num_nodes() - mid;
+            let take_resyn =
+                resyn_cost < direct_cost || (zero_cost && resyn_cost == direct_cost);
+            chosen = Some(if take_resyn { resyn } else { direct });
+        }
+        let lit = match chosen {
+            Some(l) => l,
+            None => out.and(a, b),
+        };
+        map[id.index()] = Some(lit);
+    }
+
+    for &po in aig.pos() {
+        let l = map[po.node().index()].unwrap().negate_if(po.is_complement());
+        out.add_po(l);
+    }
+    out.compact()
+}
+
+/// 4-input cut rewriting (a light [`refactor`]).
+pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
+    refactor(aig, 4, zero_cost)
+}
+
+/// Removes dangling logic.
+pub fn cleanup(aig: &Aig) -> Aig {
+    aig.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_aig::equivalent;
+
+    fn chain_xor(n: usize) -> Aig {
+        let mut g = Aig::new("chain");
+        let pis = g.add_pis(n);
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.xor(acc, p);
+        }
+        g.add_po(acc);
+        g
+    }
+
+    fn unbalanced_and(n: usize) -> Aig {
+        let mut g = Aig::new("and_chain");
+        let pis = g.add_pis(n);
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.and(acc, p);
+        }
+        g.add_po(acc);
+        g
+    }
+
+    #[test]
+    fn balance_reduces_and_chain_depth() {
+        let g = unbalanced_and(16);
+        assert_eq!(g.depth(), 15);
+        let b = balance(&g);
+        assert_eq!(b.depth(), 4);
+        assert!(equivalent(&g, &b));
+    }
+
+    #[test]
+    fn balance_preserves_function_on_xor_trees() {
+        let g = chain_xor(8);
+        let b = balance(&g);
+        assert!(equivalent(&g, &b));
+        assert!(b.depth() <= g.depth());
+    }
+
+    #[test]
+    fn refactor_removes_redundancy() {
+        // (a·b) + (a·b·c) == a·b — refactoring should shrink it.
+        let mut g = Aig::new("red");
+        let p = g.add_pis(3);
+        let ab = g.and(p[0], p[1]);
+        let abc = g.and(ab, p[2]);
+        let o = g.or(ab, abc);
+        g.add_po(o);
+        let r = refactor(&g, 6, false);
+        assert!(equivalent(&g, &r));
+        assert!(r.num_ands() < g.num_ands(), "{} -> {}", g.num_ands(), r.num_ands());
+        assert_eq!(r.num_ands(), 1);
+    }
+
+    #[test]
+    fn rewrite_preserves_function_on_random_logic() {
+        let mut state = 0xFEED_5EED_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut g = Aig::new("rand");
+        let pis = g.add_pis(8);
+        let mut pool: Vec<Lit> = pis.clone();
+        for _ in 0..60 {
+            let a = pool[(next() % pool.len() as u64) as usize];
+            let b = pool[(next() % pool.len() as u64) as usize];
+            let l = match next() % 3 {
+                0 => g.and(a, b),
+                1 => g.or(a, b.negate()),
+                _ => g.xor(a, b),
+            };
+            pool.push(l);
+        }
+        for i in 0..4 {
+            g.add_po(pool[pool.len() - 1 - i]);
+        }
+        let r = rewrite(&g, false);
+        assert!(equivalent(&g, &r));
+        assert!(r.num_ands() <= g.num_ands());
+        let r2 = refactor(&g, 8, true);
+        assert!(equivalent(&g, &r2));
+    }
+
+    #[test]
+    fn cleanup_drops_dangling() {
+        let mut g = Aig::new("d");
+        let p = g.add_pis(2);
+        let _dead = g.xor(p[0], p[1]);
+        let live = g.and(p[0], p[1]);
+        g.add_po(live);
+        let c = cleanup(&g);
+        assert_eq!(c.num_ands(), 1);
+    }
+}

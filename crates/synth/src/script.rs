@@ -1,0 +1,118 @@
+//! Synthesis scripts: fixed sequences of optimization passes in the
+//! spirit of ABC's `resyn2rs`, which the paper runs before technology
+//! mapping (Sec. 4.4).
+
+use crate::passes::{balance, refactor, rewrite};
+use cntfet_aig::Aig;
+
+/// Statistics snapshot of an AIG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AigStats {
+    /// Number of AND nodes.
+    pub ands: usize,
+    /// Logic depth.
+    pub depth: u32,
+}
+
+impl AigStats {
+    /// Captures the stats of an AIG.
+    pub fn of(aig: &Aig) -> AigStats {
+        AigStats { ands: aig.num_ands(), depth: aig.depth() }
+    }
+}
+
+/// Runs a `resyn2rs`-flavoured optimization script: alternating
+/// balancing, 4-cut rewriting and wider refactoring, iterated while it
+/// keeps helping (bounded rounds).
+///
+/// Returns the optimized AIG; the result is logically equivalent to
+/// the input (each pass is verified in this crate's test-suite by SAT
+/// equivalence checking).
+pub fn resyn2rs(aig: &Aig) -> Aig {
+    let mut best = aig.compact();
+    let mut best_stats = AigStats::of(&best);
+    for _round in 0..4 {
+        let mut cur = balance(&best);
+        cur = rewrite(&cur, false);
+        cur = refactor(&cur, 8, false);
+        cur = balance(&cur);
+        cur = rewrite(&cur, false);
+        cur = rewrite(&cur, true);
+        cur = balance(&cur);
+        cur = refactor(&cur, 10, true);
+        cur = rewrite(&cur, true);
+        cur = balance(&cur);
+        let stats = AigStats::of(&cur);
+        let better = stats.ands < best_stats.ands
+            || (stats.ands == best_stats.ands && stats.depth < best_stats.depth);
+        if better {
+            best = cur;
+            best_stats = stats;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// A light script for quick optimization (one balance + rewrite).
+pub fn quick_opt(aig: &Aig) -> Aig {
+    let b = balance(aig);
+    rewrite(&b, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_aig::equivalent;
+
+    /// A messy ripple-carry adder with redundant logic sprinkled in.
+    fn messy_adder(bits: usize) -> Aig {
+        let mut g = Aig::new("messy");
+        let a = g.add_pis(bits);
+        let b = g.add_pis(bits);
+        let mut carry = cntfet_aig::Lit::FALSE;
+        for i in 0..bits {
+            let x = g.xor(a[i], b[i]);
+            let s = g.xor(x, carry);
+            // Redundant re-computation of the same sum.
+            let x2 = g.xor(b[i], a[i]);
+            let s2 = g.xor(carry, x2);
+            let both = g.and(s, s2); // == s
+            g.add_po(both);
+            let c1 = g.and(a[i], b[i]);
+            let c2 = g.and(x, carry);
+            carry = g.or(c1, c2);
+        }
+        g.add_po(carry);
+        g
+    }
+
+    #[test]
+    fn resyn2rs_preserves_function_and_shrinks() {
+        let g = messy_adder(6);
+        let o = resyn2rs(&g);
+        assert!(equivalent(&g, &o), "resyn2rs must preserve the function");
+        assert!(
+            o.num_ands() <= g.num_ands(),
+            "{} -> {}",
+            g.num_ands(),
+            o.num_ands()
+        );
+    }
+
+    #[test]
+    fn quick_opt_preserves_function() {
+        let g = messy_adder(4);
+        let o = quick_opt(&g);
+        assert!(equivalent(&g, &o));
+    }
+
+    #[test]
+    fn stats_capture() {
+        let g = messy_adder(2);
+        let s = AigStats::of(&g);
+        assert!(s.ands > 0);
+        assert!(s.depth > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Technology mapping onto the ambipolar CNTFET and CMOS libraries.
+//!
+//! This crate closes the paper's synthesis flow (Sec. 4.4): optimized
+//! AIGs are covered with library cells via k-feasible cuts and NPN
+//! boolean matching, delay-optimally and with area-flow recovery. The
+//! CNTFET libraries match with free input/output polarities (every
+//! cell carries an output inverter), while CMOS pays explicit
+//! inverters — the mechanism behind the paper's area/delay gap on
+//! XOR-rich circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_aig::Aig;
+//! use cntfet_core::{Library, LogicFamily};
+//! use cntfet_techmap::{map, verify_mapping, MapOptions};
+//! use cntfet_aig::CecResult;
+//!
+//! // A full adder maps into a couple of XOR-capable CNTFET cells.
+//! let mut g = Aig::new("fa");
+//! let p = g.add_pis(3);
+//! let x = g.xor(p[0], p[1]);
+//! let sum = g.xor(x, p[2]);
+//! let c1 = g.and(p[0], p[1]);
+//! let c2 = g.and(x, p[2]);
+//! let cout = g.or(c1, c2);
+//! g.add_po(sum);
+//! g.add_po(cout);
+//!
+//! let lib = Library::new(LogicFamily::TgStatic);
+//! let mapping = map(&g, &lib, MapOptions::default());
+//! assert_eq!(verify_mapping(&g, &mapping, &lib), CecResult::Equivalent);
+//! assert!(mapping.stats.gates <= 5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod mapper;
+mod matcher;
+mod power;
+mod verify;
+
+pub use mapper::{map, MapOptions, MapStats, MappedGate, Mapping, PoBinding, Source};
+pub use matcher::{match_is_valid, CellMatch, Matcher};
+pub use power::{estimate_energy, EnergyReport};
+pub use verify::{mapping_to_aig, verify_mapping};

@@ -1,0 +1,482 @@
+//! Cut-based technology mapping onto a characterized library.
+//!
+//! The flow mirrors what the paper obtains from ABC + genlib
+//! (Sec. 4.4): k-feasible priority cuts, NPN boolean matching, a
+//! delay-optimal forward pass, and required-time-constrained
+//! area-flow recovery rounds.
+//!
+//! Polarity handling is the paper's key asymmetry:
+//!
+//! * **CNTFET libraries** put an output inverter in every cell, so
+//!   both polarities of every signal exist and complemented edges are
+//!   free (their cost is already inside the cell's area/delay).
+//! * **CMOS** pays an explicit inverter whenever a consumer needs the
+//!   polarity a driver does not produce; the mapper tracks a physical
+//!   *phase* per mapped node and charges/dedups inverters per driver.
+
+use crate::matcher::Matcher;
+use cntfet_aig::{cut_function, enumerate_cuts, Aig, NodeId};
+use cntfet_boolfn::TruthTable;
+use cntfet_core::Library;
+
+/// Where a mapped-gate pin comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Primary input (by PI index).
+    Pi(usize),
+    /// Output of the mapped gate rooted at an AIG node.
+    Node(NodeId),
+}
+
+/// One instantiated library cell.
+#[derive(Debug, Clone)]
+pub struct MappedGate {
+    /// AIG node this gate implements.
+    pub root: NodeId,
+    /// Library cell index.
+    pub cell: usize,
+    /// Per cell pin: source and whether the pin receives the
+    /// complement of the source's *logical* value.
+    pub pins: Vec<(Source, bool)>,
+    /// The node value equals the cell function complemented iff set.
+    pub out_compl: bool,
+}
+
+/// Binding of a primary output.
+#[derive(Debug, Clone, Copy)]
+pub enum PoBinding {
+    /// Constant output.
+    Const(bool),
+    /// Driven by a source, optionally complemented.
+    Signal(Source, bool),
+}
+
+/// Summary statistics in the units of the paper's Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct MapStats {
+    /// Number of gates (inverters included for CMOS).
+    pub gates: usize,
+    /// Explicit inverters (CMOS only; 0 for CNTFET).
+    pub inverters: usize,
+    /// Normalized area (unit-transistor units).
+    pub area: f64,
+    /// Logic depth in cells (inverters count a level).
+    pub levels: u32,
+    /// Critical-path delay in τ units.
+    pub delay_norm: f64,
+    /// Absolute delay in picoseconds (τ-scaled by family).
+    pub delay_ps: f64,
+}
+
+/// A technology-mapped netlist.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Instantiated gates in topological order.
+    pub gates: Vec<MappedGate>,
+    /// Primary-output bindings.
+    pub pos: Vec<PoBinding>,
+    /// Statistics.
+    pub stats: MapStats,
+}
+
+/// Mapper options.
+#[derive(Debug, Clone, Copy)]
+pub struct MapOptions {
+    /// Maximum cut size (≤ 6; the library's widest cell).
+    pub cut_size: usize,
+    /// Priority cuts kept per node.
+    pub cuts_per_node: usize,
+    /// Area-recovery rounds after the delay-optimal pass.
+    pub area_rounds: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions { cut_size: 6, cuts_per_node: 10, area_rounds: 2 }
+    }
+}
+
+const ALIAS: usize = usize::MAX;
+
+/// A candidate implementation of a node.
+#[derive(Debug, Clone)]
+struct Cand {
+    /// Library cell, or [`ALIAS`] for a wire/complement alias.
+    cell: usize,
+    /// Per pin: (leaf AIG node, complemented).
+    pins: Vec<(NodeId, bool)>,
+    /// Node = cell output ⊕ out_compl.
+    out_compl: bool,
+}
+
+/// Maps an AIG onto a library.
+///
+/// # Panics
+///
+/// Panics if some node cannot be matched (cannot occur with the
+/// built-in libraries: every 2-input cut matches the AND/OR cells).
+pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
+    let mut matcher = Matcher::new(library);
+    let cut_size = opts.cut_size.min(6).max(2);
+    let cuts = enumerate_cuts(aig, cut_size, opts.cuts_per_node);
+    let free_pol = library.free_polarity();
+    let inv_delay = if free_pol { 0.0 } else { library.inverter_delay() };
+    let inv_area = if free_pol { 0.0 } else { library.inverter_area() };
+    let fanout = aig.fanout_counts();
+
+    // ---- candidate generation ----
+    let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); aig.num_nodes()];
+    for id in aig.and_ids() {
+        let mut list = Vec::new();
+        for cut in cuts.of(id).iter().filter(|c| c.size() >= 2) {
+            let tt = cut_function(aig, id, cut);
+            // Compact onto the true support.
+            let support: Vec<usize> =
+                (0..tt.nvars()).filter(|&v| tt.depends_on(v)).collect();
+            let leaves: Vec<NodeId> = support.iter().map(|&v| cut.leaves()[v]).collect();
+            match support.len() {
+                0 => continue, // constant cone: handled by strash upstream
+                1 => {
+                    // The node is a (possibly complemented) wire.
+                    let compl = !tt.eval(1 << support[0]);
+                    // Re-check: tt is var or !var on that support.
+                    list.push(Cand {
+                        cell: ALIAS,
+                        pins: vec![(leaves[0], compl)],
+                        out_compl: false,
+                    });
+                }
+                k => {
+                    let compact = compact_tt(&tt, &support, k);
+                    for m in matcher.matches(&compact).to_vec() {
+                        let cell = &library.cells()[m.cell];
+                        let pins: Vec<(NodeId, bool)> = (0..cell.num_inputs)
+                            .map(|pin| {
+                                (leaves[m.transform.perm(pin)], m.transform.input_flipped(pin))
+                            })
+                            .collect();
+                        list.push(Cand {
+                            cell: m.cell,
+                            pins,
+                            out_compl: m.transform.output_flipped(),
+                        });
+                    }
+                }
+            }
+        }
+        assert!(
+            !list.is_empty(),
+            "no candidate for node {id:?} — library incomplete"
+        );
+        cands[id.index()] = list;
+    }
+
+    // ---- iterative selection ----
+    // Physical phase per node: CMOS gates naturally output ¬f_cell;
+    // phase[n] = true means the physical signal is ¬node.
+    let n = aig.num_nodes();
+    let mut choice: Vec<usize> = vec![0; n];
+    let mut arr: Vec<f64> = vec![0.0; n]; // physical-output arrival
+    let mut phase: Vec<bool> = vec![false; n];
+    let mut aflow: Vec<f64> = vec![0.0; n];
+    let mut required: Vec<f64> = vec![f64::INFINITY; n];
+
+    let eval_cand = |c: &Cand,
+                     arr: &[f64],
+                     phase: &[bool],
+                     aflow: &[f64],
+                     library: &Library|
+     -> (f64, f64, bool) {
+        // Returns (arrival, area_flow, phase of physical output).
+        if c.cell == ALIAS {
+            let (leaf, compl) = c.pins[0];
+            let ph = phase[leaf.index()] ^ compl;
+            return (arr[leaf.index()], aflow[leaf.index()], if free_pol { false } else { ph });
+        }
+        let cell = &library.cells()[c.cell];
+        let mut a = 0.0f64;
+        let mut flow = cell.area;
+        for (pin, &(leaf, compl)) in c.pins.iter().enumerate() {
+            let needs_inv = !free_pol && (phase[leaf.index()] ^ compl);
+            let pin_arr = arr[leaf.index()]
+                + if needs_inv { inv_delay } else { 0.0 }
+                + cell.pin_delay[pin];
+            a = a.max(pin_arr);
+            let fo = fanout[leaf.index()].max(1) as f64;
+            flow += aflow[leaf.index()] / fo + if needs_inv { inv_area / fo } else { 0.0 };
+        }
+        // CMOS physical output = ¬f_cell(pins) = node ⊕ ¬out_compl.
+        let ph = if free_pol { false } else { !c.out_compl };
+        (a, flow, ph)
+    };
+
+    // Pass 0: delay-optimal; passes 1..: area flow under required time.
+    for round in 0..(1 + opts.area_rounds) {
+        for id in aig.and_ids() {
+            let i = id.index();
+            let mut best: Option<(usize, f64, f64, bool)> = None;
+            for (ci, c) in cands[i].iter().enumerate() {
+                let (a, flow, ph) = eval_cand(c, &arr, &phase, &aflow, library);
+                let better = match &best {
+                    None => true,
+                    Some((_, ba, bflow, _)) => {
+                        if round == 0 {
+                            a < ba - 1e-9 || (a < ba + 1e-9 && flow < bflow - 1e-9)
+                        } else {
+                            // Area mode: respect required time.
+                            let fits = a <= required[i] + 1e-9;
+                            let best_fits = *ba <= required[i] + 1e-9;
+                            match (fits, best_fits) {
+                                (true, false) => true,
+                                (false, true) => false,
+                                _ => flow < bflow - 1e-9 || (flow < bflow + 1e-9 && a < ba - 1e-9),
+                            }
+                        }
+                    }
+                };
+                if better {
+                    best = Some((ci, a, flow, ph));
+                }
+            }
+            let (ci, a, flow, ph) = best.expect("candidates nonempty");
+            choice[i] = ci;
+            arr[i] = a;
+            aflow[i] = flow;
+            phase[i] = ph;
+        }
+        if round == opts.area_rounds {
+            break;
+        }
+        // Required-time propagation over the current cover.
+        let target = aig
+            .pos()
+            .iter()
+            .map(|po| po_arrival(aig, po, &arr, &phase, free_pol, inv_delay))
+            .fold(0.0f64, f64::max);
+        for r in required.iter_mut() {
+            *r = f64::INFINITY;
+        }
+        for po in aig.pos() {
+            let node = po.node();
+            if aig.is_and(node) {
+                let pen = if !free_pol && (phase[node.index()] ^ po.is_complement()) {
+                    inv_delay
+                } else {
+                    0.0
+                };
+                required[node.index()] = required[node.index()].min(target - pen);
+            }
+        }
+        for id in aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
+            let i = id.index();
+            if required[i].is_infinite() {
+                continue;
+            }
+            let c = &cands[i][choice[i]];
+            if c.cell == ALIAS {
+                let (leaf, _) = c.pins[0];
+                required[leaf.index()] = required[leaf.index()].min(required[i]);
+                continue;
+            }
+            let cell = &library.cells()[c.cell];
+            for (pin, &(leaf, compl)) in c.pins.iter().enumerate() {
+                let pen = if !free_pol && (phase[leaf.index()] ^ compl) { inv_delay } else { 0.0 };
+                let req = required[i] - cell.pin_delay[pin] - pen;
+                required[leaf.index()] = required[leaf.index()].min(req);
+            }
+        }
+    }
+
+    // ---- cover extraction ----
+    extract(aig, library, &cands, &choice, &arr, &phase, free_pol, inv_delay, inv_area)
+}
+
+fn compact_tt(tt: &TruthTable, support: &[usize], k: usize) -> TruthTable {
+    TruthTable::from_fn(k, |m| {
+        let mut full = 0u64;
+        for (i, &v) in support.iter().enumerate() {
+            if m >> i & 1 == 1 {
+                full |= 1 << v;
+            }
+        }
+        tt.eval(full)
+    })
+}
+
+fn po_arrival(
+    aig: &Aig,
+    po: &cntfet_aig::Lit,
+    arr: &[f64],
+    phase: &[bool],
+    free_pol: bool,
+    inv_delay: f64,
+) -> f64 {
+    let node = po.node();
+    if node == NodeId::CONST || aig.is_pi(node) {
+        return 0.0;
+    }
+    let mismatch = !free_pol && (phase[node.index()] ^ po.is_complement());
+    arr[node.index()] + if mismatch { inv_delay } else { 0.0 }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract(
+    aig: &Aig,
+    library: &Library,
+    cands: &[Vec<Cand>],
+    choice: &[usize],
+    arr: &[f64],
+    phase: &[bool],
+    free_pol: bool,
+    inv_delay: f64,
+    inv_area: f64,
+) -> Mapping {
+    let n = aig.num_nodes();
+    // Resolve aliases: alias_of[node] = (base source, compl).
+    // A node implemented as ALIAS forwards to its single pin.
+    let mut resolved: Vec<Option<(Source, bool)>> = vec![None; n];
+    let pi_index: std::collections::HashMap<NodeId, usize> =
+        aig.pis().iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let resolve = |node: NodeId,
+                   resolved: &mut Vec<Option<(Source, bool)>>,
+                   needed: &mut Vec<bool>| {
+        // Iterative resolution following alias chains.
+        let mut stack = vec![node];
+        while let Some(cur) = stack.pop() {
+            if resolved[cur.index()].is_some() {
+                continue;
+            }
+            if aig.is_pi(cur) {
+                resolved[cur.index()] = Some((Source::Pi(pi_index[&cur]), false));
+                continue;
+            }
+            let c = &cands[cur.index()][choice[cur.index()]];
+            if c.cell == ALIAS {
+                let (leaf, compl) = c.pins[0];
+                match resolved[leaf.index()] {
+                    Some((src, lc)) => {
+                        resolved[cur.index()] = Some((src, lc ^ compl));
+                    }
+                    None => {
+                        stack.push(cur);
+                        stack.push(leaf);
+                    }
+                }
+            } else {
+                resolved[cur.index()] = Some((Source::Node(cur), false));
+                needed[cur.index()] = true;
+                for &(leaf, _) in &c.pins {
+                    stack.push(leaf);
+                }
+            }
+        }
+    };
+
+    let mut needed = vec![false; n];
+    for po in aig.pos() {
+        let node = po.node();
+        if node != NodeId::CONST {
+            resolve(node, &mut resolved, &mut needed);
+        }
+    }
+
+    // Emit gates in topological order; rewrite pins through aliases.
+    let mut gates = Vec::new();
+    let mut area = 0.0f64;
+    // Track, per physical driver, whether an inverter is consumed
+    // (CMOS only): key = Source, value = inverter needed.
+    let mut inv_needed: std::collections::HashSet<SourceKey> = std::collections::HashSet::new();
+    // Levels per source (physical).
+    let mut level: Vec<u32> = vec![0; n];
+    let pi_level = vec![0u32; aig.num_pis()];
+
+    for id in aig.and_ids() {
+        if !needed[id.index()] {
+            continue;
+        }
+        let c = &cands[id.index()][choice[id.index()]];
+        let cell = &library.cells()[c.cell];
+        let mut pins = Vec::with_capacity(c.pins.len());
+        let mut lvl = 0u32;
+        for &(leaf, compl) in &c.pins {
+            let (src, lc) = resolved[leaf.index()].expect("leaf resolved");
+            let pin_compl = compl ^ lc;
+            // Physical phase of the source:
+            let src_phase = match src {
+                Source::Pi(_) => false,
+                Source::Node(base) => phase[base.index()],
+            };
+            let needs_inv = !free_pol && (src_phase ^ pin_compl);
+            if needs_inv {
+                inv_needed.insert(SourceKey::from(src));
+            }
+            let src_level = match src {
+                Source::Pi(i) => pi_level[i],
+                Source::Node(base) => level[base.index()],
+            };
+            lvl = lvl.max(src_level + u32::from(needs_inv));
+            pins.push((src, pin_compl));
+        }
+        level[id.index()] = lvl + 1;
+        area += cell.area;
+        gates.push(MappedGate { root: id, cell: c.cell, pins, out_compl: c.out_compl });
+    }
+
+    // Primary outputs.
+    let mut pos = Vec::with_capacity(aig.num_pos());
+    let mut delay_norm = 0.0f64;
+    let mut levels = 0u32;
+    for po in aig.pos() {
+        let node = po.node();
+        if node == NodeId::CONST {
+            pos.push(PoBinding::Const(po.is_complement()));
+            continue;
+        }
+        let (src, lc) = resolved[node.index()].expect("PO cone resolved");
+        let compl = po.is_complement() ^ lc;
+        let src_phase = match src {
+            Source::Pi(_) => false,
+            Source::Node(base) => phase[base.index()],
+        };
+        let needs_inv = !free_pol && (src_phase ^ compl);
+        if needs_inv {
+            inv_needed.insert(SourceKey::from(src));
+        }
+        let (src_arr, src_level) = match src {
+            Source::Pi(i) => (0.0, pi_level[i]),
+            Source::Node(base) => (arr[base.index()], level[base.index()]),
+        };
+        delay_norm = delay_norm.max(src_arr + if needs_inv { inv_delay } else { 0.0 });
+        levels = levels.max(src_level + u32::from(needs_inv));
+        pos.push(PoBinding::Signal(src, compl));
+    }
+
+    let inverters = inv_needed.len();
+    area += inverters as f64 * inv_area;
+    let stats = MapStats {
+        gates: gates.len() + if free_pol { 0 } else { inverters },
+        inverters: if free_pol { 0 } else { inverters },
+        area,
+        levels,
+        delay_norm,
+        delay_ps: delay_norm * library.tau_ps(),
+    };
+    Mapping { gates, pos, stats }
+}
+
+/// Hashable key for [`Source`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SourceKey {
+    Pi(usize),
+    Node(u32),
+}
+
+impl From<Source> for SourceKey {
+    fn from(s: Source) -> SourceKey {
+        match s {
+            Source::Pi(i) => SourceKey::Pi(i),
+            Source::Node(n) => SourceKey::Node(n.index() as u32),
+        }
+    }
+}

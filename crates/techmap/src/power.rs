@@ -1,0 +1,188 @@
+//! Dynamic-energy estimation for mapped netlists.
+//!
+//! The paper stops at "energy per cycle gains over CMOS are expected
+//! to be consistent with the 2.5× reduction reported in literature
+//! \[1\]" without measuring. This module measures the *capacitive*
+//! component on our mapped netlists: switched capacitance per cycle
+//!
+//! ```text
+//! E ∝ Σ_signals  α(s) · C(s)        (normalized V² = 1)
+//! ```
+//!
+//! where the switching activity `α(s) = 2·p·(1−p)` comes from random
+//! simulation of the source network (`p` = signal probability) and
+//! `C(s)` sums the driver's output parasitic and all consumer pin
+//! capacitances. Technology-level energy differences (supply, device
+//! charge) are outside this model — the reported ratio isolates the
+//! *library/architecture* contribution.
+
+use crate::mapper::{Mapping, PoBinding, Source};
+use cntfet_aig::Aig;
+use cntfet_core::Library;
+use std::collections::BTreeMap;
+
+/// Energy estimate for one mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyReport {
+    /// Σ activity·capacitance over all signals (normalized units).
+    pub switched_cap_per_cycle: f64,
+    /// Total capacitance if every signal toggled every cycle
+    /// (upper bound; also the Σ C of the design).
+    pub total_cap: f64,
+    /// Mean switching activity across mapped signals.
+    pub mean_activity: f64,
+}
+
+/// Estimates dynamic energy of a mapping by simulating the source
+/// network with `rounds × 64` random patterns.
+///
+/// # Panics
+///
+/// Panics if the mapping does not belong to `source` (gate roots must
+/// be source nodes).
+pub fn estimate_energy(
+    source: &Aig,
+    mapping: &Mapping,
+    library: &Library,
+    rounds: usize,
+) -> EnergyReport {
+    // Signal probabilities on the source AIG.
+    let mut ones = vec![0u64; source.num_nodes()];
+    let mut state = 0x00C0_FFEE_1234_5678u64;
+    let mut total_bits = 0u64;
+    for _ in 0..rounds.max(1) {
+        let inputs: Vec<u64> = (0..source.num_pis())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        let vals = source.simulate_words(&inputs);
+        for (i, v) in vals.iter().enumerate() {
+            ones[i] += v.count_ones() as u64;
+        }
+        total_bits += 64;
+    }
+    let activity = |node: usize| -> f64 {
+        let p = ones[node] as f64 / total_bits as f64;
+        2.0 * p * (1.0 - p)
+    };
+    let src_activity = |s: &Source, pis: &Aig| -> f64 {
+        match s {
+            Source::Pi(i) => activity(pis.pis()[*i].index()),
+            Source::Node(n) => activity(n.index()),
+        }
+    };
+
+    // Capacitance per signal: driver output parasitic + consumer pins.
+    // Key: gate root (or PI index offset) → accumulated cap.
+    let mut cap: BTreeMap<i64, f64> = BTreeMap::new();
+    let key = |s: &Source| -> i64 {
+        match s {
+            Source::Pi(i) => -(*i as i64) - 1,
+            Source::Node(n) => n.index() as i64,
+        }
+    };
+    for gate in &mapping.gates {
+        let cell = &library.cells()[gate.cell];
+        *cap.entry(gate.root.index() as i64).or_insert(0.0) += cell.output_cap;
+        for (pin, (src, _)) in gate.pins.iter().enumerate() {
+            *cap.entry(key(src)).or_insert(0.0) += cell.pin_cap[pin];
+        }
+    }
+    // Explicit CMOS inverters: input + output caps on their driver.
+    if !library.free_polarity() {
+        // Inverter: input gate widths + matching output drains.
+        let inv_cap = 2.0 * library.family().inverter_input_cap();
+        let mut seen = std::collections::HashSet::new();
+        for gate in &mapping.gates {
+            for (src, compl) in &gate.pins {
+                if *compl && seen.insert(key(src)) {
+                    *cap.entry(key(src)).or_insert(0.0) += inv_cap;
+                }
+            }
+        }
+        for po in &mapping.pos {
+            if let PoBinding::Signal(src, true) = po {
+                if seen.insert(key(src)) {
+                    *cap.entry(key(src)).or_insert(0.0) += inv_cap;
+                }
+            }
+        }
+    }
+
+    let mut switched = 0.0;
+    let mut total = 0.0;
+    let mut act_sum = 0.0;
+    let mut signals = 0usize;
+    for (&k, &c) in &cap {
+        let a = if k < 0 {
+            src_activity(&Source::Pi((-k - 1) as usize), source)
+        } else {
+            activity(k as usize)
+        };
+        switched += a * c;
+        total += c;
+        act_sum += a;
+        signals += 1;
+    }
+    EnergyReport {
+        switched_cap_per_cycle: switched,
+        total_cap: total,
+        mean_activity: if signals > 0 { act_sum / signals as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map, MapOptions};
+    use cntfet_core::LogicFamily;
+
+    fn adder(bits: usize) -> Aig {
+        let mut g = Aig::new("a");
+        let a = g.add_pis(bits);
+        let b = g.add_pis(bits);
+        let mut carry = cntfet_aig::Lit::FALSE;
+        for i in 0..bits {
+            let x = g.xor(a[i], b[i]);
+            let s = g.xor(x, carry);
+            g.add_po(s);
+            let c1 = g.and(a[i], b[i]);
+            let c2 = g.and(x, carry);
+            carry = g.or(c1, c2);
+        }
+        g.add_po(carry);
+        g
+    }
+
+    #[test]
+    fn cntfet_switches_less_capacitance_on_adders() {
+        let src = adder(16);
+        let tg = Library::new(LogicFamily::TgStatic);
+        let cmos = Library::new(LogicFamily::CmosStatic);
+        let mt = map(&src, &tg, MapOptions::default());
+        let mc = map(&src, &cmos, MapOptions::default());
+        let et = estimate_energy(&src, &mt, &tg, 16);
+        let ec = estimate_energy(&src, &mc, &cmos, 16);
+        assert!(et.switched_cap_per_cycle > 0.0);
+        let ratio = ec.switched_cap_per_cycle / et.switched_cap_per_cycle;
+        // The paper expects ~2.5× energy gains; the capacitive
+        // component alone should already exceed 1.5× on XOR-rich logic.
+        assert!(ratio > 1.5, "energy ratio {ratio:.2}");
+        assert!(et.mean_activity > 0.0 && et.mean_activity <= 0.5 + 1e-9);
+        assert!(et.total_cap >= et.switched_cap_per_cycle);
+    }
+
+    #[test]
+    fn deterministic_given_rounds() {
+        let src = adder(8);
+        let tg = Library::new(LogicFamily::TgStatic);
+        let m = map(&src, &tg, MapOptions::default());
+        let a = estimate_energy(&src, &m, &tg, 8);
+        let b = estimate_energy(&src, &m, &tg, 8);
+        assert_eq!(a.switched_cap_per_cycle, b.switched_cap_per_cycle);
+    }
+}

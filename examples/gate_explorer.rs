@@ -1,0 +1,74 @@
+//! Gate-family explorer: regenerates the paper's Table 1 enumeration
+//! (46 ambipolar vs 7 CMOS gates), characterizes the families, prints
+//! a genlib excerpt, and demonstrates the dynamic-GNOR weakness that
+//! motivates the whole static family.
+//!
+//! Run with: `cargo run --example gate_explorer`
+
+use ambipolar_cntfet::prelude::*;
+use cntfet_switchlevel::solve_with_memory;
+
+fn main() {
+    // --- Table 1: expressive power ------------------------------------------
+    let cntfet = enumerate_gates(true);
+    let cmos = enumerate_gates(false);
+    println!(
+        "Series/parallel topologies with ≤3 elements: {} ambipolar functions vs {} CMOS",
+        cntfet.num_functions(),
+        cmos.num_functions()
+    );
+    println!("\nFirst ten enumerated ambipolar classes:");
+    for (tt, desc) in cntfet.classes.iter().take(10) {
+        println!("  {:<24} {} vars, tt 0x{}", desc, tt.support_size(), tt.to_hex());
+    }
+
+    // --- Table 2 in brief -----------------------------------------------------
+    println!("\nFamily averages (46 gates; CMOS over its 7):");
+    for family in [
+        LogicFamily::TgStatic,
+        LogicFamily::TgPseudo,
+        LogicFamily::PassPseudo,
+        LogicFamily::CmosStatic,
+    ] {
+        let chars = characterize_family(family);
+        let avg = cntfet_core::family_averages(&chars);
+        println!(
+            "  {:<38} T={:<5.1} area={:<5.1} FO4(w)={:<5.1} FO4(a)={:.1}",
+            family.to_string(),
+            avg.transistors,
+            avg.area,
+            avg.fo4_worst,
+            avg.fo4_avg
+        );
+    }
+
+    // --- genlib excerpt -------------------------------------------------------
+    let lib = Library::new(LogicFamily::TgStatic);
+    let genlib = lib.to_genlib();
+    println!("\ngenlib excerpt (static CNTFET library):");
+    for line in genlib.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // --- Fig. 2: why dynamic ambipolar logic is not enough --------------------
+    let gnor = DynamicGnor::new();
+    println!("\nDynamic GNOR Y=(A⊕B)+(C⊕D), worst case B=D=1 (all-p pull-down):");
+    let pre = solve(&gnor.netlist, &gnor.inputs(false, false, true, false, true));
+    println!("  precharge: Y = {}", pre.state(gnor.y));
+    let eva = solve_with_memory(
+        &gnor.netlist,
+        &gnor.inputs(true, false, true, false, true),
+        Some(&pre),
+    );
+    println!("  evaluate:  Y = {} — stuck at |VTp|, not VSS!", eva.state(gnor.y));
+
+    // The static family's transmission gates fix exactly this.
+    let f08 = GateId::new(8); // (A⊕B)+(C⊕D), static
+    let gn = gate_netlist(f08, LogicFamily::TgStatic).unwrap();
+    let sol = solve(&gn.netlist, &gn.input_vector(0b1010)); // B=1, D=1 ⇒ f=... both XORs
+    println!(
+        "  static F08 at the same corner: Y = {} (full swing: {})",
+        sol.state(gn.output),
+        sol.is_full_swing(gn.output)
+    );
+}

@@ -1,0 +1,74 @@
+//! Multiplier deep-dive: C6288 (16×16 array multiplier) is the
+//! paper's biggest winner (~10× absolute speedup for static CNTFET).
+//! This example reproduces that row of Table 3 and breaks down which
+//! library cells carry the win.
+//!
+//! Run with: `cargo run --release --example multiplier_study`
+
+use ambipolar_cntfet::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mult = array_multiplier(16);
+    println!(
+        "C6288-style multiplier: {} PIs / {} POs, {} AND nodes, depth {}",
+        mult.num_pis(),
+        mult.num_pos(),
+        mult.num_ands(),
+        mult.depth()
+    );
+    // Sanity: it multiplies.
+    assert_eq!(
+        cntfet_circuits::eval_multiplier(&mult, 16, 40503, 271),
+        40503u128 * 271
+    );
+
+    let optimized = resyn2rs(&mult);
+    println!(
+        "after resyn2rs: {} ANDs, depth {}",
+        optimized.num_ands(),
+        optimized.depth()
+    );
+
+    let mut cmos_ps = f64::NAN;
+    for family in [LogicFamily::CmosStatic, LogicFamily::TgStatic, LogicFamily::TgPseudo] {
+        let lib = Library::new(family);
+        let m = map(&optimized, &lib, MapOptions::default());
+        assert_eq!(
+            verify_mapping(&optimized, &m, &lib),
+            CecResult::Equivalent,
+            "{family:?}"
+        );
+        let s = m.stats;
+        if family == LogicFamily::CmosStatic {
+            cmos_ps = s.delay_ps;
+        }
+        println!(
+            "\n{}:\n  gates={} area={:.0} levels={} delay={:.1}τ = {:.1} ps ({:.1}× vs CMOS)",
+            family,
+            s.gates,
+            s.area,
+            s.levels,
+            s.delay_norm,
+            s.delay_ps,
+            cmos_ps / s.delay_ps
+        );
+        // Cell histogram: which gates do the mapper reach for?
+        let mut histo: BTreeMap<&str, usize> = BTreeMap::new();
+        for gate in &m.gates {
+            *histo.entry(lib.cells()[gate.cell].name.as_str()).or_insert(0) += 1;
+        }
+        let mut rows: Vec<(&str, usize)> = histo.into_iter().collect();
+        rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        print!("  top cells: ");
+        for (name, n) in rows.iter().take(6) {
+            print!("{name}×{n} ");
+        }
+        println!();
+    }
+    println!(
+        "\nThe XOR-embedding cells (F01/F04/F05/F08…) absorb the full-adder\n\
+         chains of the array — exactly the paper's explanation for the\n\
+         multiplier's ~10× speedup."
+    );
+}

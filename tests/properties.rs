@@ -1,0 +1,138 @@
+//! Cross-crate property-based tests (proptest): randomized circuits
+//! and functions exercising the invariants the reproduction rests on.
+
+use ambipolar_cntfet::prelude::*;
+use cntfet_aig::Aig;
+use proptest::prelude::*;
+
+/// Builds a random DAG from a script of (op, operand indices) choices.
+fn random_aig(num_pis: usize, script: &[(u8, u16, u16)]) -> Aig {
+    let mut g = Aig::new("prop");
+    let pis = g.add_pis(num_pis);
+    let mut pool: Vec<cntfet_aig::Lit> = pis;
+    for &(op, ai, bi) in script {
+        let a = pool[ai as usize % pool.len()];
+        let b = pool[bi as usize % pool.len()];
+        let l = match op % 6 {
+            0 => g.and(a, b),
+            1 => g.or(a, b),
+            2 => g.xor(a, b),
+            3 => g.and(a.negate(), b),
+            4 => g.or(a, b.negate()),
+            _ => {
+                let s = pool[(ai as usize + bi as usize) % pool.len()];
+                g.mux(s, a, b)
+            }
+        };
+        pool.push(l);
+    }
+    // A handful of outputs from the tail.
+    for i in 0..4.min(pool.len()) {
+        g.add_po(pool[pool.len() - 1 - i]);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// resyn2rs preserves the function of arbitrary random networks
+    /// (certified by SAT CEC).
+    #[test]
+    fn prop_resyn2rs_preserves_function(
+        script in proptest::collection::vec((0u8..6, 0u16..500, 0u16..500), 10..120)
+    ) {
+        let g = random_aig(6, &script);
+        let o = resyn2rs(&g);
+        prop_assert!(equivalent(&g, &o));
+        prop_assert!(o.num_ands() <= g.num_ands());
+    }
+
+    /// Mapping onto any family is formally equivalent to the source.
+    #[test]
+    fn prop_mapping_equivalent(
+        script in proptest::collection::vec((0u8..6, 0u16..300, 0u16..300), 10..80),
+        family_idx in 0usize..3
+    ) {
+        let g = random_aig(5, &script);
+        let family = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic][family_idx];
+        let lib = Library::new(family);
+        let m = map(&g, &lib, MapOptions::default());
+        prop_assert_eq!(verify_mapping(&g, &m, &lib), CecResult::Equivalent);
+    }
+
+    /// The adder generator agrees with machine arithmetic.
+    #[test]
+    fn prop_adder_matches_u64(a in 0u64..=0xFFFF, b in 0u64..=0xFFFF, cin: bool) {
+        let g = ripple_adder(16);
+        let (sum, cout) = cntfet_circuits::eval_adder(&g, 16, a, b, cin);
+        let want = a + b + cin as u64;
+        prop_assert_eq!(sum, want & 0xFFFF);
+        prop_assert_eq!(cout, want >> 16 & 1 == 1);
+    }
+
+    /// The multiplier generator agrees with machine arithmetic.
+    #[test]
+    fn prop_multiplier_matches_u64(a in 0u64..=0xFF, b in 0u64..=0xFF) {
+        let g = array_multiplier(8);
+        prop_assert_eq!(cntfet_circuits::eval_multiplier(&g, 8, a, b), (a as u128) * (b as u128));
+    }
+
+    /// NPN canonicalization is invariant across random transforms of
+    /// the 46 gate functions.
+    #[test]
+    fn prop_gate_npn_invariance(
+        gate in 0usize..46,
+        perm_seed in 0u64..720,
+        flips in 0u8..64,
+        out_flip: bool
+    ) {
+        use cntfet_boolfn::NpnTransform;
+        let g = GateId::new(gate);
+        let tt = g.function().to_tt(6);
+        // Derive a permutation of 0..6 from the seed.
+        let mut perm: Vec<usize> = (0..6).collect();
+        let mut s = perm_seed;
+        for i in (1..6).rev() {
+            let j = (s % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+            s /= i as u64 + 1;
+        }
+        let t = NpnTransform::new(6, &perm, flips, out_flip);
+        let canon_a = npn_canonical(&tt).table;
+        let canon_b = npn_canonical(&t.apply(&tt)).table;
+        prop_assert_eq!(canon_a, canon_b);
+    }
+
+    /// Switch-level simulation of a random static gate agrees with its
+    /// Boolean function at every minterm (full swing included).
+    #[test]
+    fn prop_switch_level_matches_function(gate in 0usize..46) {
+        let g = GateId::new(gate);
+        let gn = gate_netlist(g, LogicFamily::TgStatic).unwrap();
+        let expr = g.function();
+        let k = gn.signals.len();
+        for m in 0..(1u64 << k) {
+            let mut full = 0u64;
+            for (i, &s) in gn.signals.iter().enumerate() {
+                if m >> i & 1 == 1 {
+                    full |= 1 << s;
+                }
+            }
+            let sol = solve(&gn.netlist, &gn.input_vector(m));
+            prop_assert_eq!(sol.logic(gn.output), Some(!expr.eval(full)));
+            prop_assert!(sol.is_full_swing(gn.output));
+        }
+    }
+
+    /// ISOP followed by factoring is exact on random 6-variable
+    /// functions.
+    #[test]
+    fn prop_isop_factor_roundtrip(bits in any::<u64>()) {
+        let tt = TruthTable::from_words(6, vec![bits]);
+        let cover = isop(&tt);
+        prop_assert_eq!(cover.to_tt(), tt.clone());
+        let e = factor(&cover);
+        prop_assert_eq!(e.to_tt(6), tt);
+    }
+}
