@@ -1,0 +1,138 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The real crates.io `criterion` cannot be fetched in this build
+//! environment, so this vendored crate implements the (small) subset of
+//! its API that the workspace's `crates/bench/benches/*.rs` files use:
+//! `Criterion::bench_function`, `Bencher::iter`, the builder knobs
+//! `sample_size` / `warm_up_time` / `measurement_time`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! best-of-N wall-clock measurement — adequate for smoke-running the
+//! benches and for `cargo bench --no-run` compile coverage, not for
+//! statistically rigorous measurement.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for parity with the real crate.
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget (untimed iterations before sampling).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget across all samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs `f` under a [`Bencher`] and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            best: None,
+        };
+        f(&mut b);
+        match b.best {
+            Some(best) => println!("bench {id:<48} {best:>12.1?}/iter"),
+            None => println!("bench {id:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Per-benchmark timing loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording the best sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        // Measurement: `sample_size` samples or until the budget runs out.
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            self.best = Some(self.best.map_or(dt, |b| b.min(dt)));
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+///
+/// Both the `name = …; config = …; targets = …` form and the positional
+/// `(group_name, fn1, fn2, …)` form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
