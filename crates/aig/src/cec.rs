@@ -63,7 +63,7 @@ pub fn check_equivalence(a: &Aig, b: &Aig) -> CecResult {
                 state ^= state << 13;
                 state ^= state >> 7;
                 state ^= state << 17;
-                state.wrapping_add((round * 0x9E37_79B9 + i as u64) as u64)
+                state.wrapping_add(round * 0x9E37_79B9 + i as u64)
             })
             .collect();
         let va = a.simulate_words(&patterns);

@@ -1,37 +1,114 @@
-//! K-feasible cut enumeration with priority pruning, plus cut-function
-//! computation — shared infrastructure for rewriting and technology
+//! Arena-backed k-feasible priority-cut enumeration with in-pass cut
+//! functions — shared infrastructure for rewriting and technology
 //! mapping.
+//!
+//! All cuts of a network live in one [`CutArena`]: a flat contiguous
+//! leaf buffer plus per-node slices, in the style of ABC's priority
+//! cuts. Enumeration keeps a bounded list of the best cuts per node
+//! under a pluggable [`CutRank`], prunes dominated cuts with
+//! bloom-style signatures, and — for cut sizes the mapper uses
+//! (`k ≤ 6`) — computes every cut's function as a single `u64` word in
+//! the same forward pass, so downstream consumers never walk cones or
+//! allocate per-cut sets.
 
 use crate::graph::{Aig, NodeId};
-use cntfet_boolfn::TruthTable;
-use std::collections::HashMap;
+use cntfet_boolfn::{word, TruthTable};
 
-/// A cut: a set of leaf nodes that together dominate a root node
-/// (every path from a PI to the root passes through a leaf).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Cut {
-    /// Sorted leaf nodes.
-    leaves: Vec<NodeId>,
-    /// Signature (bloom-style) for fast subset tests.
-    sig: u64,
+/// Cost used to rank a node's cuts before truncating to the priority
+/// list. Smaller is better; ranking is stable, so ties keep discovery
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutRank {
+    /// Fewer leaves first — favours large cones per cell (area).
+    #[default]
+    Size,
+    /// Shallower cuts first (smaller maximum leaf level), then fewer
+    /// leaves — keeps cuts whose leaves arrive early (delay).
+    Depth,
 }
 
-impl Cut {
-    fn from_leaves(mut leaves: Vec<NodeId>) -> Cut {
-        leaves.sort();
-        leaves.dedup();
-        let sig = leaves.iter().fold(0u64, |s, n| s | 1 << (n.index() % 64));
-        Cut { leaves, sig }
+/// Parameters of [`enumerate_cuts_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct CutParams {
+    /// Maximum cut size (`k ≥ 2`).
+    pub k: usize,
+    /// Priority cuts kept per node, unit cut included. The direct
+    /// fanin-pair cut of an AND node is always among them (displacing
+    /// the worst-ranked survivor if necessary), so `max_cuts ≥ 2`
+    /// guarantees every AND node a mappable cut.
+    pub max_cuts: usize,
+    /// Ranking that decides which cuts survive truncation.
+    pub rank: CutRank,
+}
+
+/// Per-cut record: a slice of the arena's leaf buffer plus signature
+/// and (for `k ≤ 6`) the cut function.
+#[derive(Debug, Clone, Copy)]
+struct CutData {
+    /// Offset of the first leaf in the arena buffer.
+    off: u32,
+    /// Number of leaves.
+    len: u16,
+    /// Bloom-style signature (`1 << (leaf % 64)` folded over leaves).
+    sig: u64,
+    /// Function of the cut's root over its leaves (leaf `i` is
+    /// variable `i`), replicated-u64 form; valid iff the arena carries
+    /// truth tables.
+    tt: u64,
+}
+
+/// All cuts of an AIG, arena-packed: one contiguous leaf buffer,
+/// per-node cut spans.
+#[derive(Debug)]
+pub struct CutArena {
+    k: usize,
+    has_tts: bool,
+    leaves: Vec<NodeId>,
+    cuts: Vec<CutData>,
+    /// Per node: `[start, end)` into `cuts`.
+    spans: Vec<(u32, u32)>,
+}
+
+impl CutArena {
+    /// The cut-size bound enumeration ran with.
+    pub fn k(&self) -> usize {
+        self.k
     }
 
-    /// Unit cut {node}.
-    pub fn unit(node: NodeId) -> Cut {
-        Cut::from_leaves(vec![node])
+    /// Whether cut functions were computed in-pass (`k ≤ 6`).
+    pub fn has_functions(&self) -> bool {
+        self.has_tts
     }
 
+    /// Total number of cuts stored.
+    pub fn num_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Total number of leaf slots stored.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The cuts of a node; the first cut is always the unit cut.
+    pub fn of(&self, node: NodeId) -> CutIter<'_> {
+        let (start, end) = self.spans[node.index()];
+        CutIter { arena: self, cur: start as usize, end: end as usize }
+    }
+}
+
+/// Borrowed view of one cut in a [`CutArena`].
+#[derive(Debug, Clone, Copy)]
+pub struct CutView<'a> {
+    leaves: &'a [NodeId],
+    tt: u64,
+    has_tt: bool,
+}
+
+impl<'a> CutView<'a> {
     /// The sorted leaves.
-    pub fn leaves(&self) -> &[NodeId] {
-        &self.leaves
+    pub fn leaves(&self) -> &'a [NodeId] {
+        self.leaves
     }
 
     /// Number of leaves.
@@ -39,141 +116,352 @@ impl Cut {
         self.leaves.len()
     }
 
-    /// Merges two cuts if the union stays within `k` leaves.
-    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
-        if (self.sig | other.sig).count_ones() as usize > k {
-            // Quick reject only when even the optimistic signature
-            // union is too large (signatures may alias, so this test
-            // is conservative in the other direction).
-        }
-        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.leaves.len() || j < other.leaves.len() {
-            let next = match (self.leaves.get(i), other.leaves.get(j)) {
-                (Some(&a), Some(&b)) => {
-                    if a < b {
-                        i += 1;
-                        a
-                    } else if b < a {
-                        j += 1;
-                        b
-                    } else {
-                        i += 1;
-                        j += 1;
-                        a
-                    }
-                }
-                (Some(&a), None) => {
-                    i += 1;
-                    a
-                }
-                (None, Some(&b)) => {
-                    j += 1;
-                    b
-                }
-                (None, None) => break,
-            };
-            leaves.push(next);
-            if leaves.len() > k {
-                return None;
-            }
-        }
-        Some(Cut::from_leaves(leaves))
+    /// The cut function as a replicated `u64` word over `size()`
+    /// variables (leaf `i` is variable `i`), when the arena computed
+    /// functions in-pass.
+    pub fn function_word(&self) -> Option<u64> {
+        self.has_tt.then_some(self.tt)
     }
 
-    /// True iff `self`'s leaves are a subset of `other`'s.
-    pub fn dominates(&self, other: &Cut) -> bool {
-        if self.sig & !other.sig != 0 || self.leaves.len() > other.leaves.len() {
+    /// The cut function as a [`TruthTable`], when available (see
+    /// [`CutView::function_word`]).
+    pub fn function(&self) -> Option<TruthTable> {
+        self.has_tt.then(|| TruthTable::from_bits(self.size(), self.tt))
+    }
+}
+
+/// Iterator over a node's cuts (see [`CutArena::of`]).
+#[derive(Debug, Clone)]
+pub struct CutIter<'a> {
+    arena: &'a CutArena,
+    cur: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for CutIter<'a> {
+    type Item = CutView<'a>;
+
+    fn next(&mut self) -> Option<CutView<'a>> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let d = self.arena.cuts[self.cur];
+        self.cur += 1;
+        Some(CutView {
+            leaves: &self.arena.leaves[d.off as usize..d.off as usize + d.len as usize],
+            tt: d.tt,
+            has_tt: self.arena.has_tts,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CutIter<'_> {}
+
+/// Scratch cut assembled while processing one node; leaves live in a
+/// shared scratch buffer that is recycled across nodes.
+#[derive(Clone, Copy)]
+struct ScratchCut {
+    off: u32,
+    len: u16,
+    sig: u64,
+    tt: u64,
+    /// Ranking key (primary, secondary); smaller is better.
+    cost: (u32, u32),
+    alive: bool,
+}
+
+/// Enumerates up to `max_cuts` k-feasible priority cuts per node,
+/// ranked by [`CutRank::Size`] (the first cut of every node is its
+/// unit cut). See [`enumerate_cuts_with`] for the full interface.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutArena {
+    enumerate_cuts_with(aig, CutParams { k, max_cuts, rank: CutRank::Size })
+}
+
+/// Enumerates k-feasible priority cuts into a fresh [`CutArena`].
+///
+/// For every AND node, the cut sets of its fanins are pairwise merged
+/// (signature quick-reject first), dominated cuts are pruned, the
+/// survivors are ranked by `params.rank` and truncated to
+/// `max_cuts - 1`, and the unit cut is prepended. When `k ≤ 6` the
+/// function of every cut is computed incrementally during the merge —
+/// fanin cut words are expanded onto the merged leaf set and ANDed —
+/// so no cone traversal ever happens afterwards.
+///
+/// # Panics
+///
+/// Panics if `params.k < 2`.
+pub fn enumerate_cuts_with(aig: &Aig, params: CutParams) -> CutArena {
+    let CutParams { k, max_cuts, rank } = params;
+    assert!(k >= 2, "cut size must be at least 2");
+    let has_tts = k <= word::MAX_WORD_VARS;
+    let n = aig.num_nodes();
+    let levels = match rank {
+        CutRank::Size => Vec::new(),
+        CutRank::Depth => aig.levels(),
+    };
+
+    let mut arena = CutArena {
+        k,
+        has_tts,
+        // Rough guesses: most nodes keep close to max_cuts cuts of a
+        // few leaves each; growth beyond this is a single realloc.
+        leaves: Vec::with_capacity(n * max_cuts.min(8) * 2),
+        cuts: Vec::with_capacity(n * max_cuts.min(8)),
+        spans: vec![(0, 0); n],
+    };
+
+    // Node-local scratch, recycled across nodes.
+    let mut sleaves: Vec<NodeId> = Vec::new();
+    let mut scuts: Vec<ScratchCut> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut pos: Vec<usize> = Vec::with_capacity(k);
+
+    for id in aig.node_ids() {
+        let start = arena.cuts.len() as u32;
+        if !aig.is_and(id) {
+            // Constant node or PI: just the unit cut. The constant's
+            // "function" is 0 (it never appears as an AND cut leaf —
+            // structural hashing folds constant fanins away).
+            push_unit(&mut arena, id);
+            arena.spans[id.index()] = (start, arena.cuts.len() as u32);
+            continue;
+        }
+
+        let (f0, f1) = aig.fanins(id);
+        sleaves.clear();
+        scuts.clear();
+        let (s0, e0) = arena.spans[f0.node().index()];
+        let (s1, e1) = arena.spans[f1.node().index()];
+        for i0 in s0..e0 {
+            for i1 in s1..e1 {
+                let c0 = arena.cuts[i0 as usize];
+                let c1 = arena.cuts[i1 as usize];
+                // Signature quick-reject: the popcount of the united
+                // signatures is a lower bound on the true union size.
+                if (c0.sig | c1.sig).count_ones() as usize > k {
+                    continue;
+                }
+                let off = sleaves.len() as u32;
+                if !merge_leaves(&arena, &c0, &c1, k, &mut sleaves) {
+                    sleaves.truncate(off as usize);
+                    continue;
+                }
+                let merged = &sleaves[off as usize..];
+                let len = merged.len() as u16;
+                let sig = c0.sig | c1.sig;
+                // Dominance: drop the merged cut if an existing cut is
+                // a subset of it; kill existing cuts it is a subset of.
+                let dominated = scuts.iter().any(|s| {
+                    s.alive && subset(&sleaves[s.off as usize..(s.off + s.len as u32) as usize], s.sig, merged, sig)
+                });
+                if dominated {
+                    sleaves.truncate(off as usize);
+                    continue;
+                }
+                let tt = if has_tts {
+                    let merged = &sleaves[off as usize..];
+                    let ta = expand_cut_word(&arena, &c0, merged, &mut pos);
+                    let tb = expand_cut_word(&arena, &c1, merged, &mut pos);
+                    (ta ^ flip(f0.is_complement())) & (tb ^ flip(f1.is_complement()))
+                } else {
+                    0
+                };
+                let merged = &sleaves[off as usize..];
+                for s in scuts.iter_mut() {
+                    if s.alive
+                        && subset(merged, sig, &sleaves[s.off as usize..(s.off + s.len as u32) as usize], s.sig)
+                    {
+                        s.alive = false;
+                    }
+                }
+                let cost = match rank {
+                    CutRank::Size => (len as u32, 0),
+                    CutRank::Depth => {
+                        let depth =
+                            merged.iter().map(|l| levels[l.index()]).max().unwrap_or(0);
+                        (depth, len as u32)
+                    }
+                };
+                scuts.push(ScratchCut { off, len, sig, tt, cost, alive: true });
+            }
+        }
+
+        // Rank survivors (stable) and keep the best max_cuts - 1.
+        order.clear();
+        order.extend((0..scuts.len()).filter(|&i| scuts[i].alive));
+        order.sort_by_key(|&i| scuts[i].cost);
+        order.truncate(max_cuts.saturating_sub(1));
+        // The direct fanin-pair cut (the very first merge: unit ×
+        // unit) is the universal fallback every 2-input-complete
+        // library can realize — keep it even when the ranking would
+        // truncate it, so mapping never runs out of candidates. It
+        // displaces the worst-ranked survivor, keeping the per-node
+        // count within `max_cuts`.
+        if !scuts.is_empty() && scuts[0].alive && !order.contains(&0) {
+            order.pop();
+            order.push(0);
+        }
+
+        push_unit(&mut arena, id);
+        for &i in &order {
+            let s = scuts[i];
+            let off = arena.leaves.len() as u32;
+            arena
+                .leaves
+                .extend_from_slice(&sleaves[s.off as usize..(s.off + s.len as u32) as usize]);
+            arena.cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt });
+        }
+        arena.spans[id.index()] = (start, arena.cuts.len() as u32);
+    }
+    arena
+}
+
+fn flip(c: bool) -> u64 {
+    if c {
+        !0
+    } else {
+        0
+    }
+}
+
+fn push_unit(arena: &mut CutArena, id: NodeId) {
+    let off = arena.leaves.len() as u32;
+    arena.leaves.push(id);
+    let tt = if id == NodeId::CONST { 0 } else { word::var_word(0) };
+    arena.cuts.push(CutData { off, len: 1, sig: 1 << (id.index() % 64), tt });
+}
+
+/// Merges the (sorted) leaf slices of two arena cuts onto the end of
+/// `out`; false if the union exceeds `k`.
+fn merge_leaves(arena: &CutArena, a: &CutData, b: &CutData, k: usize, out: &mut Vec<NodeId>) -> bool {
+    let base = out.len();
+    let la = &arena.leaves[a.off as usize..(a.off + a.len as u32) as usize];
+    let lb = &arena.leaves[b.off as usize..(b.off + b.len as u32) as usize];
+    let (mut i, mut j) = (0, 0);
+    while i < la.len() || j < lb.len() {
+        let next = match (la.get(i), lb.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    i += 1;
+                    x
+                } else if y < x {
+                    j += 1;
+                    y
+                } else {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => break,
+        };
+        if out.len() - base >= k {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        out.push(next);
     }
+    true
 }
 
-/// Per-node cut sets for an AIG.
-#[derive(Debug)]
-pub struct CutSet {
-    cuts: Vec<Vec<Cut>>,
-}
-
-impl CutSet {
-    /// Cuts of a node (first cut is the unit cut).
-    pub fn of(&self, node: NodeId) -> &[Cut] {
-        &self.cuts[node.index()]
+/// True iff `a ⊆ b` (both sorted).
+fn subset(a: &[NodeId], sig_a: u64, b: &[NodeId], sig_b: u64) -> bool {
+    if sig_a & !sig_b != 0 || a.len() > b.len() {
+        return false;
     }
-}
-
-/// Enumerates up to `max_cuts` k-feasible cuts per node (priority
-/// cuts: smaller cuts first, dominated cuts removed).
-pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
-    assert!(k >= 2, "cut size must be at least 2");
-    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
-    for id in aig.node_ids() {
-        if id == NodeId::CONST {
-            cuts[id.index()] = vec![Cut::unit(id)];
-            continue;
-        }
-        if aig.is_pi(id) {
-            cuts[id.index()] = vec![Cut::unit(id)];
-            continue;
-        }
-        let (f0, f1) = aig.fanins(id);
-        let set0 = cuts[f0.node().index()].clone();
-        let set1 = cuts[f1.node().index()].clone();
-        let mut merged: Vec<Cut> = Vec::new();
-        for c0 in &set0 {
-            for c1 in &set1 {
-                if let Some(c) = c0.merge(c1, k) {
-                    if !merged.iter().any(|m| m.dominates(&c)) {
-                        merged.retain(|m| !c.dominates(m));
-                        merged.push(c);
-                    }
+    let mut j = 0;
+    for &x in a {
+        loop {
+            match b.get(j) {
+                Some(&y) if y < x => j += 1,
+                Some(&y) if y == x => {
+                    j += 1;
+                    break;
                 }
+                _ => return false,
             }
         }
-        merged.sort_by_key(Cut::size);
-        merged.truncate(max_cuts.saturating_sub(1));
-        let mut all = vec![Cut::unit(id)];
-        all.extend(merged);
-        cuts[id.index()] = all;
     }
-    CutSet { cuts }
+    true
 }
 
-/// Computes the function of `root` in terms of a cut's leaves
-/// (leaf `i` becomes variable `i`).
+/// Expands a fanin cut's function word onto the merged leaf set.
+fn expand_cut_word(arena: &CutArena, c: &CutData, merged: &[NodeId], pos: &mut Vec<usize>) -> u64 {
+    let leaves = &arena.leaves[c.off as usize..(c.off + c.len as u32) as usize];
+    pos.clear();
+    let mut j = 0;
+    for &l in leaves {
+        while merged[j] != l {
+            j += 1;
+        }
+        pos.push(j);
+        j += 1;
+    }
+    word::expand(c.tt, pos, merged.len())
+}
+
+/// Computes the function of `root` in terms of the given cut leaves
+/// (leaf `i` becomes variable `i`) by an iterative cone walk — the
+/// fallback for cuts wider than [`word::MAX_WORD_VARS`]; cuts the
+/// arena enumerated with `k ≤ 6` carry their function already (see
+/// [`CutView::function`]).
 ///
 /// # Panics
 ///
 /// Panics if the cut has more than [`cntfet_boolfn::MAX_VARS`] leaves
 /// or does not actually cover the root's cone.
-pub fn cut_function(aig: &Aig, root: NodeId, cut: &Cut) -> TruthTable {
-    let k = cut.size();
+pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    use std::collections::HashMap;
+    let k = leaves.len();
     assert!(k <= cntfet_boolfn::MAX_VARS);
     let mut memo: HashMap<NodeId, TruthTable> = HashMap::new();
-    for (i, &leaf) in cut.leaves().iter().enumerate() {
+    for (i, &leaf) in leaves.iter().enumerate() {
         memo.insert(leaf, TruthTable::var(k, i));
     }
     memo.insert(NodeId::CONST, TruthTable::zero(k));
-    fn rec(aig: &Aig, n: NodeId, memo: &mut HashMap<NodeId, TruthTable>, k: usize) -> TruthTable {
-        if let Some(t) = memo.get(&n) {
-            return t.clone();
+    // Iterative post-order: push fanins until resolvable, then combine
+    // with a single allocation per cone node.
+    let mut stack = vec![root];
+    while let Some(&n) = stack.last() {
+        if memo.contains_key(&n) {
+            stack.pop();
+            continue;
         }
-        assert!(aig.is_and(n), "cut does not cover the cone (reached PI n{n:?})");
+        assert!(aig.is_and(n), "cut does not cover the cone (reached PI {n:?})");
         let (f0, f1) = aig.fanins(n);
-        let mut a = rec(aig, f0.node(), memo, k);
-        if f0.is_complement() {
-            a = !a;
+        match (memo.get(&f0.node()), memo.get(&f1.node())) {
+            (Some(a), Some(b)) => {
+                let t = a.and_with_compl(b, f0.is_complement(), f1.is_complement());
+                memo.insert(n, t);
+                stack.pop();
+            }
+            (a, b) => {
+                if a.is_none() {
+                    stack.push(f0.node());
+                }
+                if b.is_none() {
+                    stack.push(f1.node());
+                }
+            }
         }
-        let mut b = rec(aig, f1.node(), memo, k);
-        if f1.is_complement() {
-            b = !b;
-        }
-        let t = a & b;
-        memo.insert(n, t.clone());
-        t
     }
-    rec(aig, root, &mut memo, k)
+    memo.remove(&root).expect("root computed")
 }
 
 #[cfg(test)]
@@ -198,9 +486,11 @@ mod tests {
         let g = sample_aig();
         let cs = enumerate_cuts(&g, 4, 8);
         for id in g.and_ids() {
-            let cuts = cs.of(id);
-            assert!(!cuts.is_empty());
-            assert_eq!(cuts[0], Cut::unit(id));
+            let mut cuts = cs.of(id);
+            assert!(cuts.len() > 0);
+            let unit = cuts.next().unwrap();
+            assert_eq!(unit.leaves(), &[id]);
+            assert_eq!(unit.function(), Some(TruthTable::var(1, 0)));
         }
     }
 
@@ -211,10 +501,22 @@ mod tests {
         let root = g.pos()[0].node();
         let pi_cut = cs
             .of(root)
-            .iter()
             .find(|c| c.leaves().iter().all(|&l| g.is_pi(l)))
             .expect("4-input function must have a full PI cut");
         assert_eq!(pi_cut.size(), 4);
+    }
+
+    #[test]
+    fn in_pass_functions_match_cone_walk() {
+        let g = sample_aig();
+        let cs = enumerate_cuts(&g, 4, 16);
+        for id in g.and_ids() {
+            for cut in cs.of(id) {
+                let inpass = cut.function().expect("k <= 6 carries functions");
+                let walked = cut_function(&g, id, cut.leaves());
+                assert_eq!(inpass, walked, "node {id:?}, cut {:?}", cut.leaves());
+            }
+        }
     }
 
     #[test]
@@ -224,11 +526,9 @@ mod tests {
         let root = g.pos()[0].node();
         let pi_cut = cs
             .of(root)
-            .iter()
             .find(|c| c.size() == 4 && c.leaves().iter().all(|&l| g.is_pi(l)))
-            .unwrap()
-            .clone();
-        let mut tt = cut_function(&g, root, &pi_cut);
+            .unwrap();
+        let mut tt = pi_cut.function().unwrap();
         if g.pos()[0].is_complement() {
             tt = !tt;
         }
@@ -245,10 +545,11 @@ mod tests {
         let g = sample_aig();
         let cs = enumerate_cuts(&g, 4, 16);
         for id in g.and_ids() {
-            let cuts = cs.of(id);
+            let cuts: Vec<CutView<'_>> = cs.of(id).collect();
             for (i, a) in cuts.iter().enumerate() {
                 for (j, b) in cuts.iter().enumerate() {
-                    if i != j && a.dominates(b) {
+                    let is_subset = a.leaves().iter().all(|l| b.leaves().contains(l));
+                    if i != j && is_subset {
                         // Unit cut dominates nothing else by construction;
                         // other dominations must have been pruned.
                         assert_eq!(a.size(), 1, "dominated cut kept at node {id:?}");
@@ -260,7 +561,6 @@ mod tests {
 
     #[test]
     fn merge_respects_k() {
-        let a = Cut::from_leaves(vec![NodeId::CONST]);
         let g = sample_aig();
         let cs = enumerate_cuts(&g, 2, 8);
         // With k=2 no cut exceeds 2 leaves.
@@ -269,6 +569,47 @@ mod tests {
                 assert!(c.size() <= 2);
             }
         }
-        let _ = a;
+    }
+
+    #[test]
+    fn depth_rank_prefers_shallow_cuts() {
+        // A chain deep enough that size- and depth-ranking disagree.
+        let mut g = Aig::new("chain");
+        let pis = g.add_pis(8);
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.and(acc, p);
+        }
+        g.add_po(acc);
+        let by_depth =
+            enumerate_cuts_with(&g, CutParams { k: 4, max_cuts: 4, rank: CutRank::Depth });
+        let levels = g.levels();
+        let root = g.pos()[0].node();
+        // Every kept non-unit cut's depth must not exceed the depth of
+        // the best (first-ranked) one — ranking is monotone.
+        let depths: Vec<u32> = by_depth
+            .of(root)
+            .skip(1)
+            .map(|c| c.leaves().iter().map(|l| levels[l.index()]).max().unwrap())
+            .collect();
+        assert!(!depths.is_empty());
+        for w in depths.windows(2) {
+            assert!(w[0] <= w[1], "depth ranking violated: {depths:?}");
+        }
+    }
+
+    #[test]
+    fn wide_cuts_fall_back_to_cone_walk() {
+        let mut g = Aig::new("wide");
+        let pis = g.add_pis(8);
+        let x = g.xor_many(&pis);
+        g.add_po(x);
+        let cs = enumerate_cuts(&g, 8, 16);
+        assert!(!cs.has_functions());
+        let root = g.pos()[0].node();
+        let wide = cs.of(root).max_by_key(|c| c.size()).unwrap();
+        assert!(wide.function().is_none());
+        let tt = cut_function(&g, root, wide.leaves());
+        assert_eq!(tt.nvars(), wide.size());
     }
 }

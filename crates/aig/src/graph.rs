@@ -496,15 +496,14 @@ impl Aig {
         }
         for (i, node) in self.nodes.iter().enumerate() {
             if node.is_and() {
-                let mut a = tts[node.f0.node().index()].clone();
-                if node.f0.is_complement() {
-                    a = !a;
-                }
-                let mut b = tts[node.f1.node().index()].clone();
-                if node.f1.is_complement() {
-                    b = !b;
-                }
-                tts[i] = a & b;
+                // Fanins precede `i` topologically, so a split borrow
+                // reaches both operands without cloning either table.
+                let (head, tail) = tts.split_at_mut(i);
+                tail[0] = head[node.f0.node().index()].and_with_compl(
+                    &head[node.f1.node().index()],
+                    node.f0.is_complement(),
+                    node.f1.is_complement(),
+                );
             }
         }
         let l = self.pos[po];

@@ -38,6 +38,9 @@ mod sweep;
 
 pub use blif::{parse_blif, write_blif, ParseBlifError};
 pub use cec::{check_equivalence, equivalent, sat_lit, tseitin, CecResult};
-pub use cuts::{cut_function, enumerate_cuts, Cut, CutSet};
+pub use cuts::{
+    cut_function, enumerate_cuts, enumerate_cuts_with, CutArena, CutIter, CutParams, CutRank,
+    CutView,
+};
 pub use graph::{Aig, Lit, NodeId};
 pub use sweep::check_equivalence_sweeping;

@@ -217,11 +217,17 @@ fn append(src: &Aig, dst: &mut Aig, pis: &[Lit]) -> Vec<Lit> {
 /// simulation (only used for trivial constant mismatches).
 fn counterexample(a: &Aig, b: &Aig, o: usize) -> CecResult {
     let mut rng = 0xD00Du64;
-    loop {
+    let mut next = move || {
         rng ^= rng << 13;
         rng ^= rng >> 7;
         rng ^= rng << 17;
-        let inputs: Vec<bool> = (0..a.num_pis()).map(|i| rng >> (i % 64) & 1 == 1).collect();
+        rng
+    };
+    loop {
+        // One fresh RNG draw per input: deriving bits of a single word
+        // by position would hand identical patterns to PIs 64 apart
+        // and degenerate the search on wide circuits.
+        let inputs: Vec<bool> = (0..a.num_pis()).map(|_| next() & 1 == 1).collect();
         if a.eval(&inputs)[o] != b.eval(&inputs)[o] {
             return CecResult::Counterexample { inputs, output: o };
         }
@@ -311,12 +317,12 @@ mod tests {
         let b = g.add_pis(n);
         // acc += (a & b[j]) << j, ripple adder per row.
         let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * n];
-        for j in 0..n {
-            let row: Vec<Lit> = (0..n).map(|i| g.and(a[i], b[j])).collect();
+        for (j, &bj) in b.iter().enumerate() {
+            let row: Vec<Lit> = a.iter().map(|&ai| g.and(ai, bj)).collect();
             let mut carry = Lit::FALSE;
             for i in 0..=n {
                 let idx = i + j;
-                let addend = if i < n { row[i] } else { Lit::FALSE };
+                let addend = row.get(i).copied().unwrap_or(Lit::FALSE);
                 let x = g.xor(acc[idx], addend);
                 let s = g.xor(x, carry);
                 let c1 = g.and(acc[idx], addend);

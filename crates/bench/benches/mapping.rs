@@ -1,24 +1,50 @@
 //! Criterion benchmarks of technology mapping (the Table 3 engine) on
-//! representative benchmarks and libraries.
+//! representative benchmarks and libraries, covering both corners of
+//! the multi-objective coverer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_mapping(c: &mut Criterion) {
     let add16 = cntfet_synth::resyn2rs(&cntfet_circuits::ripple_adder(16));
+    let mult8 = cntfet_synth::resyn2rs(&cntfet_circuits::array_multiplier(8));
     let c1908 = cntfet_synth::resyn2rs(&cntfet_circuits::c1908_like());
     let tg = cntfet_core::Library::new(cntfet_core::LogicFamily::TgStatic);
     let cmos = cntfet_core::Library::new(cntfet_core::LogicFamily::CmosStatic);
     let opts = cntfet_techmap::MapOptions::default();
+    let with = |objective| cntfet_techmap::MapOptions { objective, ..Default::default() };
 
     c.bench_function("map/add16/tg_static", |b| {
         b.iter(|| cntfet_techmap::map(black_box(&add16), &tg, opts))
     });
+    c.bench_function("map/add16/tg_static/area", |b| {
+        b.iter(|| {
+            cntfet_techmap::map(black_box(&add16), &tg, with(cntfet_techmap::Objective::Area))
+        })
+    });
+    c.bench_function("map/add16/tg_static/delay", |b| {
+        b.iter(|| {
+            cntfet_techmap::map(black_box(&add16), &tg, with(cntfet_techmap::Objective::Delay))
+        })
+    });
     c.bench_function("map/add16/cmos", |b| {
         b.iter(|| cntfet_techmap::map(black_box(&add16), &cmos, opts))
     });
+    c.bench_function("map/mult8/tg_static/area", |b| {
+        b.iter(|| {
+            cntfet_techmap::map(black_box(&mult8), &tg, with(cntfet_techmap::Objective::Area))
+        })
+    });
+    c.bench_function("map/mult8/tg_static/delay", |b| {
+        b.iter(|| {
+            cntfet_techmap::map(black_box(&mult8), &tg, with(cntfet_techmap::Objective::Delay))
+        })
+    });
     c.bench_function("map/c1908/tg_static", |b| {
         b.iter(|| cntfet_techmap::map(black_box(&c1908), &tg, opts))
+    });
+    c.bench_function("cuts/enumerate/mult8/k6", |b| {
+        b.iter(|| cntfet_aig::enumerate_cuts(black_box(&mult8), 6, 10))
     });
     c.bench_function("verify_mapping/add16/tg_static", |b| {
         let m = cntfet_techmap::map(&add16, &tg, opts);

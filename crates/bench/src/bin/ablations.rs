@@ -12,7 +12,7 @@
 use cntfet_circuits::{cla_adder, ripple_adder};
 use cntfet_core::{Library, LogicFamily};
 use cntfet_synth::resyn2rs;
-use cntfet_techmap::{map, MapOptions};
+use cntfet_techmap::{map, MapOptions, Objective};
 
 fn main() {
     let bench = resyn2rs(&ripple_adder(16));
@@ -36,6 +36,20 @@ fn main() {
         println!(
             "{:>7} {:>7} {:>9.1} {:>9.1}",
             rounds, m.stats.gates, m.stats.area, m.stats.delay_norm
+        );
+    }
+
+    println!("\n== Ablation 2b: covering objective (C1908, TG static) ==");
+    println!("{:>9} {:>7} {:>9} {:>9}", "objective", "gates", "area", "delay/τ");
+    for (name, objective) in [
+        ("area", Objective::Area),
+        ("balanced", Objective::Balanced),
+        ("delay", Objective::Delay),
+    ] {
+        let m = map(&c1908, &lib, MapOptions { objective, ..Default::default() });
+        println!(
+            "{:>9} {:>7} {:>9.1} {:>9.1}",
+            name, m.stats.gates, m.stats.area, m.stats.delay_norm
         );
     }
 

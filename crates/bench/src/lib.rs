@@ -42,13 +42,20 @@ impl Table3Row {
     }
 }
 
-/// Runs the full Table 3 pipeline on one benchmark.
+/// Runs the full Table 3 pipeline on one benchmark with default
+/// (balanced) mapper options.
 ///
 /// `verify` enables SAT equivalence checking of every mapping (adds
 /// runtime on the large circuits).
 pub fn run_benchmark(b: &Benchmark, verify: bool) -> Table3Row {
+    run_benchmark_with(b, verify, MapOptions::default())
+}
+
+/// [`run_benchmark`] with explicit mapper options — the hook behind
+/// `table3 --objective area|delay`, which reports the two corners of
+/// the multi-objective coverer.
+pub fn run_benchmark_with(b: &Benchmark, verify: bool, opts: MapOptions) -> Table3Row {
     let optimized = resyn2rs(&b.aig);
-    let opts = MapOptions::default();
     let families = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic];
     let mut stats = Vec::with_capacity(3);
     let mut verified = true;
@@ -75,10 +82,15 @@ pub fn run_benchmark(b: &Benchmark, verify: bool) -> Table3Row {
 /// Runs the whole suite (all 15 benchmarks). `verify` as in
 /// [`run_benchmark`]; `subset` optionally restricts by name.
 pub fn run_suite(verify: bool, subset: Option<&[&str]>) -> Vec<Table3Row> {
+    run_suite_with(verify, subset, MapOptions::default())
+}
+
+/// [`run_suite`] with explicit mapper options.
+pub fn run_suite_with(verify: bool, subset: Option<&[&str]>, opts: MapOptions) -> Vec<Table3Row> {
     paper_benchmarks()
         .iter()
         .filter(|b| subset.map(|s| s.contains(&b.name)).unwrap_or(true))
-        .map(|b| run_benchmark(b, verify))
+        .map(|b| run_benchmark_with(b, verify, opts))
         .collect()
 }
 

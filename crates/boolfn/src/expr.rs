@@ -46,6 +46,10 @@ impl Expr {
     }
 
     /// Negation (with double-negation collapsing).
+    ///
+    /// Deliberately an inherent method, not `std::ops::Not`: it takes
+    /// `self` by value and simplifies rather than wrapping.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         match self {
             Expr::Not(inner) => *inner,

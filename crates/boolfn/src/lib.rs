@@ -38,6 +38,7 @@ mod factor;
 mod isop;
 mod npn;
 mod tt;
+pub mod word;
 
 pub use cube::{Cube, Sop};
 pub use expr::{Expr, ParseExprError};

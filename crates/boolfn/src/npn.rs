@@ -104,7 +104,7 @@ impl NpnTransform {
         // x[next.perm[self.perm[i]]] ⊕ flip2_{self.perm[i]} ⊕ flip1_i.
         for i in 0..n {
             let mid = self.perm(i);
-            out.perm[i] = next.perm[mid] as u8;
+            out.perm[i] = next.perm[mid];
             let flip = self.input_flipped(i) ^ next.input_flipped(mid);
             if flip {
                 out.input_flips |= 1 << i;

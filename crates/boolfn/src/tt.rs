@@ -355,9 +355,8 @@ impl TruthTable {
         // copy: repeatedly swap until each slot holds its target.
         let mut t = self.clone();
         let mut cur: Vec<usize> = (0..self.nvars).collect();
-        for i in 0..self.nvars {
+        for (i, &target) in perm.iter().enumerate() {
             // Find where variable that must end at perm[i] currently is.
-            let target = perm[i];
             let j = cur.iter().position(|&c| c == i).unwrap();
             // We want variable i (currently at slot j) to move to slot target.
             if j != target {
@@ -413,6 +412,29 @@ impl TruthTable {
         }
         let keep = s.len().saturating_sub(digits);
         s[keep..].to_string()
+    }
+
+    /// The conjunction `(self ⊕ ca) & (other ⊕ cb)` in one pass —
+    /// complements applied on the fly, so callers combining cone
+    /// functions (AIG fanins carry edge complements) allocate only the
+    /// result instead of cloning and negating both operands first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn and_with_compl(&self, other: &TruthTable, ca: bool, cb: bool) -> TruthTable {
+        assert_eq!(self.nvars, other.nvars, "variable count mismatch");
+        let ma = if ca { !0u64 } else { 0 };
+        let mb = if cb { !0u64 } else { 0 };
+        TruthTable {
+            nvars: self.nvars,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| (a ^ ma) & (b ^ mb))
+                .collect(),
+        }
     }
 
     /// Composes this table over sub-functions: result(m) =

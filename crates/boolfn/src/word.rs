@@ -1,0 +1,180 @@
+//! Single-word truth tables: functions of up to [`MAX_WORD_VARS`]
+//! variables packed into one `u64`.
+//!
+//! The bit convention matches [`crate::TruthTable`]: bit `i` is the
+//! function value on minterm `i`, and for fewer than 6 variables the
+//! upper bits hold periodic copies of the low `2^nvars` bits, so `&`,
+//! `|`, `^` and `!` act directly as Boolean connectives. Cut
+//! enumeration and technology mapping use these helpers to carry cut
+//! functions through the hot path without heap allocation; a word
+//! converts to a full [`crate::TruthTable`] via
+//! [`crate::TruthTable::from_bits`] only at the matching boundary.
+
+/// Maximum variable count a single word can hold.
+pub const MAX_WORD_VARS: usize = 6;
+
+/// Positions where variable `v` is 1 inside a 64-bit word.
+const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// The projection word of variable `v` (any arity that contains `v`).
+///
+/// # Panics
+///
+/// Panics if `v >= MAX_WORD_VARS`.
+pub fn var_word(v: usize) -> u64 {
+    VAR_MASKS[v]
+}
+
+/// Replicates the low `2^nvars` bits of `low` periodically across the
+/// word — the normal form every helper in this module expects and
+/// produces.
+///
+/// # Panics
+///
+/// Panics if `nvars > MAX_WORD_VARS`.
+pub fn replicate(nvars: usize, low: u64) -> u64 {
+    assert!(nvars <= MAX_WORD_VARS);
+    if nvars >= 6 {
+        return low;
+    }
+    let period = 1usize << nvars;
+    let mut w = low & (!0u64 >> (64 - period));
+    let mut width = period;
+    while width < 64 {
+        w |= w << width;
+        width *= 2;
+    }
+    w
+}
+
+/// True iff the function depends on variable `v < MAX_WORD_VARS`.
+pub fn depends_on(tt: u64, v: usize) -> bool {
+    let m = VAR_MASKS[v];
+    ((tt & m) >> (1u32 << v)) != tt & !m
+}
+
+/// Ascending list of variables (below `nvars`) the function depends
+/// on, appended to `out`.
+pub fn support(tt: u64, nvars: usize, out: &mut Vec<usize>) {
+    out.clear();
+    for v in 0..nvars.min(MAX_WORD_VARS) {
+        if depends_on(tt, v) {
+            out.push(v);
+        }
+    }
+}
+
+/// Compacts `tt` onto the (ascending) variable subset `vars`: the
+/// result is a function of `vars.len()` variables where new variable
+/// `i` stands for old variable `vars[i]`. Only meaningful when `tt`
+/// does not depend on any variable outside `vars`.
+pub fn shrink_to(tt: u64, vars: &[usize]) -> u64 {
+    let k = vars.len();
+    debug_assert!(k <= MAX_WORD_VARS);
+    if vars.iter().enumerate().all(|(i, &v)| i == v) {
+        return replicate(k, tt);
+    }
+    let mut out = 0u64;
+    for m in 0..(1u64 << k) {
+        let mut full = 0u64;
+        for (i, &v) in vars.iter().enumerate() {
+            full |= (m >> i & 1) << v;
+        }
+        if tt >> full & 1 == 1 {
+            out |= 1 << m;
+        }
+    }
+    replicate(k, out)
+}
+
+/// Re-expresses `tt`, a function of `pos.len()` variables, over a
+/// wider space of `to_nvars` variables: source variable `i` becomes
+/// target variable `pos[i]` (`pos` strictly ascending). The inverse
+/// direction of [`shrink_to`].
+pub fn expand(tt: u64, pos: &[usize], to_nvars: usize) -> u64 {
+    debug_assert!(to_nvars <= MAX_WORD_VARS);
+    debug_assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    if pos.len() == to_nvars {
+        // Ascending positions filling the whole space ⇒ identity.
+        return tt;
+    }
+    let mut out = 0u64;
+    for m in 0..(1u64 << to_nvars) {
+        let mut sub = 0u64;
+        for (i, &p) in pos.iter().enumerate() {
+            sub |= (m >> p & 1) << i;
+        }
+        if tt >> sub & 1 == 1 {
+            out |= 1 << m;
+        }
+    }
+    replicate(to_nvars, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    #[test]
+    fn var_words_match_truth_tables() {
+        for v in 0..6 {
+            assert_eq!(var_word(v), TruthTable::var(6, v).words()[0]);
+        }
+    }
+
+    #[test]
+    fn replicate_matches_from_bits() {
+        for n in 0..=6usize {
+            let bits = 0x9E37_79B9_97F4_A7C1u64;
+            assert_eq!(replicate(n, bits), TruthTable::from_bits(n, bits).words()[0]);
+        }
+    }
+
+    #[test]
+    fn depends_and_support() {
+        // f = x0 & x2 over 3 vars.
+        let f = var_word(0) & var_word(2);
+        assert!(depends_on(f, 0));
+        assert!(!depends_on(f, 1));
+        assert!(depends_on(f, 2));
+        let mut s = Vec::new();
+        support(f, 3, &mut s);
+        assert_eq!(s, vec![0, 2]);
+    }
+
+    #[test]
+    fn shrink_then_expand_roundtrips() {
+        // f = x1 ^ x3 over 4 vars; support {1, 3}.
+        let f = replicate(4, var_word(1) ^ var_word(3));
+        let small = shrink_to(f, &[1, 3]);
+        assert_eq!(small, replicate(2, var_word(0) ^ var_word(1)));
+        assert_eq!(expand(small, &[1, 3], 4), f);
+    }
+
+    #[test]
+    fn expand_identity_fast_path() {
+        let f = replicate(3, 0b1011_0010);
+        assert_eq!(expand(f, &[0, 1, 2], 3), f);
+    }
+
+    #[test]
+    fn word_ops_agree_with_truth_tables() {
+        let a = TruthTable::from_bits(4, 0x6A3C);
+        let b = TruthTable::from_bits(4, 0x9D51);
+        let wa = a.words()[0];
+        let wb = b.words()[0];
+        assert_eq!((&a & &b).words()[0], wa & wb);
+        assert_eq!((!&a).words()[0], !wa);
+        for v in 0..4 {
+            assert_eq!(a.depends_on(v), depends_on(wa, v));
+        }
+    }
+}

@@ -4,7 +4,8 @@
 use crate::chars::{characterize, GateChar};
 use crate::family::LogicFamily;
 use crate::functions::GateId;
-use cntfet_boolfn::{factor, isop, TruthTable};
+use cntfet_boolfn::{factor, isop, npn_canonical, NpnTransform, TruthTable};
+use std::collections::HashMap;
 
 /// A mappable library cell.
 ///
@@ -42,6 +43,18 @@ pub struct Library {
     cells: Vec<Cell>,
     inverter_area: f64,
     inverter_delay: f64,
+    /// NPN matching index, built once per library: canonical truth
+    /// table → every (cell, transform cell→canonical) in that class.
+    npn_index: HashMap<TruthTable, Vec<(usize, NpnTransform)>>,
+}
+
+fn build_npn_index(cells: &[Cell]) -> HashMap<TruthTable, Vec<(usize, NpnTransform)>> {
+    let mut index: HashMap<TruthTable, Vec<(usize, NpnTransform)>> = HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let canon = npn_canonical(&cell.function);
+        index.entry(canon.table).or_default().push((i, canon.transform));
+    }
+    index
 }
 
 impl Library {
@@ -63,7 +76,8 @@ impl Library {
         } else {
             (inv.area, inv.fo4_avg)
         };
-        Library { family, cells, inverter_area, inverter_delay }
+        let npn_index = build_npn_index(&cells);
+        Library { family, cells, inverter_area, inverter_delay, npn_index }
     }
 
     fn cell_from_char(ch: &GateChar, family: LogicFamily) -> Cell {
@@ -130,6 +144,18 @@ impl Library {
         self.family.is_cntfet()
     }
 
+    /// Every `(cell index, transform cell→canonical)` whose function
+    /// is NPN-equivalent to the given canonical table — a single hash
+    /// lookup into the index precomputed at library construction.
+    pub fn npn_matches(&self, canonical: &TruthTable) -> &[(usize, NpnTransform)] {
+        self.npn_index.get(canonical).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct NPN classes across the library's cells.
+    pub fn num_npn_classes(&self) -> usize {
+        self.npn_index.len()
+    }
+
     /// A copy of the library keeping only the cells accepted by
     /// `keep` — used e.g. to restrict mapping to the gates a regular
     /// fabric's generalized blocks can realize in a single block.
@@ -140,11 +166,13 @@ impl Library {
     pub fn filtered(&self, keep: impl Fn(&Cell) -> bool) -> Library {
         let cells: Vec<Cell> = self.cells.iter().filter(|c| keep(c)).cloned().collect();
         assert!(!cells.is_empty(), "filter removed every cell");
+        let npn_index = build_npn_index(&cells);
         Library {
             family: self.family,
             cells,
             inverter_area: self.inverter_area,
             inverter_delay: self.inverter_delay,
+            npn_index,
         }
     }
 
@@ -226,6 +254,27 @@ mod tests {
         // F05 area includes the output inverter: 7 + 2 = 9.
         let f05 = lib.cells().iter().find(|c| c.name == "F05").unwrap();
         assert!((f05.area - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn npn_index_covers_every_cell() {
+        let lib = Library::new(LogicFamily::TgStatic);
+        assert!(lib.num_npn_classes() > 0);
+        let mut indexed = 0;
+        for (i, cell) in lib.cells().iter().enumerate() {
+            let canon = npn_canonical(&cell.function);
+            let entries = lib.npn_matches(&canon.table);
+            assert!(entries.iter().any(|&(c, _)| c == i), "{} missing", cell.name);
+            // Every stored transform maps its cell onto the canonical form.
+            for &(c, t) in entries {
+                assert_eq!(t.apply(&lib.cells()[c].function), canon.table);
+            }
+            indexed += 1;
+        }
+        assert_eq!(indexed, 46);
+        // Filtering rebuilds the index for the surviving cells only.
+        let two_input = lib.filtered(|c| c.num_inputs == 2);
+        assert!(two_input.num_npn_classes() < lib.num_npn_classes());
     }
 
     #[test]

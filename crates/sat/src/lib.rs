@@ -49,6 +49,10 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    ///
+    /// Deliberately an inherent method, not `std::ops::Neg`: it maps a
+    /// variable to a literal rather than negating a value of `Self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit(self.0 << 1 | 1)
     }
@@ -600,8 +604,7 @@ impl Solver {
                 .unwrap()
         });
         let half = learnt_refs.len() / 2;
-        for idx in 0..half {
-            let c = learnt_refs[idx];
+        for &c in learnt_refs.iter().take(half) {
             let locked = {
                 let cl = &self.clauses[c as usize];
                 let l0 = cl.lits[0];

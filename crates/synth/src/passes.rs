@@ -3,7 +3,7 @@
 //! the paper runs before technology mapping.
 
 use cntfet_aig::{cut_function, enumerate_cuts, Aig, Lit, NodeId};
-use cntfet_boolfn::{factor, isop};
+use cntfet_boolfn::{factor, isop, TruthTable};
 
 /// Rebuilds the AIG with AND trees rebalanced to minimize depth
 /// (logic function preserved; conjunction leaves gathered through
@@ -109,16 +109,14 @@ pub fn refactor(aig: &Aig, k: usize, zero_cost: bool) -> Aig {
         let b = map[f1.node().index()].unwrap().negate_if(f1.is_complement());
 
         // Candidate: resynthesize the largest non-trivial cut.
-        let best_cut = cuts
-            .of(id)
-            .iter()
-            .filter(|c| c.size() >= 2)
-            .max_by_key(|c| c.size())
-            .cloned();
+        let best_cut = cuts.of(id).filter(|c| c.size() >= 2).max_by_key(|c| c.size());
 
         let mut chosen: Option<Lit> = None;
         if let Some(cut) = best_cut {
-            let tt = cut_function(aig, id, &cut);
+            // Narrow cuts carry their function from enumeration; wide
+            // ones (k > 6) fall back to the cone walk.
+            let tt: TruthTable =
+                cut.function().unwrap_or_else(|| cut_function(aig, id, cut.leaves()));
             let expr = factor(&isop(&tt));
             let leaves: Vec<Lit> = cut
                 .leaves()

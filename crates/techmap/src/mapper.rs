@@ -1,9 +1,18 @@
 //! Cut-based technology mapping onto a characterized library.
 //!
 //! The flow mirrors what the paper obtains from ABC + genlib
-//! (Sec. 4.4): k-feasible priority cuts, NPN boolean matching, a
-//! delay-optimal forward pass, and required-time-constrained
-//! area-flow recovery rounds.
+//! (Sec. 4.4), structured as explicit passes over arena-backed
+//! priority cuts:
+//!
+//! 1. **candidate generation** — every cut's in-pass function word is
+//!    support-compacted and resolved against the library's
+//!    precomputed NPN index (hash lookup + transform replay);
+//! 2. **forward pass** — delay-optimal ([`Objective::Delay`],
+//!    [`Objective::Balanced`]) or area-flow-first
+//!    ([`Objective::Area`]);
+//! 3. **area recovery** — area-flow rounds under required times,
+//!    then one exact-area round that re-evaluates each choice against
+//!    the real reference counts of the current cover.
 //!
 //! Polarity handling is the paper's key asymmetry:
 //!
@@ -15,8 +24,8 @@
 //!   *phase* per mapped node and charges/dedups inverters per driver.
 
 use crate::matcher::Matcher;
-use cntfet_aig::{cut_function, enumerate_cuts, Aig, NodeId};
-use cntfet_boolfn::TruthTable;
+use cntfet_aig::{enumerate_cuts_with, Aig, CutParams, CutRank, NodeId};
+use cntfet_boolfn::word;
 use cntfet_core::Library;
 
 /// Where a mapped-gate pin comes from.
@@ -79,6 +88,21 @@ pub struct Mapping {
     pub stats: MapStats,
 }
 
+/// What the covering optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize area: area-flow-first forward pass, unconstrained
+    /// exact-area recovery (delay is a tie-break only).
+    Area,
+    /// Minimize delay: depth-ranked cuts, delay-optimal forward pass,
+    /// recovery strictly fenced by the delay-pass required times.
+    Delay,
+    /// Delay-optimal forward pass with area recovery inside the slack
+    /// (the paper's ABC-style default).
+    #[default]
+    Balanced,
+}
+
 /// Mapper options.
 #[derive(Debug, Clone, Copy)]
 pub struct MapOptions {
@@ -86,17 +110,27 @@ pub struct MapOptions {
     pub cut_size: usize,
     /// Priority cuts kept per node.
     pub cuts_per_node: usize,
-    /// Area-recovery rounds after the delay-optimal pass.
+    /// Area-recovery rounds after the forward pass (each is one
+    /// area-flow round; any positive count adds a final exact-area
+    /// round on mapping references).
     pub area_rounds: usize,
+    /// Covering objective.
+    pub objective: Objective,
 }
 
 impl Default for MapOptions {
     fn default() -> Self {
-        MapOptions { cut_size: 6, cuts_per_node: 10, area_rounds: 2 }
+        MapOptions {
+            cut_size: 6,
+            cuts_per_node: 10,
+            area_rounds: 2,
+            objective: Objective::Balanced,
+        }
     }
 }
 
 const ALIAS: usize = usize::MAX;
+const EPS: f64 = 1e-9;
 
 /// A candidate implementation of a node.
 #[derive(Debug, Clone)]
@@ -109,6 +143,72 @@ struct Cand {
     out_compl: bool,
 }
 
+/// Library-dependent constants of one mapping run.
+struct Ctx<'a> {
+    aig: &'a Aig,
+    library: &'a Library,
+    free_pol: bool,
+    inv_delay: f64,
+    inv_area: f64,
+    fanout: Vec<u32>,
+}
+
+/// Mutable per-node selection state threaded through the passes.
+struct Sel {
+    /// Chosen candidate per node.
+    choice: Vec<usize>,
+    /// Physical-output arrival time.
+    arr: Vec<f64>,
+    /// Physical phase (CMOS: true = the signal is ¬node).
+    phase: Vec<bool>,
+    /// Area flow.
+    aflow: Vec<f64>,
+    /// Required time of the physical output.
+    required: Vec<f64>,
+    /// References in the current cover (base gate nodes only).
+    nref: Vec<u32>,
+}
+
+/// The rollback state of one recovery round (see [`Sel::snapshot`]).
+struct SelSnapshot {
+    choice: Vec<usize>,
+    arr: Vec<f64>,
+    phase: Vec<bool>,
+    aflow: Vec<f64>,
+}
+
+impl Sel {
+    /// Captures the selection state a recovery round may be rolled
+    /// back to (`required`/`nref` are per-round scratch).
+    fn snapshot(&self) -> SelSnapshot {
+        SelSnapshot {
+            choice: self.choice.clone(),
+            arr: self.arr.clone(),
+            phase: self.phase.clone(),
+            aflow: self.aflow.clone(),
+        }
+    }
+
+    fn restore(&mut self, snap: SelSnapshot) {
+        self.choice = snap.choice;
+        self.arr = snap.arr;
+        self.phase = snap.phase;
+        self.aflow = snap.aflow;
+    }
+}
+
+/// Selection rule of one forward pass.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Minimize arrival, tie-break on area flow.
+    Delay,
+    /// Minimize area flow within required times.
+    Flow,
+    /// Minimize exact area (by reference counting) within required
+    /// times.
+    Exact,
+}
+
 /// Maps an AIG onto a library.
 ///
 /// # Panics
@@ -117,42 +217,57 @@ struct Cand {
 /// built-in libraries: every 2-input cut matches the AND/OR cells).
 pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
     let mut matcher = Matcher::new(library);
-    let cut_size = opts.cut_size.min(6).max(2);
-    let cuts = enumerate_cuts(aig, cut_size, opts.cuts_per_node);
-    let free_pol = library.free_polarity();
-    let inv_delay = if free_pol { 0.0 } else { library.inverter_delay() };
-    let inv_area = if free_pol { 0.0 } else { library.inverter_area() };
-    let fanout = aig.fanout_counts();
+    let cut_size = opts.cut_size.clamp(2, 6);
+    // Size ranking keeps the richest candidate variety per node; the
+    // paper's wide XOR-capable cells make structurally deep cuts the
+    // fastest implementations, so depth-ranked truncation would hurt
+    // even the delay objective.
+    let cuts = enumerate_cuts_with(
+        aig,
+        CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: CutRank::Size },
+    );
+    let ctx = Ctx {
+        aig,
+        library,
+        free_pol: library.free_polarity(),
+        inv_delay: if library.free_polarity() { 0.0 } else { library.inverter_delay() },
+        inv_area: if library.free_polarity() { 0.0 } else { library.inverter_area() },
+        fanout: aig.fanout_counts(),
+    };
 
     // ---- candidate generation ----
     let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); aig.num_nodes()];
+    let mut support: Vec<usize> = Vec::with_capacity(6);
     for id in aig.and_ids() {
         let mut list = Vec::new();
-        for cut in cuts.of(id).iter().filter(|c| c.size() >= 2) {
-            let tt = cut_function(aig, id, cut);
+        for cut in cuts.of(id) {
+            if cut.size() < 2 {
+                continue;
+            }
+            let w = cut.function_word().expect("mapping cuts stay within one word");
             // Compact onto the true support.
-            let support: Vec<usize> =
-                (0..tt.nvars()).filter(|&v| tt.depends_on(v)).collect();
-            let leaves: Vec<NodeId> = support.iter().map(|&v| cut.leaves()[v]).collect();
+            word::support(w, cut.size(), &mut support);
             match support.len() {
                 0 => continue, // constant cone: handled by strash upstream
                 1 => {
                     // The node is a (possibly complemented) wire.
-                    let compl = !tt.eval(1 << support[0]);
-                    // Re-check: tt is var or !var on that support.
+                    let compl = w >> (1u64 << support[0]) & 1 == 0;
                     list.push(Cand {
                         cell: ALIAS,
-                        pins: vec![(leaves[0], compl)],
+                        pins: vec![(cut.leaves()[support[0]], compl)],
                         out_compl: false,
                     });
                 }
                 k => {
-                    let compact = compact_tt(&tt, &support, k);
-                    for m in matcher.matches(&compact).to_vec() {
+                    let compact = word::shrink_to(w, &support);
+                    for m in matcher.matches_word(k, compact) {
                         let cell = &library.cells()[m.cell];
                         let pins: Vec<(NodeId, bool)> = (0..cell.num_inputs)
                             .map(|pin| {
-                                (leaves[m.transform.perm(pin)], m.transform.input_flipped(pin))
+                                (
+                                    cut.leaves()[support[m.transform.perm(pin)]],
+                                    m.transform.input_flipped(pin),
+                                )
                             })
                             .collect();
                         list.push(Cand {
@@ -164,173 +279,386 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
                 }
             }
         }
-        assert!(
-            !list.is_empty(),
-            "no candidate for node {id:?} — library incomplete"
-        );
+        assert!(!list.is_empty(), "no candidate for node {id:?} — library incomplete");
         cands[id.index()] = list;
     }
 
-    // ---- iterative selection ----
-    // Physical phase per node: CMOS gates naturally output ¬f_cell;
-    // phase[n] = true means the physical signal is ¬node.
+    // ---- pass pipeline ----
     let n = aig.num_nodes();
-    let mut choice: Vec<usize> = vec![0; n];
-    let mut arr: Vec<f64> = vec![0.0; n]; // physical-output arrival
-    let mut phase: Vec<bool> = vec![false; n];
-    let mut aflow: Vec<f64> = vec![0.0; n];
-    let mut required: Vec<f64> = vec![f64::INFINITY; n];
-
-    let eval_cand = |c: &Cand,
-                     arr: &[f64],
-                     phase: &[bool],
-                     aflow: &[f64],
-                     library: &Library|
-     -> (f64, f64, bool) {
-        // Returns (arrival, area_flow, phase of physical output).
-        if c.cell == ALIAS {
-            let (leaf, compl) = c.pins[0];
-            let ph = phase[leaf.index()] ^ compl;
-            return (arr[leaf.index()], aflow[leaf.index()], if free_pol { false } else { ph });
-        }
-        let cell = &library.cells()[c.cell];
-        let mut a = 0.0f64;
-        let mut flow = cell.area;
-        for (pin, &(leaf, compl)) in c.pins.iter().enumerate() {
-            let needs_inv = !free_pol && (phase[leaf.index()] ^ compl);
-            let pin_arr = arr[leaf.index()]
-                + if needs_inv { inv_delay } else { 0.0 }
-                + cell.pin_delay[pin];
-            a = a.max(pin_arr);
-            let fo = fanout[leaf.index()].max(1) as f64;
-            flow += aflow[leaf.index()] / fo + if needs_inv { inv_area / fo } else { 0.0 };
-        }
-        // CMOS physical output = ¬f_cell(pins) = node ⊕ ¬out_compl.
-        let ph = if free_pol { false } else { !c.out_compl };
-        (a, flow, ph)
+    let mut sel = Sel {
+        choice: vec![0; n],
+        arr: vec![0.0; n],
+        phase: vec![false; n],
+        aflow: vec![0.0; n],
+        required: vec![f64::INFINITY; n],
+        nref: vec![0; n],
     };
 
-    // Pass 0: delay-optimal; passes 1..: area flow under required time.
-    for round in 0..(1 + opts.area_rounds) {
-        for id in aig.and_ids() {
-            let i = id.index();
-            let mut best: Option<(usize, f64, f64, bool)> = None;
-            for (ci, c) in cands[i].iter().enumerate() {
-                let (a, flow, ph) = eval_cand(c, &arr, &phase, &aflow, library);
-                let better = match &best {
-                    None => true,
-                    Some((_, ba, bflow, _)) => {
-                        if round == 0 {
-                            a < ba - 1e-9 || (a < ba + 1e-9 && flow < bflow - 1e-9)
-                        } else {
-                            // Area mode: respect required time.
-                            let fits = a <= required[i] + 1e-9;
-                            let best_fits = *ba <= required[i] + 1e-9;
-                            match (fits, best_fits) {
-                                (true, false) => true,
-                                (false, true) => false,
-                                _ => flow < bflow - 1e-9 || (flow < bflow + 1e-9 && a < ba - 1e-9),
+    // Forward pass: delay-optimal, unless area is the sole objective.
+    let mode0 = if opts.objective == Objective::Area { Mode::Flow } else { Mode::Delay };
+    select_pass(&ctx, &cands, &mut sel, mode0, opts.objective);
+
+    if opts.area_rounds > 0 {
+        // Required times are the standard (heuristically stale) fence;
+        // under the strict delay objective every recovery round is
+        // additionally transactional — rolled back wholesale if it
+        // pushed the cover past the frozen delay-pass target.
+        let strict = opts.objective == Objective::Delay;
+        let mut target = f64::INFINITY;
+        let round = |sel: &mut Sel, mode: Mode, target: &mut f64| {
+            prepare_required(&ctx, &cands, sel, opts.objective, target);
+            let snap = strict.then(|| sel.snapshot());
+            if mode == Mode::Exact {
+                compute_refs(&ctx, &cands, sel);
+            }
+            select_pass(&ctx, &cands, sel, mode, opts.objective);
+            if let Some(snap) = snap {
+                if cover_delay(&ctx, sel) > *target + EPS {
+                    sel.restore(snap);
+                }
+            }
+        };
+        for _ in 0..opts.area_rounds {
+            round(&mut sel, Mode::Flow, &mut target);
+        }
+        // Exact-area refinement is sound only under free polarity:
+        // with explicit CMOS inverters, a choice switch flips phases
+        // downstream, which re-prices inverters the reference counts
+        // cannot see — so CMOS stops at area flow.
+        if ctx.free_pol {
+            round(&mut sel, Mode::Exact, &mut target);
+        }
+    }
+
+    extract(&ctx, &cands, &sel)
+}
+
+/// Returns (arrival, area_flow, phase of physical output) of a
+/// candidate under the current leaf state.
+fn eval_cand(ctx: &Ctx<'_>, sel: &Sel, c: &Cand) -> (f64, f64, bool) {
+    if c.cell == ALIAS {
+        let (leaf, compl) = c.pins[0];
+        let ph = sel.phase[leaf.index()] ^ compl;
+        return (
+            sel.arr[leaf.index()],
+            sel.aflow[leaf.index()],
+            if ctx.free_pol { false } else { ph },
+        );
+    }
+    let cell = &ctx.library.cells()[c.cell];
+    let mut a = 0.0f64;
+    let mut flow = cell.area;
+    for (pin, &(leaf, compl)) in c.pins.iter().enumerate() {
+        let needs_inv = !ctx.free_pol && (sel.phase[leaf.index()] ^ compl);
+        let pin_arr = sel.arr[leaf.index()]
+            + if needs_inv { ctx.inv_delay } else { 0.0 }
+            + cell.pin_delay[pin];
+        a = a.max(pin_arr);
+        let fo = ctx.fanout[leaf.index()].max(1) as f64;
+        flow += sel.aflow[leaf.index()] / fo
+            + if needs_inv { ctx.inv_area / fo } else { 0.0 };
+    }
+    // CMOS physical output = ¬f_cell(pins) = node ⊕ ¬out_compl.
+    let ph = if ctx.free_pol { false } else { !c.out_compl };
+    (a, flow, ph)
+}
+
+/// One forward selection pass over all AND nodes.
+fn select_pass(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &mut Sel, mode: Mode, obj: Objective) {
+    for id in ctx.aig.and_ids() {
+        let i = id.index();
+        if mode == Mode::Exact && cands[i][sel.choice[i]].cell == ALIAS {
+            // Alias choices stay fixed during exact recovery: they are
+            // free, and consumers already resolve through them — see
+            // the reference-count invariant in `compute_refs`. Their
+            // mirrored state must still be refreshed, though: the
+            // chain's base may just have been re-chosen, and consumers
+            // (and the final delay report) read the alias's arrival.
+            let (a, flow, ph) = eval_cand(ctx, sel, &cands[i][sel.choice[i]]);
+            sel.arr[i] = a;
+            sel.aflow[i] = flow;
+            sel.phase[i] = ph;
+            continue;
+        }
+        let was_ref = mode == Mode::Exact && sel.nref[i] > 0;
+        if was_ref {
+            deref_cover(ctx, cands, sel, i);
+        }
+        let mut best: Option<(usize, f64, f64, bool)> = None;
+        let mut best_cost = f64::INFINITY;
+        for (ci, c) in cands[i].iter().enumerate() {
+            if mode == Mode::Exact && c.cell == ALIAS {
+                continue;
+            }
+            let (a, flow, ph) = eval_cand(ctx, sel, c);
+            let cost = match mode {
+                Mode::Delay | Mode::Flow => flow,
+                Mode::Exact => trial_exact_area(ctx, cands, sel, c),
+            };
+            let better = match best {
+                None => true,
+                Some((_, ba, _, _)) => match mode {
+                    Mode::Delay => {
+                        a < ba - EPS || (a < ba + EPS && cost < best_cost - EPS)
+                    }
+                    Mode::Flow | Mode::Exact => {
+                        let req = sel.required[i];
+                        let fits = a <= req + EPS;
+                        let best_fits = ba <= req + EPS;
+                        match (fits, best_fits) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            (false, false) if obj == Objective::Delay => {
+                                // Strict delay mode: when nothing fits,
+                                // chase arrival, not area.
+                                a < ba - EPS || (a < ba + EPS && cost < best_cost - EPS)
+                            }
+                            _ => {
+                                cost < best_cost - EPS
+                                    || (cost < best_cost + EPS && a < ba - EPS)
                             }
                         }
                     }
-                };
-                if better {
-                    best = Some((ci, a, flow, ph));
-                }
-            }
-            let (ci, a, flow, ph) = best.expect("candidates nonempty");
-            choice[i] = ci;
-            arr[i] = a;
-            aflow[i] = flow;
-            phase[i] = ph;
-        }
-        if round == opts.area_rounds {
-            break;
-        }
-        // Required-time propagation over the current cover.
-        let target = aig
-            .pos()
-            .iter()
-            .map(|po| po_arrival(aig, po, &arr, &phase, free_pol, inv_delay))
-            .fold(0.0f64, f64::max);
-        for r in required.iter_mut() {
-            *r = f64::INFINITY;
-        }
-        for po in aig.pos() {
-            let node = po.node();
-            if aig.is_and(node) {
-                let pen = if !free_pol && (phase[node.index()] ^ po.is_complement()) {
-                    inv_delay
-                } else {
-                    0.0
-                };
-                required[node.index()] = required[node.index()].min(target - pen);
+                },
+            };
+            if better {
+                best = Some((ci, a, flow, ph));
+                best_cost = cost;
             }
         }
-        for id in aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
-            let i = id.index();
-            if required[i].is_infinite() {
-                continue;
-            }
-            let c = &cands[i][choice[i]];
-            if c.cell == ALIAS {
-                let (leaf, _) = c.pins[0];
-                required[leaf.index()] = required[leaf.index()].min(required[i]);
-                continue;
-            }
-            let cell = &library.cells()[c.cell];
-            for (pin, &(leaf, compl)) in c.pins.iter().enumerate() {
-                let pen = if !free_pol && (phase[leaf.index()] ^ compl) { inv_delay } else { 0.0 };
-                let req = required[i] - cell.pin_delay[pin] - pen;
-                required[leaf.index()] = required[leaf.index()].min(req);
-            }
+        let (ci, a, flow, ph) = best.expect("candidates nonempty");
+        if was_ref {
+            ref_cover(ctx, cands, sel, &cands[i][ci]);
         }
+        sel.choice[i] = ci;
+        sel.arr[i] = a;
+        sel.aflow[i] = flow;
+        sel.phase[i] = ph;
     }
-
-    // ---- cover extraction ----
-    extract(aig, library, &cands, &choice, &arr, &phase, free_pol, inv_delay, inv_area)
 }
 
-fn compact_tt(tt: &TruthTable, support: &[usize], k: usize) -> TruthTable {
-    TruthTable::from_fn(k, |m| {
-        let mut full = 0u64;
-        for (i, &v) in support.iter().enumerate() {
-            if m >> i & 1 == 1 {
-                full |= 1 << v;
-            }
-        }
-        tt.eval(full)
-    })
-}
-
-fn po_arrival(
-    aig: &Aig,
-    po: &cntfet_aig::Lit,
-    arr: &[f64],
-    phase: &[bool],
-    free_pol: bool,
-    inv_delay: f64,
-) -> f64 {
+/// Arrival time of a primary output under the current selection.
+fn po_arrival(ctx: &Ctx<'_>, sel: &Sel, po: &cntfet_aig::Lit) -> f64 {
     let node = po.node();
-    if node == NodeId::CONST || aig.is_pi(node) {
+    if node == NodeId::CONST || ctx.aig.is_pi(node) {
         return 0.0;
     }
-    let mismatch = !free_pol && (phase[node.index()] ^ po.is_complement());
-    arr[node.index()] + if mismatch { inv_delay } else { 0.0 }
+    let mismatch = !ctx.free_pol && (sel.phase[node.index()] ^ po.is_complement());
+    sel.arr[node.index()] + if mismatch { ctx.inv_delay } else { 0.0 }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn extract(
-    aig: &Aig,
-    library: &Library,
+/// Critical-path delay of the current cover.
+fn cover_delay(ctx: &Ctx<'_>, sel: &Sel) -> f64 {
+    ctx.aig.pos().iter().map(|po| po_arrival(ctx, sel, po)).fold(0.0f64, f64::max)
+}
+
+/// Tightens the recovery delay target and recomputes per-node
+/// required times over the current cover. Under [`Objective::Area`]
+/// required times stay infinite — recovery is unconstrained.
+fn prepare_required(
+    ctx: &Ctx<'_>,
     cands: &[Vec<Cand>],
-    choice: &[usize],
-    arr: &[f64],
-    phase: &[bool],
-    free_pol: bool,
-    inv_delay: f64,
-    inv_area: f64,
-) -> Mapping {
+    sel: &mut Sel,
+    obj: Objective,
+    target: &mut f64,
+) {
+    if obj == Objective::Area {
+        return; // `required` stays +∞ from initialization.
+    }
+    let delay = cover_delay(ctx, sel);
+    if obj == Objective::Delay {
+        // Strict delay mode: the target only ever tightens, so later
+        // rounds can never legitimize a slower cover.
+        *target = target.min(delay);
+    } else {
+        *target = delay;
+    }
+    for r in sel.required.iter_mut() {
+        *r = f64::INFINITY;
+    }
+    for po in ctx.aig.pos() {
+        let node = po.node();
+        if ctx.aig.is_and(node) {
+            let pen = if !ctx.free_pol && (sel.phase[node.index()] ^ po.is_complement()) {
+                ctx.inv_delay
+            } else {
+                0.0
+            };
+            required_min(&mut sel.required, node, *target - pen);
+        }
+    }
+    for id in ctx.aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
+        let i = id.index();
+        if sel.required[i].is_infinite() {
+            continue;
+        }
+        let c = &cands[i][sel.choice[i]];
+        let req_i = sel.required[i];
+        if c.cell == ALIAS {
+            let (leaf, _) = c.pins[0];
+            required_min(&mut sel.required, leaf, req_i);
+            continue;
+        }
+        let cell = &ctx.library.cells()[c.cell];
+        for (pin, &(leaf, compl)) in c.pins.iter().enumerate() {
+            let pen = if !ctx.free_pol && (sel.phase[leaf.index()] ^ compl) {
+                ctx.inv_delay
+            } else {
+                0.0
+            };
+            required_min(&mut sel.required, leaf, req_i - cell.pin_delay[pin] - pen);
+        }
+    }
+}
+
+fn required_min(required: &mut [f64], node: NodeId, value: f64) {
+    let r = &mut required[node.index()];
+    *r = r.min(value);
+}
+
+/// Follows alias chains to the base gate node actually emitted for
+/// `n`, or `None` when the chain ends at a PI/constant.
+fn resolve_base(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &Sel, mut n: NodeId) -> Option<NodeId> {
+    loop {
+        if !ctx.aig.is_and(n) {
+            return None;
+        }
+        let c = &cands[n.index()][sel.choice[n.index()]];
+        if c.cell == ALIAS {
+            n = c.pins[0].0;
+        } else {
+            return Some(n);
+        }
+    }
+}
+
+fn cand_area(ctx: &Ctx<'_>, c: &Cand) -> f64 {
+    if c.cell == ALIAS {
+        0.0
+    } else {
+        ctx.library.cells()[c.cell].area
+    }
+}
+
+/// References every base gate a candidate's pins resolve to,
+/// cascading into newly-referenced gates; returns the area those new
+/// references pull into the cover.
+fn ref_cover(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &mut Sel, c: &Cand) -> f64 {
+    let mut area = 0.0;
+    let mut stack: Vec<NodeId> = c
+        .pins
+        .iter()
+        .filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf))
+        .collect();
+    while let Some(b) = stack.pop() {
+        let i = b.index();
+        sel.nref[i] += 1;
+        if sel.nref[i] == 1 {
+            let cc = &cands[i][sel.choice[i]];
+            area += cand_area(ctx, cc);
+            stack.extend(
+                cc.pins.iter().filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf)),
+            );
+        }
+    }
+    area
+}
+
+/// Inverse of [`ref_cover`]: releases the references the current
+/// choice of node `i` holds; returns the area that left the cover.
+fn deref_cover(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &mut Sel, i: usize) -> f64 {
+    let mut area = 0.0;
+    let c = &cands[i][sel.choice[i]];
+    let mut stack: Vec<NodeId> = c
+        .pins
+        .iter()
+        .filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf))
+        .collect();
+    while let Some(b) = stack.pop() {
+        let bi = b.index();
+        debug_assert!(sel.nref[bi] > 0, "dereferencing an unreferenced gate");
+        sel.nref[bi] -= 1;
+        if sel.nref[bi] == 0 {
+            let cc = &cands[bi][sel.choice[bi]];
+            area += cand_area(ctx, cc);
+            stack.extend(
+                cc.pins.iter().filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf)),
+            );
+        }
+    }
+    area
+}
+
+/// Exact incremental area a candidate would add to the current cover
+/// (its own cell plus every gate its references would newly pull in),
+/// evaluated by a reference/dereference trial that leaves the counts
+/// untouched. CMOS polarity fixes are charged as amortized inverter
+/// area per mismatched pin.
+fn trial_exact_area(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &mut Sel, c: &Cand) -> f64 {
+    let mut ex = cand_area(ctx, c) + ref_cover(ctx, cands, sel, c);
+    deref_cover_of(ctx, cands, sel, c);
+    if !ctx.free_pol {
+        for &(leaf, compl) in &c.pins {
+            if sel.phase[leaf.index()] ^ compl {
+                ex += ctx.inv_area / ctx.fanout[leaf.index()].max(1) as f64;
+            }
+        }
+    }
+    ex
+}
+
+/// [`deref_cover`] for an explicit candidate (not the current choice).
+fn deref_cover_of(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &mut Sel, c: &Cand) {
+    let mut stack: Vec<NodeId> = c
+        .pins
+        .iter()
+        .filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf))
+        .collect();
+    while let Some(b) = stack.pop() {
+        let bi = b.index();
+        sel.nref[bi] -= 1;
+        if sel.nref[bi] == 0 {
+            let cc = &cands[bi][sel.choice[bi]];
+            stack.extend(
+                cc.pins.iter().filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf)),
+            );
+        }
+    }
+}
+
+/// Rebuilds the reference counts of the cover reachable from the
+/// primary outputs.
+///
+/// Invariant maintained by the exact pass: `nref[n] > 0` only for
+/// base (non-alias) gate nodes; consumers of an alias node hold their
+/// reference on the chain's base instead, which is why alias choices
+/// are frozen while references are live.
+fn compute_refs(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &mut Sel) {
+    for r in sel.nref.iter_mut() {
+        *r = 0;
+    }
+    let mut stack: Vec<NodeId> = ctx
+        .aig
+        .pos()
+        .iter()
+        .filter_map(|po| resolve_base(ctx, cands, sel, po.node()))
+        .collect();
+    while let Some(b) = stack.pop() {
+        let i = b.index();
+        sel.nref[i] += 1;
+        if sel.nref[i] == 1 {
+            let cc = &cands[i][sel.choice[i]];
+            stack.extend(
+                cc.pins.iter().filter_map(|&(leaf, _)| resolve_base(ctx, cands, sel, leaf)),
+            );
+        }
+    }
+}
+
+/// Extracts the final cover as a netlist with statistics.
+fn extract(ctx: &Ctx<'_>, cands: &[Vec<Cand>], sel: &Sel) -> Mapping {
+    let aig = ctx.aig;
+    let library = ctx.library;
     let n = aig.num_nodes();
     // Resolve aliases: alias_of[node] = (base source, compl).
     // A node implemented as ALIAS forwards to its single pin.
@@ -351,7 +679,7 @@ fn extract(
                 resolved[cur.index()] = Some((Source::Pi(pi_index[&cur]), false));
                 continue;
             }
-            let c = &cands[cur.index()][choice[cur.index()]];
+            let c = &cands[cur.index()][sel.choice[cur.index()]];
             if c.cell == ALIAS {
                 let (leaf, compl) = c.pins[0];
                 match resolved[leaf.index()] {
@@ -395,7 +723,7 @@ fn extract(
         if !needed[id.index()] {
             continue;
         }
-        let c = &cands[id.index()][choice[id.index()]];
+        let c = &cands[id.index()][sel.choice[id.index()]];
         let cell = &library.cells()[c.cell];
         let mut pins = Vec::with_capacity(c.pins.len());
         let mut lvl = 0u32;
@@ -405,9 +733,9 @@ fn extract(
             // Physical phase of the source:
             let src_phase = match src {
                 Source::Pi(_) => false,
-                Source::Node(base) => phase[base.index()],
+                Source::Node(base) => sel.phase[base.index()],
             };
-            let needs_inv = !free_pol && (src_phase ^ pin_compl);
+            let needs_inv = !ctx.free_pol && (src_phase ^ pin_compl);
             if needs_inv {
                 inv_needed.insert(SourceKey::from(src));
             }
@@ -437,26 +765,26 @@ fn extract(
         let compl = po.is_complement() ^ lc;
         let src_phase = match src {
             Source::Pi(_) => false,
-            Source::Node(base) => phase[base.index()],
+            Source::Node(base) => sel.phase[base.index()],
         };
-        let needs_inv = !free_pol && (src_phase ^ compl);
+        let needs_inv = !ctx.free_pol && (src_phase ^ compl);
         if needs_inv {
             inv_needed.insert(SourceKey::from(src));
         }
         let (src_arr, src_level) = match src {
             Source::Pi(i) => (0.0, pi_level[i]),
-            Source::Node(base) => (arr[base.index()], level[base.index()]),
+            Source::Node(base) => (sel.arr[base.index()], level[base.index()]),
         };
-        delay_norm = delay_norm.max(src_arr + if needs_inv { inv_delay } else { 0.0 });
+        delay_norm = delay_norm.max(src_arr + if needs_inv { ctx.inv_delay } else { 0.0 });
         levels = levels.max(src_level + u32::from(needs_inv));
         pos.push(PoBinding::Signal(src, compl));
     }
 
     let inverters = inv_needed.len();
-    area += inverters as f64 * inv_area;
+    area += inverters as f64 * ctx.inv_area;
     let stats = MapStats {
-        gates: gates.len() + if free_pol { 0 } else { inverters },
-        inverters: if free_pol { 0 } else { inverters },
+        gates: gates.len() + if ctx.free_pol { 0 } else { inverters },
+        inverters: if ctx.free_pol { 0 } else { inverters },
         area,
         levels,
         delay_norm,
@@ -478,5 +806,90 @@ impl From<Source> for SourceKey {
             Source::Pi(i) => SourceKey::Pi(i),
             Source::Node(n) => SourceKey::Node(n.index() as u32),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_aig::Lit;
+    use cntfet_core::LogicFamily;
+
+    fn full_adder_chain(bits: usize) -> Aig {
+        let mut g = Aig::new("adder");
+        let a = g.add_pis(bits);
+        let b = g.add_pis(bits);
+        let mut carry = Lit::FALSE;
+        for i in 0..bits {
+            let x = g.xor(a[i], b[i]);
+            let s = g.xor(x, carry);
+            g.add_po(s);
+            let c1 = g.and(a[i], b[i]);
+            let c2 = g.and(x, carry);
+            carry = g.or(c1, c2);
+        }
+        g.add_po(carry);
+        g
+    }
+
+    #[test]
+    fn objectives_trade_area_for_delay() {
+        let src = full_adder_chain(12);
+        let lib = Library::new(LogicFamily::TgStatic);
+        let by = |objective| {
+            map(&src, &lib, MapOptions { objective, ..Default::default() }).stats
+        };
+        let area = by(Objective::Area);
+        let delay = by(Objective::Delay);
+        let balanced = by(Objective::Balanced);
+        // The area corner can never beat the delay corner on delay,
+        // nor the delay corner beat the area corner on area.
+        assert!(area.area <= delay.area + EPS);
+        assert!(delay.delay_norm <= area.delay_norm + EPS);
+        // Balanced sits inside the box the two corners span.
+        assert!(balanced.area + EPS >= area.area);
+        assert!(balanced.delay_norm + EPS >= delay.delay_norm);
+    }
+
+    #[test]
+    fn area_recovery_preserves_delay_pass_critical_path() {
+        // Under Objective::Delay, recovery must never worsen the
+        // critical path the delay pass established.
+        for family in [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            for bits in [4, 8, 12] {
+                let src = full_adder_chain(bits);
+                let opts = |area_rounds| MapOptions {
+                    area_rounds,
+                    objective: Objective::Delay,
+                    ..Default::default()
+                };
+                let pure = map(&src, &lib, opts(0));
+                for rounds in [1, 2, 4] {
+                    let rec = map(&src, &lib, opts(rounds));
+                    assert!(
+                        rec.stats.delay_norm <= pure.stats.delay_norm + EPS,
+                        "{family:?}/{bits} bits: {} rounds worsened delay {} -> {}",
+                        rounds,
+                        pure.stats.delay_norm,
+                        rec.stats.delay_norm
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_area_refs_balance_out() {
+        // After a full map() the internal ref trial machinery must
+        // leave counts consistent — indirectly verified by mapping
+        // twice and getting identical stats (determinism).
+        let src = full_adder_chain(8);
+        let lib = Library::new(LogicFamily::TgStatic);
+        let a = map(&src, &lib, MapOptions::default());
+        let b = map(&src, &lib, MapOptions::default());
+        assert_eq!(a.stats.gates, b.stats.gates);
+        assert_eq!(a.stats.area, b.stats.area);
+        assert_eq!(a.stats.delay_norm, b.stats.delay_norm);
     }
 }

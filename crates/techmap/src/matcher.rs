@@ -1,4 +1,12 @@
 //! NPN boolean matching of cut functions against library cells.
+//!
+//! The heavy lifting — canonicalizing every cell and grouping by NPN
+//! class — happens once per [`Library`] (see
+//! [`Library::npn_matches`]). Matching a cut is then one
+//! canonicalization of the cut function, one hash lookup, and a
+//! transform composition per hit; and because the same cut functions
+//! recur constantly during mapping, even the canonicalization is
+//! memoized behind a word-keyed cache.
 
 use cntfet_boolfn::{npn_canonical, NpnTransform, TruthTable};
 use cntfet_core::{Cell, Library};
@@ -18,31 +26,52 @@ pub struct CellMatch {
     pub transform: NpnTransform,
 }
 
-/// Boolean matcher: indexes a library by NPN-canonical form and
-/// resolves cut functions to cell bindings (with memoization — the
-/// same cut functions recur constantly during mapping).
+/// Boolean matcher over a library's precomputed NPN index.
+///
+/// The matcher itself is a thin memo layer: cut functions are keyed by
+/// their single-word truth table (all mapped cuts have ≤ 6 inputs), so
+/// repeat lookups cost one hash of a `(u8, u64)` pair.
 #[derive(Debug)]
-pub struct Matcher {
-    /// Canonical form → (cell index, transform cell→canon).
-    index: HashMap<TruthTable, Vec<(usize, NpnTransform)>>,
-    cache: HashMap<TruthTable, Vec<CellMatch>>,
-    num_cells: usize,
+pub struct Matcher<'lib> {
+    library: &'lib Library,
+    cache: HashMap<(u8, u64), Vec<CellMatch>>,
 }
 
-impl Matcher {
-    /// Builds the matcher for a library.
-    pub fn new(library: &Library) -> Matcher {
-        let mut index: HashMap<TruthTable, Vec<(usize, NpnTransform)>> = HashMap::new();
-        for (i, cell) in library.cells().iter().enumerate() {
-            let canon = npn_canonical(&cell.function);
-            index.entry(canon.table).or_default().push((i, canon.transform));
-        }
-        Matcher { index, cache: HashMap::new(), num_cells: library.cells().len() }
+impl<'lib> Matcher<'lib> {
+    /// Builds a matcher over a library (cheap — the NPN index already
+    /// lives in the [`Library`]).
+    pub fn new(library: &'lib Library) -> Matcher<'lib> {
+        Matcher { library, cache: HashMap::new() }
     }
 
     /// Number of indexed cells.
     pub fn num_cells(&self) -> usize {
-        self.num_cells
+        self.library.cells().len()
+    }
+
+    /// All cells matching a cut function given as a replicated `u64`
+    /// word over `nvars` variables (the form cut enumeration produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 6`.
+    pub fn matches_word(&mut self, nvars: usize, word: u64) -> &[CellMatch] {
+        assert!(nvars <= 6, "cut function too wide for matching");
+        let key = (nvars as u8, word);
+        if !self.cache.contains_key(&key) {
+            let canon = npn_canonical(&TruthTable::from_bits(nvars, word));
+            // h = T_h⁻¹(T_cell(cell_fn)): compose cell→canon with
+            // canon→cut.
+            let inv = canon.transform.inverse();
+            let found: Vec<CellMatch> = self
+                .library
+                .npn_matches(&canon.table)
+                .iter()
+                .map(|(cell, t_cell)| CellMatch { cell: *cell, transform: t_cell.then(&inv) })
+                .collect();
+            self.cache.insert(key, found);
+        }
+        &self.cache[&key]
     }
 
     /// All cells matching the (support-compacted) cut function.
@@ -51,20 +80,8 @@ impl Matcher {
     ///
     /// Panics if `f` has more than 6 variables.
     pub fn matches(&mut self, f: &TruthTable) -> &[CellMatch] {
-        if !self.cache.contains_key(f) {
-            let canon = npn_canonical(f);
-            let mut found = Vec::new();
-            if let Some(entries) = self.index.get(&canon.table) {
-                // h = T_h⁻¹(T_cell(cell_fn)): compose cell→canon with
-                // canon→cut.
-                let inv = canon.transform.inverse();
-                for (cell, t_cell) in entries {
-                    found.push(CellMatch { cell: *cell, transform: t_cell.then(&inv) });
-                }
-            }
-            self.cache.insert(f.clone(), found);
-        }
-        self.cache.get(f).unwrap()
+        assert!(f.nvars() <= 6, "cut function too wide for matching");
+        self.matches_word(f.nvars(), f.words()[0])
     }
 }
 
@@ -109,6 +126,18 @@ mod tests {
     }
 
     #[test]
+    fn word_and_table_lookups_agree() {
+        let lib = Library::new(LogicFamily::TgStatic);
+        let mut m = Matcher::new(&lib);
+        let f = lib.cells()[5].function.clone(); // F05 = (A⊕B)·C
+        let by_table: Vec<usize> = m.matches(&f).iter().map(|c| c.cell).collect();
+        let by_word: Vec<usize> =
+            m.matches_word(3, f.words()[0]).iter().map(|c| c.cell).collect();
+        assert_eq!(by_table, by_word);
+        assert!(!by_table.is_empty());
+    }
+
+    #[test]
     fn cmos_matches_all_two_input_functions() {
         let lib = Library::new(LogicFamily::CmosStatic);
         let mut m = Matcher::new(&lib);
@@ -128,12 +157,14 @@ mod tests {
         let b = TruthTable::var(3, 1);
         let c = TruthTable::var(3, 2);
         let f = &(&a ^ &b) ^ &c;
-        let mut cm = Matcher::new(&Library::new(LogicFamily::CmosStatic));
+        let cmos = Library::new(LogicFamily::CmosStatic);
+        let mut cm = Matcher::new(&cmos);
         assert!(cm.matches(&f).is_empty());
         // 3-input parity is not among the 46 either (it needs XOR of
         // XOR, not series/parallel) — but (A⊕B)+C style functions are.
         let g = &(&a ^ &b) | &c;
-        let mut tm = Matcher::new(&Library::new(LogicFamily::TgStatic));
+        let tg = Library::new(LogicFamily::TgStatic);
+        let mut tm = Matcher::new(&tg);
         assert!(!tm.matches(&g).is_empty());
     }
 }

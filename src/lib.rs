@@ -47,6 +47,12 @@
 //! // … and the XOR-rich adder maps into far fewer CNTFET gates
 //! // (the paper's headline effect).
 //! assert!(m1.stats.gates * 3 < m2.stats.gates * 2);
+//!
+//! // 5. The same engine also covers the area- and delay-pressed
+//! // corners (Table 3's trade-off axis).
+//! let small = map(&optimized, &cntfet, MapOptions { objective: Objective::Area, ..Default::default() });
+//! assert_eq!(verify_mapping(&optimized, &small, &cntfet), CecResult::Equivalent);
+//! assert!(small.stats.area <= m1.stats.area);
 //! ```
 
 #![warn(missing_docs)]
@@ -77,5 +83,5 @@ pub mod prelude {
     pub use cntfet_sat::{SolveResult, Solver};
     pub use cntfet_switchlevel::{solve, DynamicSim, Netlist, NodeState, Rank};
     pub use cntfet_synth::{balance, refactor, resyn2rs, rewrite};
-    pub use cntfet_techmap::{map, verify_mapping, MapOptions, MapStats, Mapping};
+    pub use cntfet_techmap::{map, verify_mapping, MapOptions, MapStats, Mapping, Objective};
 }

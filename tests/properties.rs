@@ -61,6 +61,51 @@ proptest! {
         prop_assert_eq!(verify_mapping(&g, &m, &lib), CecResult::Equivalent);
     }
 
+    /// Mapping is formally equivalent to the source under every
+    /// covering objective, for all four ambipolar CNTFET libraries and
+    /// the CMOS baseline.
+    #[test]
+    fn prop_mapping_equivalent_all_objectives(
+        script in proptest::collection::vec((0u8..6, 0u16..300, 0u16..300), 10..60),
+        family_idx in 0usize..5,
+        objective_idx in 0usize..3
+    ) {
+        let g = random_aig(5, &script);
+        let family = [
+            LogicFamily::TgStatic,
+            LogicFamily::TgPseudo,
+            LogicFamily::PassStatic,
+            LogicFamily::PassPseudo,
+            LogicFamily::CmosStatic,
+        ][family_idx];
+        let objective =
+            [Objective::Area, Objective::Delay, Objective::Balanced][objective_idx];
+        let lib = Library::new(family);
+        let m = map(&g, &lib, MapOptions { objective, ..Default::default() });
+        prop_assert_eq!(verify_mapping(&g, &m, &lib), CecResult::Equivalent);
+    }
+
+    /// Under Objective::Delay, area recovery must not worsen the
+    /// critical path the delay pass established.
+    #[test]
+    fn prop_area_recovery_keeps_delay(
+        script in proptest::collection::vec((0u8..6, 0u16..300, 0u16..300), 20..80),
+        family_idx in 0usize..3
+    ) {
+        let g = random_aig(6, &script);
+        let family = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic][family_idx];
+        let lib = Library::new(family);
+        let opts = |area_rounds| MapOptions {
+            area_rounds,
+            objective: Objective::Delay,
+            ..Default::default()
+        };
+        let pure = map(&g, &lib, opts(0));
+        let rec = map(&g, &lib, opts(3));
+        prop_assert!(rec.stats.delay_norm <= pure.stats.delay_norm + 1e-9,
+            "recovery worsened delay: {} -> {}", pure.stats.delay_norm, rec.stats.delay_norm);
+    }
+
     /// The adder generator agrees with machine arithmetic.
     #[test]
     fn prop_adder_matches_u64(a in 0u64..=0xFFFF, b in 0u64..=0xFFFF, cin: bool) {
