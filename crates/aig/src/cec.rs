@@ -1,8 +1,16 @@
 //! CNF export (Tseitin encoding) and SAT-based combinational
 //! equivalence checking.
+//!
+//! Circuits with at most [`crate::sim::EXHAUSTIVE_MAX_PIS`] primary
+//! inputs are decided by exhaustive 64-bit-parallel simulation (a
+//! complete check — `2^n` patterns is at most 1024 words per node),
+//! which is orders of magnitude faster than CDCL on the classic
+//! multiplier-miter shapes. Wider circuits go through a random
+//! simulation pre-filter and then a per-output SAT miter.
 
 use crate::graph::{Aig, Lit, NodeId};
-use cntfet_sat::{Lit as SatLit, SolveResult, Solver, Var};
+use crate::sim::{exhaustive_feasible, SimMatrix, EXHAUSTIVE_MAX_PIS};
+use cntfet_sat::{Lit as SatLit, SolveResult, Solver, SolverStats, Var};
 
 /// Encodes the AIG into `solver`, returning the SAT variable of every
 /// node (indexable by `NodeId::index`).
@@ -44,43 +52,112 @@ pub enum CecResult {
     },
 }
 
+/// Verdict plus the work the verification engine did to reach it —
+/// surfaced so repro runs and benches can watch verification cost.
+#[derive(Debug, Clone)]
+pub struct CecReport {
+    /// The equivalence verdict.
+    pub result: CecResult,
+    /// Aggregated statistics of every SAT solver run by the check
+    /// (all-zero when simulation alone decided).
+    pub sat_stats: SolverStats,
+    /// Internal node-pair equivalences proven during sweeping.
+    pub internal_proofs: u64,
+    /// Counterexample-directed simulation refinements during sweeping.
+    pub refinements: u64,
+    /// True when exhaustive simulation decided the check without SAT.
+    pub exhaustive: bool,
+}
+
+impl CecReport {
+    fn simulation_only(result: CecResult) -> CecReport {
+        CecReport {
+            result,
+            sat_stats: SolverStats::default(),
+            internal_proofs: 0,
+            refinements: 0,
+            exhaustive: true,
+        }
+    }
+}
+
+/// Decides equivalence of two narrow-input networks by complete
+/// simulation. Returns the first differing output (scanning in output
+/// order) with a distinguishing assignment.
+pub(crate) fn exhaustive_cec(a: &Aig, b: &Aig) -> CecResult {
+    let ma = SimMatrix::exhaustive(a);
+    let mb = SimMatrix::exhaustive(b);
+    for (o, (&la, &lb)) in a.pos().iter().zip(b.pos().iter()).enumerate() {
+        for w in 0..ma.words() {
+            let d = ma.lit_word(la, w) ^ mb.lit_word(lb, w);
+            if d != 0 {
+                let bit = d.trailing_zeros();
+                return CecResult::Counterexample {
+                    inputs: ma.pattern_inputs(a, w, bit),
+                    output: o,
+                };
+            }
+        }
+    }
+    CecResult::Equivalent
+}
+
 /// Checks combinational equivalence of two AIGs with identical
-/// interfaces, using random simulation as a fast pre-filter and a SAT
-/// miter for the proof.
+/// interfaces: exhaustive simulation for narrow-input circuits, else
+/// random simulation as a fast pre-filter and a SAT miter for the
+/// proof.
 ///
 /// # Panics
 ///
 /// Panics if the PI/PO counts differ.
 pub fn check_equivalence(a: &Aig, b: &Aig) -> CecResult {
+    check_equivalence_report(a, b).result
+}
+
+/// [`check_equivalence`] returning the full [`CecReport`].
+///
+/// # Panics
+///
+/// Panics if the PI/PO counts differ.
+pub fn check_equivalence_report(a: &Aig, b: &Aig) -> CecReport {
     assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
     assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
 
-    // Random-simulation pre-filter: cheap counterexamples first.
-    let mut state = 0x1234_5678_9ABC_DEF0u64;
-    for round in 0..8 {
-        let patterns: Vec<u64> = (0..a.num_pis())
-            .map(|i| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state.wrapping_add(round * 0x9E37_79B9 + i as u64)
-            })
-            .collect();
-        let va = a.simulate_words(&patterns);
-        let vb = b.simulate_words(&patterns);
-        for (o, (&la, &lb)) in a.pos().iter().zip(b.pos().iter()).enumerate() {
-            let wa = a.lit_word(&va, la);
-            let wb = b.lit_word(&vb, lb);
-            if wa != wb {
-                let bit = (wa ^ wb).trailing_zeros() as u64;
-                let inputs = patterns.iter().map(|w| w >> bit & 1 == 1).collect();
-                return CecResult::Counterexample { inputs, output: o };
+    if exhaustive_feasible(a, EXHAUSTIVE_MAX_PIS) && exhaustive_feasible(b, EXHAUSTIVE_MAX_PIS) {
+        return CecReport::simulation_only(exhaustive_cec(a, b));
+    }
+
+    // Random-simulation pre-filter: cheap counterexamples first. Both
+    // matrices draw the same seeded rounds, so the networks see
+    // identical input patterns.
+    const PREFILTER_WORDS: usize = 8;
+    let seed = 0x1234_5678_9ABC_DEF0u64;
+    let ma = SimMatrix::random(a, PREFILTER_WORDS, seed);
+    let mb = SimMatrix::random(b, PREFILTER_WORDS, seed);
+    for (o, (&la, &lb)) in a.pos().iter().zip(b.pos().iter()).enumerate() {
+        for w in 0..ma.words() {
+            let d = ma.lit_word(la, w) ^ mb.lit_word(lb, w);
+            if d != 0 {
+                let bit = d.trailing_zeros();
+                return CecReport {
+                    result: CecResult::Counterexample {
+                        inputs: ma.pattern_inputs(a, w, bit),
+                        output: o,
+                    },
+                    sat_stats: SolverStats::default(),
+                    internal_proofs: 0,
+                    refinements: 0,
+                    exhaustive: false,
+                };
             }
         }
     }
 
     // SAT miter, one output at a time (keeps learnt clauses local and
-    // yields the earliest distinguishing output index).
+    // yields the earliest distinguishing output index). The output
+    // XOR is expressed as assumptions — `la ≠ lb` is satisfiable iff
+    // one of the two phase combinations is — so no miter variables or
+    // clauses accumulate in the incremental solver.
     let mut solver = Solver::new();
     let va = tseitin(a, &mut solver);
     let vb = tseitin(b, &mut solver);
@@ -91,25 +168,29 @@ pub fn check_equivalence(a: &Aig, b: &Aig) -> CecResult {
         solver.add_clause(&[la.negate(), lb]);
         solver.add_clause(&[la, lb.negate()]);
     }
-    for o in 0..a.num_pos() {
+    let mut result = CecResult::Equivalent;
+    'outputs: for o in 0..a.num_pos() {
         let la = sat_lit(&va, a.pos()[o]);
         let lb = sat_lit(&vb, b.pos()[o]);
-        // XOR output: introduce miter variable m ↔ la ⊕ lb, assume m.
-        let m = solver.new_var();
-        solver.add_clause(&[m.neg(), la, lb]);
-        solver.add_clause(&[m.neg(), la.negate(), lb.negate()]);
-        solver.add_clause(&[m.pos(), la.negate(), lb]);
-        solver.add_clause(&[m.pos(), la, lb.negate()]);
-        if solver.solve(&[m.pos()]) == SolveResult::Sat {
-            let inputs = a
-                .pis()
-                .iter()
-                .map(|pi| solver.value(va[pi.index()]).unwrap_or(false))
-                .collect();
-            return CecResult::Counterexample { inputs, output: o };
+        for assumptions in [[la, lb.negate()], [la.negate(), lb]] {
+            if solver.solve(&assumptions) == SolveResult::Sat {
+                let inputs = a
+                    .pis()
+                    .iter()
+                    .map(|pi| solver.value(va[pi.index()]).unwrap_or(false))
+                    .collect();
+                result = CecResult::Counterexample { inputs, output: o };
+                break 'outputs;
+            }
         }
     }
-    CecResult::Equivalent
+    CecReport {
+        result,
+        sat_stats: solver.stats(),
+        internal_proofs: 0,
+        refinements: 0,
+        exhaustive: false,
+    }
 }
 
 /// Convenience wrapper returning `true` iff equivalent.
@@ -145,6 +226,29 @@ mod tests {
     }
 
     #[test]
+    fn wide_circuits_take_the_sat_path() {
+        let a = xor_chain(20, true);
+        let b = xor_chain(20, false);
+        let r = check_equivalence_report(&a, &b);
+        assert_eq!(r.result, CecResult::Equivalent);
+        assert!(!r.exhaustive);
+        assert!(r.sat_stats.propagations > 0, "miter must have run SAT");
+
+        // Broken polarity on a wide circuit: the random pre-filter
+        // finds it without SAT.
+        let mut c = xor_chain(20, false);
+        let po = c.pos()[0];
+        c.set_po(0, po.negate());
+        let r = check_equivalence_report(&a, &c);
+        match r.result {
+            CecResult::Counterexample { inputs, output } => {
+                assert_ne!(a.eval(&inputs)[output], c.eval(&inputs)[output]);
+            }
+            CecResult::Equivalent => panic!("must not be equivalent"),
+        }
+    }
+
+    #[test]
     fn inequivalent_detected_with_counterexample() {
         let a = xor_chain(5, true);
         let mut b = xor_chain(5, false);
@@ -161,9 +265,8 @@ mod tests {
     }
 
     #[test]
-    fn subtle_inequivalence_found_by_sat() {
-        // Two functions agreeing everywhere except one minterm: random
-        // sim may miss it, SAT must find it.
+    fn subtle_inequivalence_found() {
+        // Two functions agreeing everywhere except one minterm.
         let mut a = Aig::new("a");
         let pis = a.add_pis(12);
         let conj = a.and_many(&pis);
@@ -190,6 +293,32 @@ mod tests {
                 assert_ne!(c.eval(&inputs)[0], b.eval(&inputs)[0]);
             }
             CecResult::Equivalent => panic!("c and b differ on one minterm"),
+        }
+    }
+
+    #[test]
+    fn single_minterm_difference_on_wide_circuit_found_by_sat() {
+        // 20 inputs: past the exhaustive bound, and random simulation
+        // essentially never hits the single differing minterm — only
+        // the SAT miter can find it.
+        let mut a = Aig::new("a");
+        let pis = a.add_pis(20);
+        let conj = a.and_many(&pis[1..]);
+        let o = a.or(conj, pis[0]);
+        a.add_po(o);
+
+        let mut b = Aig::new("b");
+        let pis_b = b.add_pis(20);
+        b.add_po(pis_b[0]);
+
+        let r = check_equivalence_report(&a, &b);
+        assert!(!r.exhaustive);
+        match r.result {
+            CecResult::Counterexample { inputs, output } => {
+                assert_eq!(output, 0);
+                assert_ne!(a.eval(&inputs)[0], b.eval(&inputs)[0]);
+            }
+            CecResult::Equivalent => panic!("a and b differ on one minterm"),
         }
     }
 

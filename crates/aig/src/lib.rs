@@ -34,13 +34,20 @@ mod blif;
 mod cec;
 mod cuts;
 mod graph;
+mod sim;
 mod sweep;
 
 pub use blif::{parse_blif, write_blif, ParseBlifError};
-pub use cec::{check_equivalence, equivalent, sat_lit, tseitin, CecResult};
+pub use cec::{
+    check_equivalence, check_equivalence_report, equivalent, sat_lit, tseitin, CecReport,
+    CecResult,
+};
 pub use cuts::{
     cut_function, enumerate_cuts, enumerate_cuts_with, CutArena, CutIter, CutParams, CutRank,
     CutView,
 };
 pub use graph::{Aig, Lit, NodeId};
-pub use sweep::check_equivalence_sweeping;
+pub use sweep::{
+    check_equivalence_sweeping, check_equivalence_sweeping_report,
+    check_equivalence_sweeping_with, SweepOptions,
+};

@@ -3,23 +3,52 @@
 //! Plain miter-SAT struggles on arithmetic circuits (the classic
 //! multiplier-miter problem). Sweeping exploits the structural
 //! similarity of the two networks: candidate-equivalent internal node
-//! pairs are detected by random simulation, proven one by one with a
-//! conflict-budgeted SAT call in topological order, and every proven
-//! equality is added back to the solver as clauses — so later proofs
-//! ride on earlier ones, and the final output miters become trivial.
+//! pairs are detected by random simulation over a flat
+//! structure-of-arrays signature matrix, proven one by one with
+//! conflict-budgeted assumption solves in topological order, and every
+//! proven equality is added back to the incremental solver as clauses
+//! — so later proofs ride on earlier ones, and the final output miters
+//! become trivial. Narrow-input circuits (≤ 16 PIs) skip SAT entirely:
+//! exhaustive simulation is a complete check there.
 
-use crate::cec::{sat_lit, tseitin, CecResult};
+use crate::cec::{exhaustive_cec, sat_lit, tseitin, CecReport, CecResult};
 use crate::graph::{Aig, Lit, NodeId};
-use cntfet_sat::{SolveResult, Solver};
+use crate::sim::{exhaustive_feasible, SimMatrix, EXHAUSTIVE_MAX_PIS};
+use cntfet_sat::{Lit as SatLit, SolveResult, Solver, SolverStats};
 use std::collections::HashMap;
 
-/// Conflict budget per internal equivalence proof.
-const NODE_BUDGET: u64 = 2_000;
-/// Simulation words (64 patterns each) for candidate detection.
-const SIM_WORDS: usize = 4;
+/// Tuning knobs of [`check_equivalence_sweeping_with`]. The defaults
+/// reproduce the library's standard behavior; tests and benches can
+/// stress specific paths (e.g. `node_budget: 0` disables internal
+/// sweeping entirely, forcing the pure output-miter fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Conflict budget per internal equivalence proof; `0` skips the
+    /// internal sweep and solves only the output miters.
+    pub node_budget: u64,
+    /// Initial simulation words (64 patterns each) for candidate
+    /// detection.
+    pub sim_words: usize,
+    /// Seed of the candidate-detection pattern generator.
+    pub seed: u64,
+    /// PI counts up to this bound are decided by exhaustive simulation
+    /// without SAT; `0` disables the shortcut.
+    pub exhaustive_pis: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            node_budget: 2_000,
+            sim_words: 4,
+            seed: 0x1357_9BDF_2468_ACE0,
+            exhaustive_pis: EXHAUSTIVE_MAX_PIS,
+        }
+    }
+}
 
 /// Checks equivalence of two AIGs with identical interfaces using SAT
-/// sweeping. Functionally identical to
+/// sweeping under default [`SweepOptions`]. Functionally identical to
 /// [`crate::check_equivalence`], but scales to multiplier-class
 /// circuits.
 ///
@@ -27,44 +56,49 @@ const SIM_WORDS: usize = 4;
 ///
 /// Panics if the PI/PO counts differ.
 pub fn check_equivalence_sweeping(a: &Aig, b: &Aig) -> CecResult {
+    check_equivalence_sweeping_with(a, b, &SweepOptions::default())
+}
+
+/// [`check_equivalence_sweeping`] with explicit options.
+///
+/// # Panics
+///
+/// Panics if the PI/PO counts differ.
+pub fn check_equivalence_sweeping_with(a: &Aig, b: &Aig, opts: &SweepOptions) -> CecResult {
+    check_equivalence_sweeping_report(a, b, opts).result
+}
+
+/// [`check_equivalence_sweeping`] returning the full [`CecReport`]
+/// (solver statistics, internal proof and refinement counts).
+///
+/// # Panics
+///
+/// Panics if the PI/PO counts differ.
+pub fn check_equivalence_sweeping_report(a: &Aig, b: &Aig, opts: &SweepOptions) -> CecReport {
     assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
     assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+
+    // Narrow interface: complete simulation decides without SAT (as
+    // long as the matrices fit the memory budget).
+    if opts.exhaustive_pis > 0
+        && exhaustive_feasible(a, opts.exhaustive_pis)
+        && exhaustive_feasible(b, opts.exhaustive_pis)
+    {
+        return CecReport {
+            result: exhaustive_cec(a, b),
+            sat_stats: SolverStats::default(),
+            internal_proofs: 0,
+            refinements: 0,
+            exhaustive: true,
+        };
+    }
 
     // ---- joint network (shared PIs, shared structure via strash) ----
     let mut joint = Aig::new("joint");
     let pis = joint.add_pis(a.num_pis());
     let pos_a = append(a, &mut joint, &pis);
     let pos_b = append(b, &mut joint, &pis);
-
-    // ---- simulation signatures ----
-    let mut rng_state = 0x1357_9BDF_2468_ACE0u64;
-    let mut next = move || {
-        rng_state ^= rng_state << 13;
-        rng_state ^= rng_state >> 7;
-        rng_state ^= rng_state << 17;
-        rng_state
-    };
     let n = joint.num_nodes();
-    let mut sigs: Vec<Vec<u64>> = vec![Vec::with_capacity(SIM_WORDS + 8); n];
-    let mut sim_round = |joint: &Aig, sigs: &mut Vec<Vec<u64>>, forced: Option<&[bool]>| {
-        let inputs: Vec<u64> = (0..joint.num_pis())
-            .map(|i| {
-                let mut w = next();
-                if let Some(cex) = forced {
-                    // Bit 0 carries the counterexample pattern.
-                    w = (w & !1) | u64::from(cex[i]);
-                }
-                w
-            })
-            .collect();
-        let vals = joint.simulate_words(&inputs);
-        for (i, v) in vals.iter().enumerate() {
-            sigs[i].push(*v);
-        }
-    };
-    for _ in 0..SIM_WORDS {
-        sim_round(&joint, &mut sigs, None);
-    }
 
     // ---- SAT instance over the joint network ----
     let mut solver = Solver::new();
@@ -72,126 +106,164 @@ pub fn check_equivalence_sweeping(a: &Aig, b: &Aig) -> CecResult {
 
     // Union-find with complement phases: node -> (repr, phase).
     let mut repr: Vec<(u32, bool)> = (0..n as u32).map(|i| (i, false)).collect();
-    fn find(repr: &mut Vec<(u32, bool)>, x: u32) -> (u32, bool) {
-        let (p, ph) = repr[x as usize];
-        if p == x {
-            return (x, false);
-        }
-        let (root, root_ph) = find(repr, p);
-        let total = ph ^ root_ph;
-        repr[x as usize] = (root, total);
-        (root, total)
-    }
 
-    // Normalized signature: complement-canonical (flip all words if
-    // bit 0 of word 0 is set) so n and ¬n share a bucket.
-    let norm = |sig: &[u64]| -> (Vec<u64>, bool) {
-        if sig[0] & 1 == 1 {
-            (sig.iter().map(|w| !w).collect(), true)
-        } else {
-            (sig.to_vec(), false)
-        }
-    };
-
-    // Bucket map: normalized signature -> representative node id.
-    let mut buckets: HashMap<Vec<u64>, u32> = HashMap::new();
-    // Constant node: signature all zeros, phase false.
-    buckets.insert(vec![0u64; sigs[0].len()], 0);
+    let mut internal_proofs = 0u64;
+    let mut refinements = 0u64;
 
     let ids: Vec<NodeId> = joint.and_ids().collect();
-    let mut i = 0usize;
-    while i < ids.len() {
-        let id = ids[i];
-        let (sig_n, phase_n) = norm(&sigs[id.index()]);
-        match buckets.get(&sig_n) {
-            None => {
-                buckets.insert(sig_n, id.index() as u32);
-                i += 1;
-            }
-            Some(&r) => {
-                // Candidate: id == r ^ (phase_n ^ phase_r).
-                let (_, phase_r) = norm(&sigs[r as usize]);
-                let want_phase = phase_n ^ phase_r;
-                // Already known?
-                let (root_n, ph_n) = find(&mut repr, id.index() as u32);
-                let (root_r, ph_r) = find(&mut repr, r);
-                if root_n == root_r {
+    if opts.node_budget > 0 {
+        // Flat simulation signatures (only needed for candidate
+        // detection, so the pure-miter fallback skips the pass).
+        let mut sim = SimMatrix::random(&joint, opts.sim_words, opts.seed);
+        // Bucket map: complement-normalized signature -> representative.
+        let mut buckets: HashMap<Vec<u64>, u32> = HashMap::new();
+        buckets.insert(vec![0u64; sim.words()], 0);
+        let mut i = 0usize;
+        while i < ids.len() {
+            let id = ids[i];
+            let (sig_n, phase_n) = norm(sim.sig(id.index()));
+            match buckets.get(&sig_n) {
+                None => {
+                    buckets.insert(sig_n, id.index() as u32);
                     i += 1;
-                    continue;
                 }
-                // Prove id ⊕ (r ^ want_phase) unsatisfiable.
-                let ln = vars[id.index()].pos();
-                let lr = vars[r as usize].lit(!want_phase);
-                let m = solver.new_var();
-                solver.add_clause(&[m.neg(), ln, lr]);
-                solver.add_clause(&[m.neg(), ln.negate(), lr.negate()]);
-                solver.add_clause(&[m.pos(), ln.negate(), lr]);
-                solver.add_clause(&[m.pos(), ln, lr.negate()]);
-                match solver.solve_limited(&[m.pos()], NODE_BUDGET) {
-                    Some(SolveResult::Unsat) => {
-                        // Proven equal: record and teach the solver.
-                        repr[root_n as usize] = (root_r, ph_n ^ ph_r ^ want_phase);
-                        solver.add_clause(&[ln.negate(), lr]);
-                        solver.add_clause(&[ln, lr.negate()]);
+                Some(&r) => {
+                    // Candidate: id == r ^ (phase_n ^ phase_r).
+                    let (_, phase_r) = norm(sim.sig(r as usize));
+                    let want_phase = phase_n ^ phase_r;
+                    // Already known?
+                    let (root_n, ph_n) = find(&mut repr, id.index() as u32);
+                    let (root_r, ph_r) = find(&mut repr, r);
+                    if root_n == root_r {
                         i += 1;
+                        continue;
                     }
-                    Some(SolveResult::Sat) => {
-                        // Counterexample: refine every signature with a
-                        // fresh word seeded by it, rebuild buckets, and
-                        // retry this node.
-                        let cex: Vec<bool> = joint
-                            .pis()
-                            .iter()
-                            .map(|pi| solver.value(vars[pi.index()]).unwrap_or(false))
-                            .collect();
-                        sim_round(&joint, &mut sigs, Some(&cex));
-                        let width = sigs[0].len();
-                        buckets.clear();
-                        buckets.insert(vec![0u64; width], 0);
-                        for &prev in ids.iter().take(i) {
-                            let (s, _) = norm(&sigs[prev.index()]);
-                            buckets.entry(s).or_insert(prev.index() as u32);
+                    // Prove ln ≡ lr by refuting both disagreement
+                    // phases under assumptions — no miter variables or
+                    // clauses enter the incremental solver.
+                    let ln = vars[id.index()].pos();
+                    let lr = vars[r as usize].lit(!want_phase);
+                    match prove_equal(&mut solver, ln, lr, opts.node_budget) {
+                        Proof::Equal => {
+                            // Proven: record and teach the solver.
+                            internal_proofs += 1;
+                            repr[root_n as usize] = (root_r, ph_n ^ ph_r ^ want_phase);
+                            solver.add_clause(&[ln.negate(), lr]);
+                            solver.add_clause(&[ln, lr.negate()]);
+                            i += 1;
                         }
-                    }
-                    None => {
-                        // Budget exhausted: treat as distinct.
-                        i += 1;
+                        Proof::Differ => {
+                            // Counterexample: refine every signature
+                            // with a fresh word seeded by it, rebuild
+                            // the buckets, and retry this node.
+                            refinements += 1;
+                            let cex: Vec<bool> = joint
+                                .pis()
+                                .iter()
+                                .map(|pi| solver.value(vars[pi.index()]).unwrap_or(false))
+                                .collect();
+                            sim.refine(&joint, &cex);
+                            buckets.clear();
+                            buckets.insert(vec![0u64; sim.words()], 0);
+                            for &prev in ids.iter().take(i) {
+                                let (s, _) = norm(sim.sig(prev.index()));
+                                buckets.entry(s).or_insert(prev.index() as u32);
+                            }
+                        }
+                        Proof::Unknown => {
+                            // Budget exhausted: treat as distinct.
+                            i += 1;
+                        }
                     }
                 }
             }
         }
     }
 
-    // ---- output miters (should be trivial now) ----
-    for (o, (&la, &lb)) in pos_a.iter().zip(pos_b.iter()).enumerate() {
-        // Fast path: both in the same equivalence class.
-        let both_const = la.is_const() && lb.is_const();
-        if both_const {
-            if la == lb {
-                continue;
-            }
-            return counterexample(a, b, o);
+    // ---- output miters (trivial when sweeping did its job) ----
+    let mut result = CecResult::Equivalent;
+    'outputs: for (o, (&la, &lb)) in pos_a.iter().zip(pos_b.iter()).enumerate() {
+        if la == lb {
+            continue; // strash merged them (includes equal constants)
+        }
+        if la.is_const() && lb.is_const() {
+            // Differing constants: every assignment distinguishes.
+            result = CecResult::Counterexample {
+                inputs: vec![false; a.num_pis()],
+                output: o,
+            };
+            break;
+        }
+        // Same proven equivalence class with matching phase?
+        let (root_a, ph_a) = find(&mut repr, la.node().index() as u32);
+        let (root_b, ph_b) = find(&mut repr, lb.node().index() as u32);
+        if root_a == root_b && ph_a ^ la.is_complement() == ph_b ^ lb.is_complement() {
+            continue;
         }
         let sa = sat_lit(&vars, la);
         let sb = sat_lit(&vars, lb);
-        let m = solver.new_var();
-        solver.add_clause(&[m.neg(), sa, sb]);
-        solver.add_clause(&[m.neg(), sa.negate(), sb.negate()]);
-        solver.add_clause(&[m.pos(), sa.negate(), sb]);
-        solver.add_clause(&[m.pos(), sa, sb.negate()]);
-        match solver.solve(&[m.pos()]) {
-            SolveResult::Unsat => {}
-            SolveResult::Sat => {
+        for assumptions in [[sa, sb.negate()], [sa.negate(), sb]] {
+            if solver.solve(&assumptions) == SolveResult::Sat {
                 let inputs: Vec<bool> = joint
                     .pis()
                     .iter()
                     .map(|pi| solver.value(vars[pi.index()]).unwrap_or(false))
                     .collect();
-                return CecResult::Counterexample { inputs, output: o };
+                result = CecResult::Counterexample { inputs, output: o };
+                break 'outputs;
             }
         }
     }
-    CecResult::Equivalent
+    CecReport {
+        result,
+        sat_stats: solver.stats(),
+        internal_proofs,
+        refinements,
+        exhaustive: false,
+    }
+}
+
+enum Proof {
+    Equal,
+    Differ,
+    Unknown,
+}
+
+/// Budgeted equivalence proof of two SAT literals: `la ≡ lb` iff both
+/// disagreement phases are unsatisfiable. On `Differ` the solver holds
+/// the distinguishing model.
+fn prove_equal(solver: &mut Solver, la: SatLit, lb: SatLit, budget: u64) -> Proof {
+    for assumptions in [[la, lb.negate()], [la.negate(), lb]] {
+        match solver.solve_limited(&assumptions, budget) {
+            Some(SolveResult::Unsat) => {}
+            Some(SolveResult::Sat) => return Proof::Differ,
+            None => return Proof::Unknown,
+        }
+    }
+    Proof::Equal
+}
+
+/// Normalized signature: complement-canonical (flip all words if bit 0
+/// of word 0 is set) so a node and its complement share a bucket.
+fn norm(sig: &[u64]) -> (Vec<u64>, bool) {
+    if sig[0] & 1 == 1 {
+        (sig.iter().map(|w| !w).collect(), true)
+    } else {
+        (sig.to_vec(), false)
+    }
+}
+
+/// Union-find lookup with path compression; returns the class root and
+/// the phase of `x` relative to it.
+fn find(repr: &mut Vec<(u32, bool)>, x: u32) -> (u32, bool) {
+    let (p, ph) = repr[x as usize];
+    if p == x {
+        return (x, false);
+    }
+    let (root, root_ph) = find(repr, p);
+    let total = ph ^ root_ph;
+    repr[x as usize] = (root, total);
+    (root, total)
 }
 
 /// Imports `src` into `dst` reusing the shared PIs; returns the PO
@@ -211,27 +283,6 @@ fn append(src: &Aig, dst: &mut Aig, pis: &[Lit]) -> Vec<Lit> {
         .iter()
         .map(|po| map[po.node().index()].negate_if(po.is_complement()))
         .collect()
-}
-
-/// Finds a distinguishing assignment for output `o` by brute
-/// simulation (only used for trivial constant mismatches).
-fn counterexample(a: &Aig, b: &Aig, o: usize) -> CecResult {
-    let mut rng = 0xD00Du64;
-    let mut next = move || {
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
-        rng
-    };
-    loop {
-        // One fresh RNG draw per input: deriving bits of a single word
-        // by position would hand identical patterns to PIs 64 apart
-        // and degenerate the search on wide circuits.
-        let inputs: Vec<bool> = (0..a.num_pis()).map(|_| next() & 1 == 1).collect();
-        if a.eval(&inputs)[o] != b.eval(&inputs)[o] {
-            return CecResult::Counterexample { inputs, output: o };
-        }
-    }
 }
 
 #[cfg(test)]
@@ -266,14 +317,51 @@ mod tests {
 
     #[test]
     fn sweep_handles_small_multipliers() {
-        // Two structurally different 6-bit multipliers: FIFO-reduced
-        // columns vs a shift-and-add ripple structure.
-        let m1 = multiplier_columns(6);
-        let m2 = multiplier_shift_add(6);
-        assert_eq!(check_equivalence_sweeping(&m1, &m2), CecResult::Equivalent);
+        // Two structurally different 6-bit multipliers; 12 PIs, so the
+        // exhaustive path decides.
+        let m1 = cntfet_circuits_multiplier_columns(6);
+        let m2 = cntfet_circuits_multiplier_shift_add(6);
+        let r = check_equivalence_sweeping_report(&m1, &m2, &SweepOptions::default());
+        assert_eq!(r.result, CecResult::Equivalent);
+        assert!(r.exhaustive);
     }
 
-    fn multiplier_columns(n: usize) -> Aig {
+    #[test]
+    fn sweep_proper_runs_past_the_exhaustive_bound() {
+        // Force the SAT-sweeping machinery even on a narrow circuit.
+        let m1 = cntfet_circuits_multiplier_columns(5);
+        let m2 = cntfet_circuits_multiplier_shift_add(5);
+        let opts = SweepOptions { exhaustive_pis: 0, ..Default::default() };
+        let r = check_equivalence_sweeping_report(&m1, &m2, &opts);
+        assert_eq!(r.result, CecResult::Equivalent);
+        assert!(!r.exhaustive);
+        assert!(r.sat_stats.propagations > 0, "SAT must have run");
+
+        // And an inequivalent pair through the same machinery.
+        let mut broken = cntfet_circuits_multiplier_shift_add(5);
+        let po = broken.pos()[3];
+        broken.set_po(3, po.negate());
+        match check_equivalence_sweeping_with(&m1, &broken, &opts) {
+            CecResult::Counterexample { inputs, output } => {
+                assert_ne!(m1.eval(&inputs)[output], broken.eval(&inputs)[output]);
+            }
+            CecResult::Equivalent => panic!("broken multiplier reported equivalent"),
+        }
+    }
+
+    #[test]
+    fn zero_node_budget_forces_pure_miter_fallback() {
+        let m1 = cntfet_circuits_multiplier_columns(4);
+        let m2 = cntfet_circuits_multiplier_shift_add(4);
+        let opts = SweepOptions { node_budget: 0, exhaustive_pis: 0, ..Default::default() };
+        let r = check_equivalence_sweeping_report(&m1, &m2, &opts);
+        assert_eq!(r.result, CecResult::Equivalent);
+        assert_eq!(r.internal_proofs, 0, "budget 0 must skip internal sweeping");
+        assert_eq!(r.refinements, 0);
+        assert!(!r.exhaustive);
+    }
+
+    fn cntfet_circuits_multiplier_columns(n: usize) -> Aig {
         // Use the same column algorithm as cntfet-circuits (inlined to
         // avoid a dev-dependency cycle).
         use std::collections::VecDeque;
@@ -311,7 +399,7 @@ mod tests {
         g
     }
 
-    fn multiplier_shift_add(n: usize) -> Aig {
+    fn cntfet_circuits_multiplier_shift_add(n: usize) -> Aig {
         let mut g = Aig::new("m2");
         let a = g.add_pis(n);
         let b = g.add_pis(n);

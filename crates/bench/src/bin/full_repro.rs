@@ -3,7 +3,7 @@
 //! paper-vs-measured scoreboard. This is the one-shot artifact check
 //! behind EXPERIMENTS.md.
 
-use cntfet_bench::{run_suite, suite_averages};
+use cntfet_bench::{run_suite, suite_averages, suite_verification_stats};
 use cntfet_core::{characterize_family, enumerate_gates, family_averages, LogicFamily};
 
 struct Check {
@@ -64,8 +64,24 @@ fn main() {
 
     // Table 3 + Fig. 6 (with SAT verification).
     println!("running the 15-benchmark synthesis+mapping suite (verified)...");
+    let t_suite = std::time::Instant::now();
     let rows = run_suite(true, None);
+    let suite_secs = t_suite.elapsed().as_secs_f64();
     let all_verified = rows.iter().all(|r| r.verified);
+    // Verification-engine cost, so solver regressions show up in repro
+    // runs rather than only in the criterion benches.
+    let (vstats, exhaustive) = suite_verification_stats(&rows);
+    println!(
+        "verification: {exhaustive} checks by exhaustive simulation; SAT: \
+         {} conflicts, {} propagations, {} learnts kept, {} restarts, \
+         {} reductions, {} GCs ({suite_secs:.1}s suite)",
+        vstats.conflicts,
+        vstats.propagations,
+        vstats.learnts,
+        vstats.restarts,
+        vstats.reduces,
+        vstats.gcs,
+    );
     let a = suite_averages(&rows);
     checks.push(Check {
         what: "Table 3: all mappings SAT-equivalent",

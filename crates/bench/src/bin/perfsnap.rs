@@ -1,0 +1,123 @@
+//! Performance snapshot: measures the workspace's two hot paths —
+//! technology mapping and CEC verification — and writes the numbers
+//! plus SAT-solver statistics to `BENCH_PR3.json` in the current
+//! directory. The JSON starts the bench trajectory the ROADMAP asks
+//! for: subsequent PRs append comparable snapshots, and the committed
+//! file records where PR 3 left the engine (including the measured
+//! pre-PR baseline of the same workloads).
+
+use cntfet_aig::{check_equivalence_sweeping_report, CecResult, SweepOptions};
+use cntfet_circuits::{array_multiplier, c1908_like, cla_adder, ripple_adder, shift_add_multiplier};
+use cntfet_core::{Library, LogicFamily};
+use cntfet_synth::resyn2rs;
+use cntfet_techmap::{map, MapOptions};
+use std::time::Instant;
+
+/// Best-of-`n` wall time of `f`, in milliseconds.
+fn best_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    println!("perfsnap: measuring mapping and verification hot paths...");
+
+    // --- mapping (the PR 2 engine, tracked for regressions) ---
+    let lib = Library::new(LogicFamily::TgStatic);
+    let add16 = resyn2rs(&ripple_adder(16));
+    let c1908 = resyn2rs(&c1908_like());
+    let map_add16_ms = best_ms(5, || {
+        let m = map(&add16, &lib, MapOptions::default());
+        assert!(m.stats.gates > 0);
+    });
+    let map_c1908_ms = best_ms(5, || {
+        let m = map(&c1908, &lib, MapOptions::default());
+        assert!(m.stats.gates > 0);
+    });
+
+    // --- verification (the PR 3 engine) ---
+    let m_cols = array_multiplier(8);
+    let m_sa = shift_add_multiplier(8);
+    let r32 = ripple_adder(32);
+    let c32 = cla_adder(32);
+
+    // Default stack on the headline miter: exhaustive simulation.
+    let cec_mult8_default_ms = best_ms(5, || {
+        let r = check_equivalence_sweeping_report(&m_sa, &m_cols, &SweepOptions::default());
+        assert_eq!(r.result, CecResult::Equivalent);
+    });
+    // Same miter forced through CDCL sweeping: the raw solver workload.
+    let sat_opts = SweepOptions { exhaustive_pis: 0, ..Default::default() };
+    let mut sat_report = None;
+    let cec_mult8_sat_ms = best_ms(2, || {
+        let r = check_equivalence_sweeping_report(&m_sa, &m_cols, &sat_opts);
+        assert_eq!(r.result, CecResult::Equivalent);
+        sat_report = Some(r);
+    });
+    let sat_report = sat_report.expect("measured at least once");
+    // Wide-interface sweeping (65 PIs — no exhaustive shortcut).
+    let cec_adder32_sweep_ms = best_ms(5, || {
+        let r = check_equivalence_sweeping_report(&r32, &c32, &SweepOptions::default());
+        assert_eq!(r.result, CecResult::Equivalent);
+    });
+
+    let s = &sat_report.sat_stats;
+    let json = format!(
+        r#"{{
+  "pr": 3,
+  "description": "flat-arena CDCL core + LBD reduction + exhaustive-simulation CEC tier",
+  "mapping_ms": {{
+    "add16_tg_static": {map_add16_ms:.3},
+    "c1908_tg_static": {map_c1908_ms:.3}
+  }},
+  "cec_ms": {{
+    "mult8_shift_add_vs_columns_default": {cec_mult8_default_ms:.3},
+    "mult8_shift_add_vs_columns_sat_sweep": {cec_mult8_sat_ms:.3},
+    "ripple_vs_cla_32_sweep": {cec_adder32_sweep_ms:.3}
+  }},
+  "solver_stats_mult8_sat_sweep": {{
+    "conflicts": {},
+    "decisions": {},
+    "propagations": {},
+    "restarts": {},
+    "learnts": {},
+    "reduces": {},
+    "gcs": {},
+    "minimized_lits": {},
+    "internal_proofs": {},
+    "refinements": {}
+  }},
+  "baseline_pre_pr3_ms": {{
+    "mult8_shift_add_vs_columns_default": 7300.0,
+    "mult6_shift_add_vs_columns_miter": 243.3,
+    "ripple_vs_cla_32_sweep": 5.9,
+    "comment": "criterion best-of-10 on the PR 2 solver (Vec-of-Vec clauses, activity-only reduction), same machine"
+  }},
+  "speedup_vs_pre_pr3": {{
+    "mult8_shift_add_vs_columns_default": {:.1},
+    "ripple_vs_cla_32_sweep": {:.1}
+  }}
+}}
+"#,
+        s.conflicts,
+        s.decisions,
+        s.propagations,
+        s.restarts,
+        s.learnts,
+        s.reduces,
+        s.gcs,
+        s.minimized_lits,
+        sat_report.internal_proofs,
+        sat_report.refinements,
+        7300.0 / cec_mult8_default_ms,
+        5.9 / cec_adder32_sweep_ms,
+    );
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    print!("{json}");
+    println!("wrote BENCH_PR3.json");
+}

@@ -8,8 +8,9 @@
 
 use cntfet_circuits::{paper_benchmarks, Benchmark};
 use cntfet_core::{Library, LogicFamily};
+use cntfet_sat::SolverStats;
 use cntfet_synth::resyn2rs;
-use cntfet_techmap::{map, verify_mapping, MapOptions, MapStats};
+use cntfet_techmap::{map, verify_mapping_report, MapOptions, MapStats};
 
 /// Mapping results of one benchmark across the three Table 3 families.
 #[derive(Debug)]
@@ -28,6 +29,11 @@ pub struct Table3Row {
     pub cmos: MapStats,
     /// Whether each mapping passed SAT equivalence checking.
     pub verified: bool,
+    /// Aggregated SAT-solver statistics of the three verification runs
+    /// (all-zero when `verify` was off or simulation decided alone).
+    pub sat_stats: SolverStats,
+    /// Verification checks decided purely by exhaustive simulation.
+    pub exhaustive_checks: u32,
 }
 
 impl Table3Row {
@@ -59,12 +65,16 @@ pub fn run_benchmark_with(b: &Benchmark, verify: bool, opts: MapOptions) -> Tabl
     let families = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic];
     let mut stats = Vec::with_capacity(3);
     let mut verified = true;
+    let mut sat_stats = SolverStats::default();
+    let mut exhaustive_checks = 0;
     for family in families {
         let lib = Library::new(family);
         let m = map(&optimized, &lib, opts);
         if verify {
-            verified &= verify_mapping(&optimized, &m, &lib)
-                == cntfet_aig::CecResult::Equivalent;
+            let report = verify_mapping_report(&optimized, &m, &lib);
+            verified &= report.result == cntfet_aig::CecResult::Equivalent;
+            sat_stats.absorb(&report.sat_stats);
+            exhaustive_checks += u32::from(report.exhaustive);
         }
         stats.push(m.stats);
     }
@@ -76,6 +86,8 @@ pub fn run_benchmark_with(b: &Benchmark, verify: bool, opts: MapOptions) -> Tabl
         tg_pseudo: stats[1],
         cmos: stats[2],
         verified,
+        sat_stats,
+        exhaustive_checks,
     }
 }
 
@@ -118,6 +130,19 @@ fn avg(rows: &[Table3Row], pick: impl Fn(&Table3Row) -> MapStats) -> (f64, f64, 
         acc.4 += s.delay_ps;
     }
     (acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n, acc.4 / n)
+}
+
+/// Aggregates the verification-engine statistics across rows: total
+/// SAT-solver counters and how many checks exhaustive simulation
+/// decided without SAT.
+pub fn suite_verification_stats(rows: &[Table3Row]) -> (SolverStats, u32) {
+    let mut stats = SolverStats::default();
+    let mut exhaustive = 0;
+    for r in rows {
+        stats.absorb(&r.sat_stats);
+        exhaustive += r.exhaustive_checks;
+    }
+    (stats, exhaustive)
 }
 
 /// Computes suite averages.

@@ -608,8 +608,8 @@ mod tests {
         // g(y) = f(x) with y[perm[i]] = x[i].
         for m in 0..(1u64 << 5) {
             let mut y = 0u64;
-            for i in 0..5 {
-                y |= ((m >> i) & 1) << perm[i];
+            for (i, &p) in perm.iter().enumerate() {
+                y |= ((m >> i) & 1) << p;
             }
             assert_eq!(g.eval(y), f.eval(m));
         }

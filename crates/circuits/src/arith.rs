@@ -139,6 +139,37 @@ pub fn array_multiplier(n: usize) -> Aig {
     g
 }
 
+/// A shift-and-add n×n multiplier (same interface as
+/// [`array_multiplier`]): each row `a · b[j]` is accumulated into the
+/// running sum with a ripple adder. Structurally very different from
+/// the carry-save column reduction — the pair is the workspace's
+/// standard multiplier-miter stress test for SAT sweeping.
+pub fn shift_add_multiplier(n: usize) -> Aig {
+    let mut g = Aig::new(format!("mul-sa-{n}"));
+    let a = g.add_pis(n);
+    let b = g.add_pis(n);
+    // acc += (a & b[j]) << j, one ripple-adder pass per row.
+    let mut acc: Vec<Lit> = vec![Lit::FALSE; 2 * n];
+    for (j, &bj) in b.iter().enumerate() {
+        let row: Vec<Lit> = a.iter().map(|&ai| g.and(ai, bj)).collect();
+        let mut carry = Lit::FALSE;
+        for i in 0..=n {
+            let idx = i + j;
+            let addend = row.get(i).copied().unwrap_or(Lit::FALSE);
+            let x = g.xor(acc[idx], addend);
+            let s = g.xor(x, carry);
+            let c1 = g.and(acc[idx], addend);
+            let c2 = g.and(x, carry);
+            carry = g.or(c1, c2);
+            acc[idx] = s;
+        }
+    }
+    for o in acc {
+        g.add_po(o);
+    }
+    g
+}
+
 /// Reference evaluation of an adder AIG built by [`ripple_adder`] /
 /// [`cla_adder`].
 pub fn eval_adder(aig: &Aig, n: usize, a: u64, b: u64, cin: bool) -> (u64, bool) {
@@ -223,6 +254,20 @@ mod tests {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
             let a = seed >> 7 & 0xFF;
             let b = seed >> 23 & 0xFF;
+            assert_eq!(eval_multiplier(&g, 8, a, b), (a as u128) * (b as u128), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn shift_add_multiplier_multiplies() {
+        let g = shift_add_multiplier(8);
+        assert_eq!(g.num_pis(), 16);
+        assert_eq!(g.num_pos(), 16);
+        let mut seed = 0xF00D_u64;
+        for _ in 0..100 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let a = seed >> 11 & 0xFF;
+            let b = seed >> 31 & 0xFF;
             assert_eq!(eval_multiplier(&g, 8, a, b), (a as u128) * (b as u128), "{a}*{b}");
         }
     }

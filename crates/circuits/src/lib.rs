@@ -34,6 +34,7 @@ mod suite;
 pub use alu::{alu16, alu16_reference, alu_control, dalu_like, AluOutputs};
 pub use arith::{
     array_multiplier, cla_adder, eval_adder, eval_multiplier, full_adder, ripple_adder,
+    shift_add_multiplier,
 };
 pub use des::{des_f, des_f_circuit, des_f_reference, des_like};
 pub use ecc::{c1355_like, c1355_reference, c1908_like};

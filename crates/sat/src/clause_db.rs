@@ -1,0 +1,216 @@
+//! Flat clause arena: every clause lives inline in one contiguous
+//! `u32` buffer.
+//!
+//! Layout per clause (all `u32` words):
+//!
+//! ```text
+//! +--------+--------+----------+------+------+-----+
+//! | header |  lbd   | activity | lit0 | lit1 | ... |
+//! +--------+--------+----------+------+------+-----+
+//! ```
+//!
+//! * `header` — `size << 2 | deleted << 1 | learnt`
+//! * `lbd` — `protected << 31 | glue` (learnt clauses only)
+//! * `activity` — `f32` bit pattern (learnt clauses only)
+//!
+//! A [`ClauseRef`] is the arena offset of the header word, so
+//! dereferencing a clause is one add — no pointer chase through a
+//! `Vec<Vec<Lit>>` — and iterating the literals of the clauses touched
+//! by propagation walks memory in order. Deletion only flips the
+//! `deleted` bit and counts the waste; [`ClauseDb::compact`] is a
+//! mark-and-compact garbage collector that slides live clauses down
+//! and leaves a forwarding table for the solver to rewrite its watch
+//! lists and reason pointers through.
+
+use crate::Lit;
+
+/// Reference to a clause: the arena offset of its header word.
+pub(crate) type ClauseRef = u32;
+
+/// Sentinel "no clause" value (used for decision/assumption reasons).
+pub(crate) const REF_NONE: ClauseRef = u32::MAX;
+
+/// Words of metadata preceding the literals of every clause.
+const HEADER_WORDS: usize = 3;
+
+const LEARNT_BIT: u32 = 0b01;
+const DELETED_BIT: u32 = 0b10;
+const PROTECTED_BIT: u32 = 1 << 31;
+
+/// The flat clause arena.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    arena: Vec<u32>,
+    /// Words occupied by deleted clauses (reclaimable by [`Self::compact`]).
+    wasted: usize,
+    /// Live problem (non-learnt) clauses.
+    num_problem: usize,
+}
+
+impl ClauseDb {
+    /// Allocates a clause and returns its reference.
+    pub fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.arena.len() as ClauseRef;
+        self.arena.push((lits.len() as u32) << 2 | u32::from(learnt));
+        self.arena.push(lbd);
+        self.arena.push(0f32.to_bits());
+        self.arena.extend(lits.iter().map(|l| l.0));
+        if !learnt {
+            self.num_problem += 1;
+        }
+        cref
+    }
+
+    #[inline]
+    pub fn len(&self, c: ClauseRef) -> usize {
+        (self.arena[c as usize] >> 2) as usize
+    }
+
+    #[inline]
+    pub fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.arena[c as usize] & LEARNT_BIT != 0
+    }
+
+    #[inline]
+    pub fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.arena[c as usize] & DELETED_BIT != 0
+    }
+
+    #[inline]
+    pub fn lit(&self, c: ClauseRef, i: usize) -> Lit {
+        Lit(self.arena[c as usize + HEADER_WORDS + i])
+    }
+
+    #[inline]
+    pub fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let base = c as usize + HEADER_WORDS;
+        self.arena.swap(base + i, base + j);
+    }
+
+    #[inline]
+    pub fn lbd(&self, c: ClauseRef) -> u32 {
+        self.arena[c as usize + 1] & !PROTECTED_BIT
+    }
+
+    #[inline]
+    pub fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
+        let w = &mut self.arena[c as usize + 1];
+        *w = (*w & PROTECTED_BIT) | lbd;
+    }
+
+    /// Glucose-style one-round deletion immunity for clauses whose LBD
+    /// just improved.
+    #[inline]
+    pub fn is_protected(&self, c: ClauseRef) -> bool {
+        self.arena[c as usize + 1] & PROTECTED_BIT != 0
+    }
+
+    #[inline]
+    pub fn set_protected(&mut self, c: ClauseRef, on: bool) {
+        let w = &mut self.arena[c as usize + 1];
+        if on {
+            *w |= PROTECTED_BIT;
+        } else {
+            *w &= !PROTECTED_BIT;
+        }
+    }
+
+    #[inline]
+    pub fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.arena[c as usize + 2])
+    }
+
+    #[inline]
+    pub fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.arena[c as usize + 2] = a.to_bits();
+    }
+
+    /// Marks the clause deleted (watches must already be detached).
+    /// The words are reclaimed by the next [`Self::compact`].
+    pub fn delete(&mut self, c: ClauseRef) {
+        debug_assert!(!self.is_deleted(c));
+        if !self.is_learnt(c) {
+            self.num_problem -= 1;
+        }
+        self.wasted += HEADER_WORDS + self.len(c);
+        self.arena[c as usize] |= DELETED_BIT;
+    }
+
+    /// Live problem-clause count.
+    pub fn num_problem(&self) -> usize {
+        self.num_problem
+    }
+
+    /// Fraction of the arena occupied by deleted clauses.
+    pub fn wasted_ratio(&self) -> f64 {
+        if self.arena.is_empty() {
+            0.0
+        } else {
+            self.wasted as f64 / self.arena.len() as f64
+        }
+    }
+
+    /// Iterates the references of all live clauses.
+    pub fn refs(&self) -> ClauseRefs<'_> {
+        ClauseRefs { db: self, off: 0 }
+    }
+
+    /// Mark-and-compact garbage collection: slides live clauses to the
+    /// front of a fresh arena and returns a forwarding table the caller
+    /// uses to rewrite every stored [`ClauseRef`] (watch lists, reason
+    /// pointers). References to deleted clauses must not be translated.
+    pub fn compact(&mut self) -> GcForward {
+        let mut fresh = Vec::with_capacity(self.arena.len() - self.wasted);
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let header = self.arena[off];
+            let total = HEADER_WORDS + (header >> 2) as usize;
+            if header & DELETED_BIT == 0 {
+                let new_off = fresh.len() as u32;
+                fresh.extend_from_slice(&self.arena[off..off + total]);
+                // Repurpose the old LBD word as the forwarding pointer.
+                self.arena[off + 1] = new_off;
+            }
+            off += total;
+        }
+        let old = std::mem::replace(&mut self.arena, fresh);
+        self.wasted = 0;
+        GcForward { old }
+    }
+}
+
+/// Iterator over live clause references (see [`ClauseDb::refs`]).
+pub(crate) struct ClauseRefs<'a> {
+    db: &'a ClauseDb,
+    off: usize,
+}
+
+impl Iterator for ClauseRefs<'_> {
+    type Item = ClauseRef;
+
+    fn next(&mut self) -> Option<ClauseRef> {
+        while self.off < self.db.arena.len() {
+            let c = self.off as ClauseRef;
+            self.off += HEADER_WORDS + self.db.len(c);
+            if !self.db.is_deleted(c) {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+/// Forwarding table produced by [`ClauseDb::compact`].
+pub(crate) struct GcForward {
+    old: Vec<u32>,
+}
+
+impl GcForward {
+    /// New location of a live pre-GC clause reference.
+    #[inline]
+    pub fn translate(&self, c: ClauseRef) -> ClauseRef {
+        debug_assert_eq!(self.old[c as usize] & DELETED_BIT, 0, "deleted clause has no forwarding");
+        self.old[c as usize + 1]
+    }
+}

@@ -1,6 +1,9 @@
-//! A compact CDCL SAT solver in the MiniSat lineage: two-watched
-//! literals, first-UIP conflict analysis, VSIDS branching, phase
-//! saving, Luby restarts and activity-based learnt-clause reduction.
+//! A compact CDCL SAT solver in the MiniSat → Glucose lineage:
+//! two-watched literals over a flat clause arena, first-UIP conflict
+//! analysis with deep (recursive) clause minimization, VSIDS
+//! branching, phase saving, Luby restarts, and LBD-driven
+//! learnt-clause reduction with glue protection plus mark-and-compact
+//! garbage collection of the arena.
 //!
 //! The solver exists to certify logic transformations elsewhere in the
 //! workspace (combinational equivalence checking of optimized and
@@ -26,6 +29,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod clause_db;
+
+use clause_db::{ClauseDb, ClauseRef, REF_NONE};
 use std::fmt;
 
 /// A propositional variable.
@@ -119,17 +125,6 @@ enum Assign {
     False,
 }
 
-type ClauseRef = u32;
-const REASON_NONE: ClauseRef = u32::MAX;
-
-#[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
-}
-
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
@@ -149,12 +144,38 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently retained.
     pub learnts: u64,
+    /// Learnt-database reductions performed.
+    pub reduces: u64,
+    /// Clause-arena garbage collections performed.
+    pub gcs: u64,
+    /// Literals removed from learnt clauses by conflict-clause
+    /// minimization.
+    pub minimized_lits: u64,
 }
 
+impl SolverStats {
+    /// Accumulates another solver's counters into this one (used by
+    /// verification drivers that run several solver instances).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnts += other.learnts;
+        self.reduces += other.reduces;
+        self.gcs += other.gcs;
+        self.minimized_lits += other.minimized_lits;
+    }
+}
+
+/// Learnt clauses at or below this LBD ("glue" clauses) are never
+/// deleted, following Glucose.
+const GLUE_LBD: u32 = 2;
+
 /// A CDCL SAT solver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    clauses: ClauseDb,
     watches: Vec<Vec<Watcher>>, // indexed by literal code
     assigns: Vec<Assign>,
     phase: Vec<bool>,
@@ -169,23 +190,52 @@ pub struct Solver {
     heap: Vec<Var>,
     heap_pos: Vec<usize>,
     // Clause activity
-    cla_inc: f64,
+    cla_inc: f32,
     // State
     ok: bool,
     stats: SolverStats,
-    seen: Vec<bool>,
+    seen: Vec<u8>,
+    // Scratch buffers for analyze/minimization/LBD (kept to avoid
+    // re-allocating on every conflict).
+    analyze_clear: Vec<Var>,
+    min_stack: Vec<Lit>,
+    lbd_stamp: Vec<u32>,
+    lbd_counter: u32,
 }
 
 const HEAP_ABSENT: usize = usize::MAX;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
 
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
+            clauses: ClauseDb::default(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
             var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
             cla_inc: 1.0,
             ok: true,
-            ..Default::default()
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+            analyze_clear: Vec::new(),
+            min_stack: Vec::new(),
+            lbd_stamp: vec![0], // level 0 slot; one more per variable
+            lbd_counter: 0,
         }
     }
 
@@ -195,12 +245,13 @@ impl Solver {
         self.assigns.push(Assign::Undef);
         self.phase.push(false);
         self.level.push(0);
-        self.reason.push(REASON_NONE);
+        self.reason.push(REF_NONE);
         self.activity.push(0.0);
-        self.seen.push(false);
+        self.seen.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap_pos.push(HEAP_ABSENT);
+        self.lbd_stamp.push(0);
         self.heap_insert(v);
         v
     }
@@ -212,7 +263,7 @@ impl Solver {
 
     /// Number of (problem) clauses currently attached.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses.num_problem()
     }
 
     /// Solving statistics.
@@ -254,23 +305,22 @@ impl Solver {
                 false
             }
             1 => {
-                self.unchecked_enqueue(filtered[0], REASON_NONE);
+                self.unchecked_enqueue(filtered[0], REF_NONE);
                 self.ok = self.propagate().is_none();
                 self.ok
             }
             _ => {
-                self.attach_clause(filtered, false);
+                self.attach_clause(&filtered, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as ClauseRef;
+        let cref = self.clauses.alloc(lits, learnt, lbd);
         self.watches[lits[0].negate().code()].push(Watcher { cref, blocker: lits[1] });
         self.watches[lits[1].negate().code()].push(Watcher { cref, blocker: lits[0] });
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
         if learnt {
             self.stats.learnts += 1;
         }
@@ -331,24 +381,22 @@ impl Solver {
                 }
                 let cref = w.cref;
                 // Make sure the false literal is at position 1.
-                let (first, lits_len) = {
-                    let c = &mut self.clauses[cref as usize];
-                    if c.lits[0] == p.negate() {
-                        c.lits.swap(0, 1);
-                    }
-                    (c.lits[0], c.lits.len())
-                };
-                debug_assert_eq!(self.clauses[cref as usize].lits[1], p.negate());
+                if self.clauses.lit(cref, 0) == p.negate() {
+                    self.clauses.swap_lits(cref, 0, 1);
+                }
+                debug_assert_eq!(self.clauses.lit(cref, 1), p.negate());
+                let first = self.clauses.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == Assign::True {
                     watchers[j] = Watcher { cref, blocker: first };
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                for k in 2..lits_len {
-                    let lk = self.clauses[cref as usize].lits[k];
+                let len = self.clauses.len(cref);
+                for k in 2..len {
+                    let lk = self.clauses.lit(cref, k);
                     if self.lit_value(lk) != Assign::False {
-                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.clauses.swap_lits(cref, 1, k);
                         self.watches[lk.negate().code()].push(Watcher { cref, blocker: first });
                         continue 'outer;
                     }
@@ -394,11 +442,17 @@ impl Solver {
     }
 
     fn cla_bump(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+        if !self.clauses.is_learnt(cref) {
+            return;
+        }
+        let a = self.clauses.activity(cref) + self.cla_inc;
+        self.clauses.set_activity(cref, a);
+        if a > 1e20 {
+            let refs: Vec<ClauseRef> =
+                self.clauses.refs().filter(|&c| self.clauses.is_learnt(c)).collect();
+            for c in refs {
+                let scaled = self.clauses.activity(c) * 1e-20;
+                self.clauses.set_activity(c, scaled);
             }
             self.cla_inc *= 1e-20;
         }
@@ -408,24 +462,77 @@ impl Solver {
         self.cla_inc /= 0.999;
     }
 
+    /// 32-bit abstraction of a decision level (MiniSat's
+    /// `abstractLevel`) — used to prune the redundancy search.
+    #[inline]
+    fn abstract_level(&self, v: Var) -> u32 {
+        1 << (self.level[v.index()] & 31)
+    }
+
+    /// Number of distinct (non-root) decision levels among `lits` — the
+    /// literal block distance ("glue") of Glucose.
+    fn lits_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut glue = 0;
+        for l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            if lev > 0 && self.lbd_stamp[lev] != stamp {
+                self.lbd_stamp[lev] = stamp;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
+    /// [`Self::lits_lbd`] over a stored clause, without materializing
+    /// its literals.
+    fn clause_lbd(&mut self, cref: ClauseRef) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut glue = 0;
+        for k in 0..self.clauses.len(cref) {
+            let lev = self.level[self.clauses.lit(cref, k).var().index()] as usize;
+            if lev > 0 && self.lbd_stamp[lev] != stamp {
+                self.lbd_stamp[lev] = stamp;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
     /// First-UIP conflict analysis; returns the learnt clause (with the
-    /// asserting literal first) and the backtrack level.
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    /// asserting literal first), the backtrack level, and the clause's
+    /// LBD.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
         let mut path_count = 0usize;
         let mut expanded: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut cref = conflict;
-        let mut to_clear: Vec<Var> = Vec::new();
+        let mut to_clear: Vec<Var> = std::mem::take(&mut self.analyze_clear);
+        to_clear.clear();
 
         loop {
             self.cla_bump(cref);
+            // Glucose-style LBD refresh: a learnt clause re-used in
+            // conflict analysis whose glue improved gets the better LBD
+            // and one round of deletion immunity.
+            if self.clauses.is_learnt(cref) {
+                let lbd = self.clause_lbd(cref);
+                if lbd < self.clauses.lbd(cref) {
+                    if self.clauses.lbd(cref) > GLUE_LBD {
+                        self.clauses.set_protected(cref, true);
+                    }
+                    self.clauses.set_lbd(cref, lbd);
+                }
+            }
             let start = usize::from(expanded.is_some());
-            let lits: Vec<Lit> = self.clauses[cref as usize].lits.clone();
-            for &q in &lits[start..] {
+            for k in start..self.clauses.len(cref) {
+                let q = self.clauses.lit(cref, k);
                 let v = q.var();
-                if !self.seen[v.index()] && self.level[v.index()] > 0 {
-                    self.seen[v.index()] = true;
+                if self.seen[v.index()] == 0 && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = 1;
                     to_clear.push(v);
                     self.var_bump(v);
                     if self.level[v.index()] >= self.decision_level() {
@@ -438,7 +545,7 @@ impl Solver {
             // Select the next seen literal on the trail to expand.
             loop {
                 index -= 1;
-                if self.seen[self.trail[index].var().index()] {
+                if self.seen[self.trail[index].var().index()] != 0 {
                     break;
                 }
             }
@@ -450,33 +557,35 @@ impl Solver {
             }
             let pv = p.var();
             cref = self.reason[pv.index()];
-            debug_assert_ne!(cref, REASON_NONE, "non-decision literal must have a reason");
+            debug_assert_ne!(cref, REF_NONE, "non-decision literal must have a reason");
             // The reason clause keeps its implied literal at slot 0.
-            debug_assert_eq!(self.clauses[cref as usize].lits[0].var(), pv);
+            debug_assert_eq!(self.clauses.lit(cref, 0).var(), pv);
         }
         learnt[0] = expanded.unwrap().negate();
 
-        // Cheap self-subsumption minimization: a literal is redundant
-        // if its reason's other literals are all already in the clause
-        // (seen) or at level 0.
-        let mut minimized = vec![learnt[0]];
-        for &l in &learnt[1..] {
-            let r = self.reason[l.var().index()];
-            let redundant = r != REASON_NONE
-                && self.clauses[r as usize].lits.iter().all(|&q| {
-                    q.var() == l.var()
-                        || self.seen[q.var().index()]
-                        || self.level[q.var().index()] == 0
-                });
-            if !redundant {
-                minimized.push(l);
+        // Deep (recursive) conflict-clause minimization: a literal is
+        // redundant if every path through its reason graph terminates
+        // in literals already in the clause or fixed at level 0.
+        let abstract_levels =
+            learnt[1..].iter().fold(0u32, |acc, l| acc | self.abstract_level(l.var()));
+        let before = learnt.len();
+        let mut kept = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.reason[l.var().index()] == REF_NONE
+                || !self.lit_redundant(l, abstract_levels, &mut to_clear)
+            {
+                learnt[kept] = l;
+                kept += 1;
             }
         }
-        let mut learnt = minimized;
+        learnt.truncate(kept);
+        self.stats.minimized_lits += (before - kept) as u64;
 
-        for v in to_clear {
-            self.seen[v.index()] = false;
+        for &v in &to_clear {
+            self.seen[v.index()] = 0;
         }
+        self.analyze_clear = to_clear;
 
         let bt = if learnt.len() == 1 {
             0
@@ -490,7 +599,49 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()]
         };
-        (learnt, bt)
+        let lbd = self.lits_lbd(&learnt);
+        (learnt, bt, lbd)
+    }
+
+    /// Redundancy test behind the deep minimization: walks the reason
+    /// graph of `p` with an explicit stack. Newly visited variables are
+    /// marked seen (and recorded in `to_clear`); on failure the marks
+    /// added by this call are rolled back.
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32, to_clear: &mut Vec<Var>) -> bool {
+        let mut stack = std::mem::take(&mut self.min_stack);
+        stack.clear();
+        stack.push(p);
+        let top = to_clear.len();
+        let mut redundant = true;
+        'walk: while let Some(q) = stack.pop() {
+            let cref = self.reason[q.var().index()];
+            debug_assert_ne!(cref, REF_NONE, "stacked literal must have a reason");
+            for k in 1..self.clauses.len(cref) {
+                let l = self.clauses.lit(cref, k);
+                let v = l.var();
+                if self.seen[v.index()] != 0 || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()] != REF_NONE
+                    && self.abstract_level(v) & abstract_levels != 0
+                {
+                    self.seen[v.index()] = 1;
+                    to_clear.push(v);
+                    stack.push(l);
+                } else {
+                    redundant = false;
+                    break 'walk;
+                }
+            }
+        }
+        if !redundant {
+            for &v in &to_clear[top..] {
+                self.seen[v.index()] = 0;
+            }
+            to_clear.truncate(top);
+        }
+        self.min_stack = stack;
+        redundant
     }
 
     fn cancel_until(&mut self, level: u32) {
@@ -501,7 +652,7 @@ impl Solver {
         for i in (lim..self.trail.len()).rev() {
             let v = self.trail[i].var();
             self.assigns[v.index()] = Assign::Undef;
-            self.reason[v.index()] = REASON_NONE;
+            self.reason[v.index()] = REF_NONE;
             if self.heap_pos[v.index()] == HEAP_ABSENT {
                 self.heap_insert(v);
             }
@@ -590,44 +741,89 @@ impl Solver {
         None
     }
 
+    /// A clause is locked while it is the reason of its asserting
+    /// literal's current assignment.
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let l0 = self.clauses.lit(cref, 0);
+        self.reason[l0.var().index()] == cref && self.lit_value(l0) == Assign::True
+    }
+
+    /// Removes roughly the worst half of the removable learnt clauses,
+    /// ranked by LBD (higher glue first, lower activity breaking ties).
+    /// Glue clauses (LBD ≤ 2), binary clauses, locked clauses, and
+    /// clauses whose LBD improved since the last reduction are kept.
     fn reduce_db(&mut self) {
-        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
-            .filter(|&c| {
-                let cl = &self.clauses[c as usize];
-                cl.learnt && !cl.deleted && cl.lits.len() > 2
-            })
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap()
-        });
-        let half = learnt_refs.len() / 2;
-        for &c in learnt_refs.iter().take(half) {
-            let locked = {
-                let cl = &self.clauses[c as usize];
-                let l0 = cl.lits[0];
-                self.reason[l0.var().index()] == c && self.lit_value(l0) == Assign::True
-            };
-            if !locked {
-                self.detach_clause(c);
+        self.stats.reduces += 1;
+        let mut protected: Vec<ClauseRef> = Vec::new();
+        let mut cands: Vec<ClauseRef> = Vec::new();
+        for c in self.clauses.refs() {
+            if !self.clauses.is_learnt(c) {
+                continue;
             }
+            if self.clauses.is_protected(c) {
+                protected.push(c);
+                continue;
+            }
+            if self.clauses.len(c) <= 2 || self.clauses.lbd(c) <= GLUE_LBD || self.is_locked(c) {
+                continue;
+            }
+            cands.push(c);
+        }
+        // Immunity lasts exactly one reduction round.
+        for c in protected {
+            self.clauses.set_protected(c, false);
+        }
+        let db = &self.clauses;
+        cands.sort_by(|&a, &b| {
+            db.lbd(b)
+                .cmp(&db.lbd(a))
+                .then_with(|| db.activity(a).partial_cmp(&db.activity(b)).unwrap())
+        });
+        let half = cands.len() / 2;
+        for &c in cands.iter().take(half) {
+            self.detach_clause(c);
+        }
+        // Reclaim the arena once a quarter of it is tombstones.
+        if self.clauses.wasted_ratio() > 0.25 {
+            self.garbage_collect();
         }
     }
 
+    /// Forces a learnt-database reduction followed by an arena
+    /// compaction. Reduction normally triggers automatically as the
+    /// learnt database grows; this hook exists so tests and benchmarks
+    /// can exercise the reduce + GC path deterministically.
+    pub fn reduce_learnts(&mut self) {
+        self.reduce_db();
+        self.garbage_collect();
+    }
+
     fn detach_clause(&mut self, cref: ClauseRef) {
-        let (w0, w1) = {
-            let c = &self.clauses[cref as usize];
-            (c.lits[0].negate().code(), c.lits[1].negate().code())
-        };
+        let w0 = self.clauses.lit(cref, 0).negate().code();
+        let w1 = self.clauses.lit(cref, 1).negate().code();
         self.watches[w0].retain(|w| w.cref != cref);
         self.watches[w1].retain(|w| w.cref != cref);
-        let c = &mut self.clauses[cref as usize];
-        c.deleted = true;
-        if c.learnt {
+        if self.clauses.is_learnt(cref) {
             self.stats.learnts = self.stats.learnts.saturating_sub(1);
         }
+        self.clauses.delete(cref);
+    }
+
+    /// Compacts the clause arena and rewrites every stored reference
+    /// (watch lists and reason pointers) through the forwarding table.
+    fn garbage_collect(&mut self) {
+        let map = self.clauses.compact();
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                w.cref = map.translate(w.cref);
+            }
+        }
+        for r in &mut self.reason {
+            if *r != REF_NONE {
+                *r = map.translate(*r);
+            }
+        }
+        self.stats.gcs += 1;
     }
 
     /// Solves the formula under the given assumptions.
@@ -666,13 +862,13 @@ impl Solver {
                     self.ok = false;
                     return Some(SolveResult::Unsat);
                 }
-                let (learnt, bt) = self.analyze(conflict);
+                let (learnt, bt, lbd) = self.analyze(conflict);
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
-                    self.unchecked_enqueue(learnt[0], REASON_NONE);
+                    self.unchecked_enqueue(learnt[0], REF_NONE);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_clause(learnt, true);
+                    let cref = self.attach_clause(&learnt, true, lbd);
                     self.cla_bump(cref);
                     self.unchecked_enqueue(asserting, cref);
                 }
@@ -706,7 +902,7 @@ impl Solver {
                         }
                         Assign::Undef => {
                             self.trail_lim.push(self.trail.len());
-                            self.unchecked_enqueue(a, REASON_NONE);
+                            self.unchecked_enqueue(a, REF_NONE);
                         }
                     }
                     continue;
@@ -716,7 +912,7 @@ impl Solver {
                     Some(l) => {
                         self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
-                        self.unchecked_enqueue(l, REASON_NONE);
+                        self.unchecked_enqueue(l, REF_NONE);
                     }
                 }
             }
@@ -791,9 +987,9 @@ mod tests {
             s.add_clause(&c);
         }
         for hole in 0..m {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    s.add_clause(&[p[i][hole].neg(), p[j][hole].neg()]);
+            for (i, pi) in p.iter().enumerate() {
+                for pj in &p[i + 1..] {
+                    s.add_clause(&[pi[hole].neg(), pj[hole].neg()]);
                 }
             }
         }

@@ -1,0 +1,200 @@
+//! Property-based tests of the CDCL core: random k-CNF instances
+//! cross-checked against brute-force enumeration, and a forced
+//! reduce + garbage-collection cycle mid-solve.
+
+use cntfet_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// Decodes a (var, sign) script into clauses over `nv` variables with
+/// `k` literals each.
+fn build_clauses(nv: usize, k: usize, script: &[(u16, bool)]) -> Vec<Vec<Lit>> {
+    script
+        .chunks(k)
+        .filter(|c| c.len() == k)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&(v, neg)| Var::from_index(v as usize % nv).lit(!neg))
+                .collect()
+        })
+        .collect()
+}
+
+/// Brute-force satisfiability over ≤ 16 variables.
+fn brute_force_sat(nv: usize, clauses: &[Vec<Lit>]) -> bool {
+    'models: for m in 0..(1u64 << nv) {
+        for cl in clauses {
+            let sat = cl.iter().any(|l| (m >> l.var().index() & 1 == 1) != l.is_neg());
+            if !sat {
+                continue 'models;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn solver_on(nv: usize, clauses: &[Vec<Lit>]) -> (Solver, SolveResult) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+    let _ = vars;
+    let mut ok = true;
+    for cl in clauses {
+        ok &= s.add_clause(cl);
+    }
+    let r = if ok { s.solve(&[]) } else { SolveResult::Unsat };
+    (s, r)
+}
+
+fn assert_model_satisfies(s: &Solver, clauses: &[Vec<Lit>]) {
+    for cl in clauses {
+        assert!(
+            cl.iter().any(|l| s.value(l.var()).unwrap_or(false) != l.is_neg()),
+            "model violates clause"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random 3-CNF over ≤ 10 variables agrees with brute force; SAT
+    /// answers come with verified models.
+    #[test]
+    fn prop_random_3cnf_matches_bruteforce(
+        nv in 3usize..=10,
+        script in proptest::collection::vec((any::<u16>(), any::<bool>()), 9..150)
+    ) {
+        let clauses = build_clauses(nv, 3, &script);
+        let want = brute_force_sat(nv, &clauses);
+        let (s, r) = solver_on(nv, &clauses);
+        prop_assert_eq!(r == SolveResult::Sat, want);
+        if r == SolveResult::Sat {
+            assert_model_satisfies(&s, &clauses);
+        }
+    }
+
+    /// Mixed clause widths (2-CNF … 5-CNF segments) over ≤ 10 vars.
+    #[test]
+    fn prop_random_mixed_cnf_matches_bruteforce(
+        nv in 2usize..=10,
+        s2 in proptest::collection::vec((any::<u16>(), any::<bool>()), 4..40),
+        s5 in proptest::collection::vec((any::<u16>(), any::<bool>()), 10..60)
+    ) {
+        let mut clauses = build_clauses(nv, 2, &s2);
+        clauses.extend(build_clauses(nv, 5, &s5));
+        let want = brute_force_sat(nv, &clauses);
+        let (s, r) = solver_on(nv, &clauses);
+        prop_assert_eq!(r == SolveResult::Sat, want);
+        if r == SolveResult::Sat {
+            assert_model_satisfies(&s, &clauses);
+        }
+    }
+
+    /// Unit assumptions behave like temporary clauses: solving under
+    /// assumptions equals solving the augmented formula.
+    #[test]
+    fn prop_assumptions_match_added_units(
+        nv in 2usize..=8,
+        script in proptest::collection::vec((any::<u16>(), any::<bool>()), 9..90),
+        a0 in (any::<u16>(), any::<bool>()),
+        a1 in (any::<u16>(), any::<bool>())
+    ) {
+        let clauses = build_clauses(nv, 3, &script);
+        let assumptions: Vec<Lit> = [a0, a1]
+            .iter()
+            .map(|&(v, neg)| Var::from_index(v as usize % nv).lit(!neg))
+            .collect();
+        let (mut s, _) = solver_on(nv, &clauses);
+        let under_assumptions = s.solve(&assumptions);
+
+        let mut augmented = clauses.clone();
+        augmented.extend(assumptions.iter().map(|&l| vec![l]));
+        let (_, direct) = solver_on(nv, &augmented);
+        prop_assert_eq!(under_assumptions, direct);
+    }
+}
+
+/// Interrupting a hard instance mid-solve, forcing a learnt-DB
+/// reduction plus arena garbage collection, must not change any
+/// verdict — and the solver must keep producing valid models after.
+#[test]
+fn reduce_and_gc_mid_solve_preserves_answers() {
+    // Pigeonhole 7-into-6: hard enough to learn hundreds of clauses.
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..7).map(|_| (0..6).map(|_| s.new_var()).collect()).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+        s.add_clause(&c);
+    }
+    for hole in 0..6 {
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                s.add_clause(&[pi[hole].neg(), pj[hole].neg()]);
+            }
+        }
+    }
+    // Burn a bounded number of conflicts, then force reduce + GC and
+    // let the solver finish.
+    assert_eq!(s.solve_limited(&[], 200), None, "budget must interrupt the proof");
+    let learnts_before = s.stats().learnts;
+    assert!(learnts_before > 0, "interrupted solve must have learnt clauses");
+    s.reduce_learnts();
+    let st = s.stats();
+    assert!(st.reduces >= 1);
+    assert!(st.gcs >= 1, "forced reduction must compact the arena");
+    assert!(st.learnts < learnts_before, "reduction must drop learnt clauses");
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+
+    // The same solver object stays usable on a satisfiable extension:
+    // fresh vars, fresh clauses, models verified.
+    let extra: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    // (This formula is over the new vars only, so the old UNSAT core
+    //  makes the whole formula UNSAT — build a fresh solver instead.)
+    drop(extra);
+    let mut s2 = Solver::new();
+    let v: Vec<Var> = (0..40).map(|_| s2.new_var()).collect();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    // A chain of equivalences x0 = x1 = … = x39 (SAT, two models) plus
+    // noise implications; solvable but with room to learn.
+    for i in 0..39 {
+        clauses.push(vec![v[i].neg(), v[i + 1].pos()]);
+        clauses.push(vec![v[i].pos(), v[i + 1].neg()]);
+    }
+    for cl in &clauses {
+        s2.add_clause(cl);
+    }
+    assert_eq!(s2.solve(&[]), SolveResult::Sat);
+    s2.reduce_learnts();
+    assert!(s2.stats().gcs >= 1);
+    assert_eq!(s2.solve(&[v[0].pos()]), SolveResult::Sat);
+    for x in &v {
+        assert_eq!(s2.value(*x), Some(true), "equivalence chain forces all-true");
+    }
+    assert_eq!(s2.solve(&[v[39].neg()]), SolveResult::Sat);
+    for x in &v {
+        assert_eq!(s2.value(*x), Some(false), "equivalence chain forces all-false");
+    }
+}
+
+/// Clause addition interleaved with solving and forced reductions —
+/// the incremental usage pattern of the sweeping CEC.
+#[test]
+fn incremental_use_with_forced_reductions() {
+    let mut s = Solver::new();
+    let v: Vec<Var> = (0..60).map(|_| s.new_var()).collect();
+    // Layered majority-ish constraints added in waves.
+    for wave in 0..4 {
+        let base = wave * 15;
+        for i in 0..13 {
+            s.add_clause(&[v[base + i].pos(), v[base + i + 1].pos(), v[base + i + 2].neg()]);
+            s.add_clause(&[v[base + i].neg(), v[base + i + 1].neg(), v[base + i + 2].pos()]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.reduce_learnts();
+    }
+    // Pin a few variables via assumptions; still satisfiable.
+    assert_eq!(s.solve(&[v[0].pos(), v[30].neg()]), SolveResult::Sat);
+    assert_eq!(s.value(v[0]), Some(true));
+    assert_eq!(s.value(v[30]), Some(false));
+}

@@ -44,4 +44,4 @@ mod verify;
 pub use mapper::{map, MapOptions, MapStats, MappedGate, Mapping, Objective, PoBinding, Source};
 pub use matcher::{match_is_valid, CellMatch, Matcher};
 pub use power::{estimate_energy, EnergyReport};
-pub use verify::{mapping_to_aig, verify_mapping};
+pub use verify::{mapping_to_aig, verify_mapping, verify_mapping_report};

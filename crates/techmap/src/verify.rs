@@ -2,7 +2,10 @@
 //! verification against the source network.
 
 use crate::mapper::{Mapping, PoBinding, Source};
-use cntfet_aig::{check_equivalence, Aig, CecResult, Lit};
+use cntfet_aig::{
+    check_equivalence_report, check_equivalence_sweeping_report, Aig, CecReport, CecResult, Lit,
+    SweepOptions,
+};
 use cntfet_core::Library;
 use std::collections::HashMap;
 
@@ -46,16 +49,25 @@ pub fn mapping_to_aig(mapping: &Mapping, library: &Library, num_pis: usize) -> A
 /// Checks that a mapping implements exactly the source AIG.
 ///
 /// Small networks go through the plain miter
-/// ([`check_equivalence`]); larger ones — where a monolithic miter
-/// would choke on arithmetic structure — use SAT sweeping
-/// ([`cntfet_aig::check_equivalence_sweeping`]), which exploits the
-/// structural similarity between a netlist and its mapping.
+/// ([`cntfet_aig::check_equivalence`]); larger ones — where a
+/// monolithic miter would choke on arithmetic structure — use SAT
+/// sweeping ([`cntfet_aig::check_equivalence_sweeping`]), which
+/// exploits the structural similarity between a netlist and its
+/// mapping.
 pub fn verify_mapping(source: &Aig, mapping: &Mapping, library: &Library) -> CecResult {
+    verify_mapping_report(source, mapping, library).result
+}
+
+/// [`verify_mapping`] returning the full [`CecReport`], so callers
+/// (repro binaries, benches) can track what the verification engine
+/// cost — solver conflicts/propagations, internal sweeping proofs,
+/// whether exhaustive simulation short-circuited the check.
+pub fn verify_mapping_report(source: &Aig, mapping: &Mapping, library: &Library) -> CecReport {
     let rebuilt = mapping_to_aig(mapping, library, source.num_pis());
     if source.num_ands() + rebuilt.num_ands() > 2_000 {
-        cntfet_aig::check_equivalence_sweeping(source, &rebuilt)
+        check_equivalence_sweeping_report(source, &rebuilt, &SweepOptions::default())
     } else {
-        check_equivalence(source, &rebuilt)
+        check_equivalence_report(source, &rebuilt)
     }
 }
 

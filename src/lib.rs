@@ -70,7 +70,10 @@ pub use cntfet_techmap as techmap;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use cntfet_aig::{check_equivalence, equivalent, Aig, CecResult};
+    pub use cntfet_aig::{
+        check_equivalence, check_equivalence_sweeping, equivalent, Aig, CecReport, CecResult,
+        SweepOptions,
+    };
     pub use cntfet_boolfn::{factor, isop, npn_canonical, Expr, TruthTable};
     pub use cntfet_circuits::{
         array_multiplier, paper_benchmarks, parity, ripple_adder, BenchClass, Benchmark,

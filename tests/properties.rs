@@ -106,6 +106,39 @@ proptest! {
             "recovery worsened delay: {} -> {}", pure.stats.delay_norm, rec.stats.delay_norm);
     }
 
+    /// Every tier of the sweeping CEC stack agrees with the plain
+    /// miter check on random networks — including `node_budget: 0`,
+    /// which disables internal sweeping and forces the pure
+    /// output-miter fallback, and disabled exhaustive simulation.
+    #[test]
+    fn prop_sweep_tiers_agree_with_plain_cec(
+        script_a in proptest::collection::vec((0u8..6, 0u16..300, 0u16..300), 10..80),
+        script_b in proptest::collection::vec((0u8..6, 0u16..300, 0u16..300), 10..80)
+    ) {
+        let a = random_aig(6, &script_a);
+        let b = random_aig(6, &script_b);
+        let plain = check_equivalence(&a, &b);
+        let agree = |r: CecResult| match (&plain, r) {
+            (CecResult::Equivalent, CecResult::Equivalent) => true,
+            (CecResult::Counterexample { .. }, CecResult::Counterexample { inputs, output }) => {
+                // Counterexamples may differ; each must be valid.
+                a.eval(&inputs)[output] != b.eval(&inputs)[output]
+            }
+            _ => false,
+        };
+        prop_assert!(agree(check_equivalence_sweeping(&a, &b)), "default sweep tier disagreed");
+        let no_exhaustive = SweepOptions { exhaustive_pis: 0, ..Default::default() };
+        prop_assert!(
+            agree(cntfet_aig::check_equivalence_sweeping_with(&a, &b, &no_exhaustive)),
+            "SAT sweeping tier disagreed"
+        );
+        let miter_fallback = SweepOptions { exhaustive_pis: 0, node_budget: 0, ..Default::default() };
+        prop_assert!(
+            agree(cntfet_aig::check_equivalence_sweeping_with(&a, &b, &miter_fallback)),
+            "pure-miter fallback disagreed"
+        );
+    }
+
     /// The adder generator agrees with machine arithmetic.
     #[test]
     fn prop_adder_matches_u64(a in 0u64..=0xFFFF, b in 0u64..=0xFFFF, cin: bool) {
