@@ -25,6 +25,13 @@ pub enum CutRank {
     /// Shallower cuts first (smaller maximum leaf level), then fewer
     /// leaves — keeps cuts whose leaves arrive early (delay).
     Depth,
+    /// Externally supplied (mapped-arrival, area-flow) cost: the
+    /// caller provides a per-cut oracle to [`enumerate_cuts_custom`]
+    /// that sees the cut's leaves and function — typically resolving
+    /// it against a technology library to rank by the arrival time of
+    /// the best matching cell. [`enumerate_cuts_with`] cannot rank by
+    /// `Arrival` on its own (it has no oracle) and panics.
+    Arrival,
 }
 
 /// Parameters of [`enumerate_cuts_with`].
@@ -55,6 +62,11 @@ struct CutData {
     /// variable `i`), replicated-u64 form; valid iff the arena carries
     /// truth tables.
     tt: u64,
+    /// Ranking cost `(primary, secondary)` the cut survived
+    /// truncation with — size/depth for the builtin ranks, the
+    /// oracle's (arrival, area-flow) quantization for
+    /// [`CutRank::Arrival`]. Unit cuts carry `(0, 0)`.
+    cost: (u32, u32),
 }
 
 /// All cuts of an AIG, arena-packed: one contiguous leaf buffer,
@@ -103,6 +115,7 @@ pub struct CutView<'a> {
     leaves: &'a [NodeId],
     tt: u64,
     has_tt: bool,
+    cost: (u32, u32),
 }
 
 impl<'a> CutView<'a> {
@@ -128,6 +141,17 @@ impl<'a> CutView<'a> {
     pub fn function(&self) -> Option<TruthTable> {
         self.has_tt.then(|| TruthTable::from_bits(self.size(), self.tt))
     }
+
+    /// The `(primary, secondary)` ranking cost this cut survived
+    /// enumeration with — `(size, 0)` under [`CutRank::Size`],
+    /// `(depth, size)` under [`CutRank::Depth`], and the cost oracle's
+    /// quantized (arrival, area-flow) under [`CutRank::Arrival`].
+    /// Unit cuts always report `(0, 0)`; the value is bookkeeping for
+    /// consumers re-ranking or diagnosing the priority list, not a
+    /// timing claim.
+    pub fn rank_cost(&self) -> (u32, u32) {
+        self.cost
+    }
 }
 
 /// Iterator over a node's cuts (see [`CutArena::of`]).
@@ -151,6 +175,7 @@ impl<'a> Iterator for CutIter<'a> {
             leaves: &self.arena.leaves[d.off as usize..d.off as usize + d.len as usize],
             tt: d.tt,
             has_tt: self.arena.has_tts,
+            cost: d.cost,
         })
     }
 
@@ -198,16 +223,63 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutArena {
 ///
 /// # Panics
 ///
-/// Panics if `params.k < 2`.
+/// Panics if `params.k < 2`, or if `params.rank` is
+/// [`CutRank::Arrival`] — arrival ranking needs the external cost
+/// oracle of [`enumerate_cuts_custom`].
 pub fn enumerate_cuts_with(aig: &Aig, params: CutParams) -> CutArena {
-    let CutParams { k, max_cuts, rank } = params;
+    assert!(
+        params.rank != CutRank::Arrival,
+        "CutRank::Arrival needs a cost oracle; use enumerate_cuts_custom"
+    );
+    let levels = match params.rank {
+        CutRank::Size => Vec::new(),
+        CutRank::Depth => aig.levels(),
+        CutRank::Arrival => unreachable!(),
+    };
+    let mut builtin = |_root: NodeId, leaves: &[NodeId], _tt: u64| match params.rank {
+        CutRank::Size => (leaves.len() as u32, 0),
+        CutRank::Depth => {
+            let depth = leaves.iter().map(|l| levels[l.index()]).max().unwrap_or(0);
+            (depth, leaves.len() as u32)
+        }
+        CutRank::Arrival => unreachable!(),
+    };
+    enumerate_impl(aig, params, &mut builtin)
+}
+
+/// [`enumerate_cuts_with`] under an external ranking oracle: `cost` is
+/// called once per surviving (non-dominated, non-unit) cut with the
+/// cut's root, sorted leaves and — when `k ≤ 6` — its function word,
+/// and must return the `(primary, secondary)` ranking cost (smaller is
+/// better). This is the entry point behind [`CutRank::Arrival`]:
+/// technology mapping re-enumerates cuts between covering passes with
+/// an oracle that resolves each cut against the library's NPN index
+/// and ranks by the mapped arrival time of the best matching cell,
+/// tie-broken on area-flow — so the priority list keeps the cuts that
+/// are *fast to implement*, not merely structurally shallow.
+///
+/// The oracle's costs are recorded per cut and can be read back via
+/// [`CutView::rank_cost`].
+///
+/// # Panics
+///
+/// Panics if `params.k < 2`.
+pub fn enumerate_cuts_custom<F>(aig: &Aig, params: CutParams, mut cost: F) -> CutArena
+where
+    F: FnMut(NodeId, &[NodeId], u64) -> (u32, u32),
+{
+    enumerate_impl(aig, params, &mut cost)
+}
+
+/// A cut-ranking oracle: `(root, sorted leaves, function word) →
+/// (primary, secondary)` cost, smaller is better.
+type CutCost<'a> = dyn FnMut(NodeId, &[NodeId], u64) -> (u32, u32) + 'a;
+
+fn enumerate_impl(aig: &Aig, params: CutParams, coster: &mut CutCost<'_>) -> CutArena {
+    let CutParams { k, max_cuts, .. } = params;
     assert!(k >= 2, "cut size must be at least 2");
     let has_tts = k <= word::MAX_WORD_VARS;
     let n = aig.num_nodes();
-    let levels = match rank {
-        CutRank::Size => Vec::new(),
-        CutRank::Depth => aig.levels(),
-    };
 
     let mut arena = CutArena {
         k,
@@ -283,14 +355,7 @@ pub fn enumerate_cuts_with(aig: &Aig, params: CutParams) -> CutArena {
                         s.alive = false;
                     }
                 }
-                let cost = match rank {
-                    CutRank::Size => (len as u32, 0),
-                    CutRank::Depth => {
-                        let depth =
-                            merged.iter().map(|l| levels[l.index()]).max().unwrap_or(0);
-                        (depth, len as u32)
-                    }
-                };
+                let cost = coster(id, merged, tt);
                 scuts.push(ScratchCut { off, len, sig, tt, cost, alive: true });
             }
         }
@@ -318,7 +383,7 @@ pub fn enumerate_cuts_with(aig: &Aig, params: CutParams) -> CutArena {
             arena
                 .leaves
                 .extend_from_slice(&sleaves[s.off as usize..(s.off + s.len as u32) as usize]);
-            arena.cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt });
+            arena.cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt, cost: s.cost });
         }
         arena.spans[id.index()] = (start, arena.cuts.len() as u32);
     }
@@ -337,7 +402,7 @@ fn push_unit(arena: &mut CutArena, id: NodeId) {
     let off = arena.leaves.len() as u32;
     arena.leaves.push(id);
     let tt = if id == NodeId::CONST { 0 } else { word::var_word(0) };
-    arena.cuts.push(CutData { off, len: 1, sig: 1 << (id.index() % 64), tt });
+    arena.cuts.push(CutData { off, len: 1, sig: 1 << (id.index() % 64), tt, cost: (0, 0) });
 }
 
 /// Merges the (sorted) leaf slices of two arena cuts onto the end of
@@ -596,6 +661,44 @@ mod tests {
         for w in depths.windows(2) {
             assert!(w[0] <= w[1], "depth ranking violated: {depths:?}");
         }
+    }
+
+    #[test]
+    fn custom_cost_oracle_ranks_and_records() {
+        let g = sample_aig();
+        let oracle = |_root: NodeId, leaves: &[NodeId], _tt: u64| {
+            (leaves.iter().map(|l| l.index() as u32).sum(), leaves.len() as u32)
+        };
+        let arena = enumerate_cuts_custom(
+            &g,
+            CutParams { k: 4, max_cuts: 4, rank: CutRank::Arrival },
+            oracle,
+        );
+        for id in g.and_ids() {
+            let cuts: Vec<CutView<'_>> = arena.of(id).collect();
+            // Unit cut first, with the sentinel cost.
+            assert_eq!(cuts[0].leaves(), &[id]);
+            assert_eq!(cuts[0].rank_cost(), (0, 0));
+            // Every kept cut's recorded cost is the oracle's, and the
+            // first-ranked non-unit cut carries the minimum cost (the
+            // always-kept fanin-pair cut may sit out of order at the
+            // end, so the tail is not necessarily sorted).
+            let costs: Vec<(u32, u32)> =
+                cuts[1..].iter().map(|c| c.rank_cost()).collect();
+            for (c, &cost) in cuts[1..].iter().zip(&costs) {
+                assert_eq!(cost, oracle(id, c.leaves(), 0));
+            }
+            if let Some(&first) = costs.first() {
+                assert!(costs[..costs.len() - 1].iter().all(|&c| first <= c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cost oracle")]
+    fn arrival_rank_without_oracle_panics() {
+        let g = sample_aig();
+        enumerate_cuts_with(&g, CutParams { k: 4, max_cuts: 4, rank: CutRank::Arrival });
     }
 
     #[test]

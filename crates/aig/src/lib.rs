@@ -2,10 +2,23 @@
 //!
 //! An [`Aig`] is a DAG of two-input AND nodes with optional edge
 //! complementation — the standard intermediate representation of
-//! modern logic synthesis (ABC-style). This crate provides the graph
-//! with structural hashing, 64-bit parallel simulation, truth-table
-//! extraction for small cones, Tseitin CNF export, and SAT-based
-//! combinational equivalence checking built on [`cntfet_sat`].
+//! modern logic synthesis (ABC-style). Around the graph (structural
+//! hashing, levels, fanout counts, BLIF I/O) the crate provides the
+//! two engines the rest of the workspace builds on:
+//!
+//! * **Priority-cut enumeration** — [`enumerate_cuts_with`] fills a
+//!   [`CutArena`] with the k-feasible cuts of every node under the
+//!   [`CutParams`] knobs (cut size, cuts per node, [`CutRank`]).
+//!   For `k ≤ 6` every cut carries its function as one `u64` word,
+//!   computed during enumeration. [`enumerate_cuts_custom`] swaps the
+//!   builtin size/depth ranking for an external cost oracle — how
+//!   technology mapping ranks cuts by *mapped arrival* of their best
+//!   library match ([`CutRank::Arrival`]).
+//! * **Equivalence checking** — [`check_equivalence`] (plain miter
+//!   SAT) and [`check_equivalence_sweeping_with`] (fraig-style
+//!   sweeping under [`SweepOptions`], with an exhaustive-simulation
+//!   tier for ≤ 16-PI circuits) certify every synthesis and mapping
+//!   step; the `*_report` variants also return solver statistics.
 //!
 //! # Examples
 //!
@@ -26,6 +39,36 @@
 //!
 //! assert_eq!(check_equivalence(&a, &b), CecResult::Equivalent);
 //! ```
+//!
+//! Cut enumeration plus sweeping-based CEC, with explicit knobs:
+//!
+//! ```
+//! use cntfet_aig::{
+//!     check_equivalence_sweeping_with, enumerate_cuts_with, Aig, CecResult, CutParams,
+//!     CutRank, SweepOptions,
+//! };
+//!
+//! let mut g = Aig::new("xor4");
+//! let pis = g.add_pis(4);
+//! let x = g.xor_many(&pis);
+//! g.add_po(x);
+//!
+//! // Every node gets a bounded priority list of cuts; the root of a
+//! // 4-input XOR has a cut spanning all four PIs whose in-pass
+//! // function word equals odd parity.
+//! let cuts = enumerate_cuts_with(&g, CutParams { k: 4, max_cuts: 16, rank: CutRank::Size });
+//! let root = g.pos()[0].node();
+//! let full = cuts
+//!     .of(root)
+//!     .find(|c| c.size() == 4 && c.leaves().iter().all(|&l| g.is_pi(l)))
+//!     .expect("full PI cut");
+//! assert_eq!(full.function().unwrap().count_ones(), 8);
+//!
+//! // The sweeping checker agrees with itself under tier overrides
+//! // (here: exhaustive simulation disabled, forcing SAT sweeping).
+//! let opts = SweepOptions { exhaustive_pis: 0, ..Default::default() };
+//! assert_eq!(check_equivalence_sweeping_with(&g, &g.clone(), &opts), CecResult::Equivalent);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,8 +86,8 @@ pub use cec::{
     CecResult,
 };
 pub use cuts::{
-    cut_function, enumerate_cuts, enumerate_cuts_with, CutArena, CutIter, CutParams, CutRank,
-    CutView,
+    cut_function, enumerate_cuts, enumerate_cuts_custom, enumerate_cuts_with, CutArena, CutIter,
+    CutParams, CutRank, CutView,
 };
 pub use graph::{Aig, Lit, NodeId};
 pub use sweep::{

@@ -40,6 +40,21 @@ fn bench_mapping(c: &mut Criterion) {
             cntfet_techmap::map(black_box(&mult8), &tg, with(cntfet_techmap::Objective::Delay))
         })
     });
+    // The arrival-aware iterated delay mapper vs its own round-0
+    // baseline: the cost of re-enumerating cuts under mapped arrivals.
+    c.bench_function("map/mult8/tg_static/delay_single_enum", |b| {
+        let opts = cntfet_techmap::MapOptions {
+            objective: cntfet_techmap::Objective::Delay,
+            delay_rounds: 0,
+            ..Default::default()
+        };
+        b.iter(|| cntfet_techmap::map(black_box(&mult8), &tg, opts))
+    });
+    c.bench_function("map/c1908/tg_static/delay_arrival_rounds", |b| {
+        b.iter(|| {
+            cntfet_techmap::map(black_box(&c1908), &tg, with(cntfet_techmap::Objective::Delay))
+        })
+    });
     c.bench_function("map/c1908/tg_static", |b| {
         b.iter(|| cntfet_techmap::map(black_box(&c1908), &tg, opts))
     });

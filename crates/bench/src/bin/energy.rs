@@ -3,7 +3,7 @@
 //!
 //! The paper's closing remark in Sec. 1 expects "energy per cycle
 //! gains over CMOS … consistent with the 2.5× reduction reported in
-//! literature [1]" but does not measure them. This harness measures
+//! literature \[1\]" but does not measure them. This harness measures
 //! the *capacitive* component on our mapped netlists (activity-weighted
 //! switched capacitance under random stimuli; supply and device-level
 //! effects excluded — see `cntfet_techmap::estimate_energy`).

@@ -3,8 +3,9 @@
 //! paper-vs-measured scoreboard. This is the one-shot artifact check
 //! behind EXPERIMENTS.md.
 
-use cntfet_bench::{run_suite, suite_averages, suite_verification_stats};
+use cntfet_bench::{run_suite, run_suite_with, suite_averages, suite_verification_stats};
 use cntfet_core::{characterize_family, enumerate_gates, family_averages, LogicFamily};
+use cntfet_techmap::{MapOptions, MapStats, Objective};
 
 struct Check {
     what: &'static str,
@@ -105,6 +106,62 @@ fn main() {
     ] {
         checks.push(Check { what, paper, measured, tolerance_pct: tol });
     }
+    // Arrival-aware delay mapping vs the single-enumeration engine:
+    // under Objective::Delay the re-enumeration rounds must never
+    // lengthen any critical path, and the area they pay is reported.
+    println!("\ncomparing delay-objective engines (single enumeration vs arrival-aware)...");
+    let with_rounds = |delay_rounds| {
+        run_suite_with(
+            false,
+            None,
+            MapOptions { objective: Objective::Delay, delay_rounds, ..Default::default() },
+        )
+    };
+    let single = with_rounds(0);
+    let iterated = with_rounds(MapOptions::default().delay_rounds);
+    let pick = |r: &cntfet_bench::Table3Row, fam: usize| -> MapStats {
+        match fam {
+            0 => r.tg_static,
+            1 => r.tg_pseudo,
+            _ => r.cmos,
+        }
+    };
+    let mut worse_cells = 0usize;
+    let mut improved_cells = 0usize;
+    for (fam, family) in ["static", "pseudo", "cmos"].into_iter().enumerate() {
+        let (mut d0, mut d1, mut a0, mut a1) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (s, i) in single.iter().zip(&iterated) {
+            let (ss, si) = (pick(s, fam), pick(i, fam));
+            if si.delay_norm > ss.delay_norm + 1e-9 {
+                worse_cells += 1;
+                println!("  REGRESSION {family}/{}: {} -> {}", s.name, ss.delay_norm, si.delay_norm);
+            } else if si.delay_norm < ss.delay_norm - 1e-9 {
+                improved_cells += 1;
+            }
+            d0 += ss.delay_norm;
+            d1 += si.delay_norm;
+            a0 += ss.area;
+            a1 += si.area;
+        }
+        let n = single.len() as f64;
+        println!(
+            "  {family:>6}: avg delay {:.1} -> {:.1} τ ({:+.1}%), avg area {:.0} -> {:.0} ({:+.1}%)",
+            d0 / n,
+            d1 / n,
+            100.0 * (d1 - d0) / d0,
+            a0 / n,
+            a1 / n,
+            100.0 * (a1 - a0) / a0,
+        );
+    }
+    println!("  {improved_cells} of {} benchmark×family cells improved", single.len() * 3);
+    checks.push(Check {
+        what: "Mapper: arrival rounds never worsen delay",
+        paper: 0.0,
+        measured: worse_cells as f64,
+        tolerance_pct: 0.0,
+    });
+
     // Directional claims.
     let mult = rows.iter().find(|r| r.name == "C6288").unwrap();
     let avg_speedup = rows.iter().map(|r| r.speedup_static()).sum::<f64>() / rows.len() as f64;

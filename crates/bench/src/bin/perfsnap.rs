@@ -1,16 +1,18 @@
 //! Performance snapshot: measures the workspace's two hot paths —
-//! technology mapping and CEC verification — and writes the numbers
-//! plus SAT-solver statistics to `BENCH_PR3.json` in the current
-//! directory. The JSON starts the bench trajectory the ROADMAP asks
-//! for: subsequent PRs append comparable snapshots, and the committed
-//! file records where PR 3 left the engine (including the measured
-//! pre-PR baseline of the same workloads).
+//! technology mapping (including the arrival-aware iterated delay
+//! mapper) and CEC verification — and writes the numbers plus
+//! SAT-solver statistics to `BENCH_PR4.json` in the current directory.
+//! The JSON continues the bench trajectory the ROADMAP asks for:
+//! `BENCH_PR3.json` (committed) records where the verification rebuild
+//! left the engine, this file records where the arrival-aware mapper
+//! lands — wall times *and* the delay/area outcomes the extra rounds
+//! buy.
 
 use cntfet_aig::{check_equivalence_sweeping_report, CecResult, SweepOptions};
 use cntfet_circuits::{array_multiplier, c1908_like, cla_adder, ripple_adder, shift_add_multiplier};
 use cntfet_core::{Library, LogicFamily};
 use cntfet_synth::resyn2rs;
-use cntfet_techmap::{map, MapOptions};
+use cntfet_techmap::{map, MapOptions, Objective};
 use std::time::Instant;
 
 /// Best-of-`n` wall time of `f`, in milliseconds.
@@ -27,10 +29,11 @@ fn best_ms(n: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     println!("perfsnap: measuring mapping and verification hot paths...");
 
-    // --- mapping (the PR 2 engine, tracked for regressions) ---
+    // --- mapping: balanced default (tracked for regressions) ---
     let lib = Library::new(LogicFamily::TgStatic);
     let add16 = resyn2rs(&ripple_adder(16));
     let c1908 = resyn2rs(&c1908_like());
+    let mult8 = resyn2rs(&array_multiplier(8));
     let map_add16_ms = best_ms(5, || {
         let m = map(&add16, &lib, MapOptions::default());
         assert!(m.stats.gates > 0);
@@ -40,7 +43,34 @@ fn main() {
         assert!(m.stats.gates > 0);
     });
 
-    // --- verification (the PR 3 engine) ---
+    // --- mapping: the delay objective, single-enumeration vs the
+    // arrival-aware iterated engine (PR 4) ---
+    let delay_opts = |delay_rounds| MapOptions {
+        objective: Objective::Delay,
+        delay_rounds,
+        ..Default::default()
+    };
+    let rounds = MapOptions::default().delay_rounds;
+    let map_mult8_delay0_ms = best_ms(5, || {
+        let m = map(&mult8, &lib, delay_opts(0));
+        assert!(m.stats.gates > 0);
+    });
+    let map_mult8_delayn_ms = best_ms(5, || {
+        let m = map(&mult8, &lib, delay_opts(rounds));
+        assert!(m.stats.gates > 0);
+    });
+    let map_c1908_delayn_ms = best_ms(5, || {
+        let m = map(&c1908, &lib, delay_opts(rounds));
+        assert!(m.stats.gates > 0);
+    });
+    let m8_single = map(&mult8, &lib, delay_opts(0)).stats;
+    let m8_iter = map(&mult8, &lib, delay_opts(rounds)).stats;
+    let c19_single = map(&c1908, &lib, delay_opts(0)).stats;
+    let c19_iter = map(&c1908, &lib, delay_opts(rounds)).stats;
+    assert!(m8_iter.delay_norm <= m8_single.delay_norm + 1e-9);
+    assert!(c19_iter.delay_norm <= c19_single.delay_norm + 1e-9);
+
+    // --- verification (the PR 3 engine, tracked for regressions) ---
     let m_cols = array_multiplier(8);
     let m_sa = shift_add_multiplier(8);
     let r32 = ripple_adder(32);
@@ -69,11 +99,24 @@ fn main() {
     let s = &sat_report.sat_stats;
     let json = format!(
         r#"{{
-  "pr": 3,
-  "description": "flat-arena CDCL core + LBD reduction + exhaustive-simulation CEC tier",
+  "pr": 4,
+  "description": "arrival-aware delay mapping: CutRank::Arrival re-enumeration between covering passes",
   "mapping_ms": {{
-    "add16_tg_static": {map_add16_ms:.3},
-    "c1908_tg_static": {map_c1908_ms:.3}
+    "add16_tg_static_balanced": {map_add16_ms:.3},
+    "c1908_tg_static_balanced": {map_c1908_ms:.3},
+    "mult8_tg_static_delay_single_enum": {map_mult8_delay0_ms:.3},
+    "mult8_tg_static_delay_arrival_rounds": {map_mult8_delayn_ms:.3},
+    "c1908_tg_static_delay_arrival_rounds": {map_c1908_delayn_ms:.3}
+  }},
+  "delay_objective_outcomes_tg_static": {{
+    "mult8_delay_norm_single_enum": {:.4},
+    "mult8_delay_norm_arrival_rounds": {:.4},
+    "mult8_area_single_enum": {:.2},
+    "mult8_area_arrival_rounds": {:.2},
+    "c1908_delay_norm_single_enum": {:.4},
+    "c1908_delay_norm_arrival_rounds": {:.4},
+    "c1908_area_single_enum": {:.2},
+    "c1908_area_arrival_rounds": {:.2}
   }},
   "cec_ms": {{
     "mult8_shift_add_vs_columns_default": {cec_mult8_default_ms:.3},
@@ -91,19 +134,17 @@ fn main() {
     "minimized_lits": {},
     "internal_proofs": {},
     "refinements": {}
-  }},
-  "baseline_pre_pr3_ms": {{
-    "mult8_shift_add_vs_columns_default": 7300.0,
-    "mult6_shift_add_vs_columns_miter": 243.3,
-    "ripple_vs_cla_32_sweep": 5.9,
-    "comment": "criterion best-of-10 on the PR 2 solver (Vec-of-Vec clauses, activity-only reduction), same machine"
-  }},
-  "speedup_vs_pre_pr3": {{
-    "mult8_shift_add_vs_columns_default": {:.1},
-    "ripple_vs_cla_32_sweep": {:.1}
   }}
 }}
 "#,
+        m8_single.delay_norm,
+        m8_iter.delay_norm,
+        m8_single.area,
+        m8_iter.area,
+        c19_single.delay_norm,
+        c19_iter.delay_norm,
+        c19_single.area,
+        c19_iter.area,
         s.conflicts,
         s.decisions,
         s.propagations,
@@ -114,10 +155,8 @@ fn main() {
         s.minimized_lits,
         sat_report.internal_proofs,
         sat_report.refinements,
-        7300.0 / cec_mult8_default_ms,
-        5.9 / cec_adder32_sweep_ms,
     );
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
     print!("{json}");
-    println!("wrote BENCH_PR3.json");
+    println!("wrote BENCH_PR4.json");
 }

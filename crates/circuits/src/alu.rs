@@ -280,7 +280,7 @@ pub fn alu_control(name: &str, num_in: usize, num_out: usize, seed: u64) -> Aig 
             }
             _ => {
                 // Mux/control cone over up to 4 inputs + pool feedback.
-                let take = remaining.min(4).max(1);
+                let take = remaining.clamp(1, 4);
                 let ins = &pis[cursor..cursor + take];
                 cursor += take;
                 let fb1 = pool
@@ -384,8 +384,8 @@ mod tests {
             inputs.push(cv);
             let got = g.eval(&inputs);
             let mut f = 0u64;
-            for i in 0..n {
-                if got[i] {
+            for (i, &bit) in got.iter().enumerate().take(n) {
+                if bit {
                     f |= 1 << i;
                 }
             }

@@ -183,8 +183,8 @@ pub fn eval_adder(aig: &Aig, n: usize, a: u64, b: u64, cin: bool) -> (u64, bool)
     inputs.push(cin);
     let out = aig.eval(&inputs);
     let mut sum = 0u64;
-    for i in 0..n {
-        if out[i] {
+    for (i, &bit) in out.iter().enumerate().take(n) {
+        if bit {
             sum |= 1 << i;
         }
     }

@@ -90,7 +90,7 @@ pub fn des_f(g: &mut Aig, r: &[Lit], k: &[Lit]) -> Vec<Lit> {
     // P table indexes MSB-first nibbles — normalize to plain bit order
     // (sbox s produces output bits 4s..4s+3, MSB first in the spec; we
     // store value bit `bit` of box `s` at 4s+3-bit).
-    let mut f_bits = vec![Lit::FALSE; 32];
+    let mut f_bits = [Lit::FALSE; 32];
     for s in 0..8 {
         for bit in 0..4 {
             f_bits[4 * s + 3 - bit] = s_out[4 * s + bit];

@@ -30,11 +30,11 @@ pub fn c1355_like() -> Aig {
 
     // Syndrome bits.
     let mut syndrome = Vec::with_capacity(6);
-    for c in 0..6 {
+    for (c, &xc) in x.iter().enumerate().take(6) {
         let members: Vec<Lit> =
             (0..32).filter(|&i| check_covers(c, i)).map(|i| r[i]).collect();
         let parity = g.xor_many(&members);
-        syndrome.push(g.xor(parity, x[c]));
+        syndrome.push(g.xor(parity, xc));
     }
     let e01 = g.and(en[0], en[1]);
     let enable = g.or(e01, en[2]);
@@ -225,7 +225,7 @@ mod tests {
         assert_eq!(g.num_pis(), 33);
         assert_eq!(g.num_pos(), 25);
         // All-zero input: syndrome 0, no error flag behaviour sane.
-        let out = g.eval(&vec![false; 33]);
+        let out = g.eval(&[false; 33]);
         assert_eq!(out.len(), 25);
         // Outputs 16..21 are the syndrome — all zero here.
         for s in &out[16..21] {

@@ -126,7 +126,7 @@ pub fn majority(n: usize) -> Aig {
     }
     let count: Vec<Lit> = bits.iter().map(|v| v.first().copied().unwrap_or(Lit::FALSE)).collect();
     // count > n/2 ⇔ count >= (n+1)/2: compare against the constant.
-    let threshold = (n + 1) / 2;
+    let threshold = n.div_ceil(2);
     let width = count.len();
     // MSB-first magnitude comparison: track "prefix equal" and
     // "already greater".
@@ -153,10 +153,10 @@ pub fn mux_tree(k: usize) -> Aig {
     let data = g.add_pis(1 << k);
     let sel = g.add_pis(k);
     let mut layer = data;
-    for s in 0..k {
+    for &s in sel.iter().take(k) {
         let mut next = Vec::with_capacity(layer.len() / 2);
         for pair in layer.chunks(2) {
-            next.push(g.mux(sel[s], pair[1], pair[0]));
+            next.push(g.mux(s, pair[1], pair[0]));
         }
         layer = next;
     }

@@ -40,6 +40,24 @@
 //! assert!((c.area - 7.0).abs() < 1e-9);
 //! assert!((c.fo4_worst - 8.17).abs() < 0.1);
 //! ```
+//!
+//! A [`Library`] is the mapping-facing view of a family: 46 CNTFET
+//! cells vs 7 for CMOS, an NPN index built at construction, and the
+//! per-pin delays arrival-aware cut ranking consumes:
+//!
+//! ```
+//! use cntfet_core::{Library, LogicFamily};
+//!
+//! let tg = Library::new(LogicFamily::TgStatic);
+//! assert_eq!(tg.cells().len(), 46);
+//! assert!(tg.free_polarity()); // both output polarities are free
+//! for cell in tg.cells() {
+//!     assert!(cell.best_pin_delay() <= cell.worst_pin_delay());
+//! }
+//! let cmos = Library::new(LogicFamily::CmosStatic);
+//! assert_eq!(cmos.cells().len(), 7);
+//! assert!(cmos.inverter_delay() > 0.0); // CMOS pays explicit inverters
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

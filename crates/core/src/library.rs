@@ -36,6 +36,22 @@ pub struct Cell {
     pub delay_avg: f64,
 }
 
+impl Cell {
+    /// Fastest input pin's FO4 delay (τ units) — the lower bound any
+    /// signal through this cell pays. Arrival-aware cut ranking uses
+    /// the per-pin delays directly; this is the summary for estimates
+    /// and reporting.
+    pub fn best_pin_delay(&self) -> f64 {
+        self.pin_delay.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest input pin's FO4 delay (τ units) — the worst case a
+    /// signal through this cell pays.
+    pub fn worst_pin_delay(&self) -> f64 {
+        self.pin_delay.iter().copied().fold(0.0, f64::max)
+    }
+}
+
 /// A characterized technology library.
 #[derive(Debug, Clone)]
 pub struct Library {
@@ -46,6 +62,50 @@ pub struct Library {
     /// NPN matching index, built once per library: canonical truth
     /// table → every (cell, transform cell→canonical) in that class.
     npn_index: HashMap<TruthTable, Vec<(usize, NpnTransform)>>,
+    /// Per input count `k`, bitmask of the normalized popcounts
+    /// `min(ones, 2^k − ones)` the library's `k`-input cells realize —
+    /// see [`Library::npn_popcount_feasible`].
+    pc_classes: [u64; 7],
+    /// NPN cofactor signatures of the library's cells — see
+    /// [`Library::npn_cofactor_feasible`].
+    cof_classes: std::collections::HashSet<u64>,
+}
+
+/// Packed NPN-invariant signature of a `k`-input function given as a
+/// replicated word: the normalized ones-count plus the sorted
+/// multiset of per-variable `min(c0, c1)` cofactor ones-counts,
+/// minimized over output polarity. Input negation swaps one `(c0,c1)`
+/// pair, permutation reorders the multiset, output negation
+/// complements every count — all leave the key invariant, so equal
+/// NPN classes have equal keys.
+fn npn_cof_key(k: usize, word: u64) -> u64 {
+    let shift = 6 - k;
+    let pc = (word.count_ones() >> shift) as u64;
+    let full = 1u64 << k;
+    let half = full >> 1;
+    let mut ms = [0u64; 6];
+    for (v, m) in ms.iter_mut().enumerate().take(k) {
+        let c1 = (word & cntfet_boolfn::word::var_word(v)).count_ones() as u64 >> shift;
+        *m = c1.min(pc - c1);
+    }
+    ms[..k].sort_unstable();
+    let pack = |pcn: u64, ms: &[u64; 6]| {
+        let mut key = (k as u64) << 50 | pcn << 42;
+        for (i, &m) in ms.iter().enumerate().take(k) {
+            key |= m << (7 * i);
+        }
+        key
+    };
+    // The output-complemented function's multiset is the same list
+    // shifted by `half − pc` element-wise (its min(c0,c1) is
+    // `half − max(c0,c1)` and `c0 + c1 = pc`), so both polarities pack
+    // without re-sorting; take the smaller key. `m + half ≥ pc` always
+    // (`half ≥ max(c0,c1) = pc − m`), so the subtraction is safe.
+    let mut ms_f = [0u64; 6];
+    for (mf, &m) in ms_f.iter_mut().zip(&ms).take(k) {
+        *mf = m + half - pc;
+    }
+    pack(pc, &ms).min(pack(full - pc, &ms_f))
 }
 
 fn build_npn_index(cells: &[Cell]) -> HashMap<TruthTable, Vec<(usize, NpnTransform)>> {
@@ -55,6 +115,23 @@ fn build_npn_index(cells: &[Cell]) -> HashMap<TruthTable, Vec<(usize, NpnTransfo
         index.entry(canon.table).or_default().push((i, canon.transform));
     }
     index
+}
+
+fn build_pc_classes(cells: &[Cell]) -> [u64; 7] {
+    let mut pc = [0u64; 7];
+    for cell in cells {
+        let k = cell.num_inputs;
+        let ones = cell.function.count_ones();
+        pc[k] |= 1 << ones.min((1u64 << k) - ones);
+    }
+    pc
+}
+
+fn build_cof_classes(cells: &[Cell]) -> std::collections::HashSet<u64> {
+    cells
+        .iter()
+        .map(|cell| npn_cof_key(cell.num_inputs, cell.function.words()[0]))
+        .collect()
 }
 
 impl Library {
@@ -77,7 +154,9 @@ impl Library {
             (inv.area, inv.fo4_avg)
         };
         let npn_index = build_npn_index(&cells);
-        Library { family, cells, inverter_area, inverter_delay, npn_index }
+        let pc_classes = build_pc_classes(&cells);
+        let cof_classes = build_cof_classes(&cells);
+        Library { family, cells, inverter_area, inverter_delay, npn_index, pc_classes, cof_classes }
     }
 
     fn cell_from_char(ch: &GateChar, family: LogicFamily) -> Cell {
@@ -156,6 +235,30 @@ impl Library {
         self.npn_index.len()
     }
 
+    /// Constant-time necessary condition for NPN matching: input
+    /// negations and permutations preserve a function's ones-count and
+    /// output negation complements it, so `min(ones, 2^k − ones)` is
+    /// an NPN-class invariant. A function of `nvars` inputs with
+    /// `ones` minterms can match a cell only if some `nvars`-input
+    /// cell shares the invariant. Boolean matchers check this before
+    /// paying for canonicalization — the hot path of arrival-aware cut
+    /// ranking, where most enumerated cut functions match nothing.
+    pub fn npn_popcount_feasible(&self, nvars: usize, ones: u64) -> bool {
+        nvars < self.pc_classes.len()
+            && self.pc_classes[nvars] >> ones.min((1u64 << nvars) - ones) & 1 == 1
+    }
+
+    /// Stronger constant-time necessary condition for NPN matching
+    /// than [`Library::npn_popcount_feasible`]: the sorted multiset of
+    /// per-variable cofactor ones-counts (normalized over output
+    /// polarity) is also an NPN-class invariant. `word` is the
+    /// function's replicated single-word truth table over `nvars ≤ 6`
+    /// inputs. False means *no* library cell can NPN-match the
+    /// function; true means canonicalization must decide.
+    pub fn npn_cofactor_feasible(&self, nvars: usize, word: u64) -> bool {
+        self.cof_classes.contains(&npn_cof_key(nvars, word))
+    }
+
     /// A copy of the library keeping only the cells accepted by
     /// `keep` — used e.g. to restrict mapping to the gates a regular
     /// fabric's generalized blocks can realize in a single block.
@@ -167,12 +270,16 @@ impl Library {
         let cells: Vec<Cell> = self.cells.iter().filter(|c| keep(c)).cloned().collect();
         assert!(!cells.is_empty(), "filter removed every cell");
         let npn_index = build_npn_index(&cells);
+        let pc_classes = build_pc_classes(&cells);
+        let cof_classes = build_cof_classes(&cells);
         Library {
             family: self.family,
             cells,
             inverter_area: self.inverter_area,
             inverter_delay: self.inverter_delay,
             npn_index,
+            pc_classes,
+            cof_classes,
         }
     }
 
@@ -249,6 +356,7 @@ mod tests {
             assert!(c.area > 0.0);
             for &d in &c.pin_delay {
                 assert!(d > 0.0);
+                assert!(c.best_pin_delay() <= d && d <= c.worst_pin_delay());
             }
         }
         // F05 area includes the output inverter: 7 + 2 = 9.
@@ -275,6 +383,44 @@ mod tests {
         // Filtering rebuilds the index for the surviving cells only.
         let two_input = lib.filtered(|c| c.num_inputs == 2);
         assert!(two_input.num_npn_classes() < lib.num_npn_classes());
+    }
+
+    #[test]
+    fn npn_prefilters_accept_every_transformed_cell() {
+        // The popcount and cofactor-signature pre-filters must be NPN
+        // invariants: any transform of any cell function still passes
+        // them, or matching would wrongly reject real matches.
+        use cntfet_boolfn::NpnTransform;
+        for family in [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            for cell in lib.cells() {
+                let k = cell.num_inputs;
+                let perms: Vec<Vec<usize>> = vec![
+                    (0..k).collect(),
+                    (0..k).rev().collect(),
+                    (0..k).map(|i| (i + 1) % k).collect(),
+                ];
+                for perm in &perms {
+                    for flips in [0u8, 0b1, 0b101, (1u8 << k) - 1] {
+                        for out in [false, true] {
+                            let t = NpnTransform::new(k, perm, flips, out);
+                            let g = t.apply(&cell.function);
+                            let w = g.words()[0];
+                            assert!(
+                                lib.npn_popcount_feasible(k, g.count_ones()),
+                                "{family:?}/{}: popcount filter rejected a transform",
+                                cell.name
+                            );
+                            assert!(
+                                lib.npn_cofactor_feasible(k, w),
+                                "{family:?}/{}: cofactor filter rejected a transform",
+                                cell.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

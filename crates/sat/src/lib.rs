@@ -7,7 +7,12 @@
 //!
 //! The solver exists to certify logic transformations elsewhere in the
 //! workspace (combinational equivalence checking of optimized and
-//! technology-mapped netlists), so the API is deliberately small.
+//! technology-mapped netlists), so the API is deliberately small:
+//! [`Solver::new_var`] / [`Solver::add_clause`] build the instance,
+//! [`Solver::solve`] decides it under optional assumptions (the
+//! incremental interface SAT sweeping leans on), [`Solver::value`]
+//! reads the model, and [`Solver::stats`] exposes the search counters
+//! ([`SolverStats`]) the benchmark harness aggregates.
 //!
 //! # Examples
 //!
@@ -24,6 +29,27 @@
 //! // Adding b' makes it unsatisfiable.
 //! s.add_clause(&[b.neg()]);
 //! assert_eq!(s.solve(&[]), SolveResult::Unsat);
+//! ```
+//!
+//! Assumption-based incremental solving — the same instance answers
+//! many queries without re-encoding (how CEC sweeping proves
+//! candidate equivalences):
+//!
+//! ```
+//! use cntfet_sat::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let x = s.new_var();
+//! let y = s.new_var();
+//! s.add_clause(&[x.pos(), y.pos()]);
+//! // Under the assumption x' the clause forces y…
+//! assert_eq!(s.solve(&[x.neg()]), SolveResult::Sat);
+//! assert_eq!(s.value(y), Some(true));
+//! // …and assuming both negative is contradictory, while the
+//! // instance itself stays satisfiable for later queries.
+//! assert_eq!(s.solve(&[x.neg(), y.neg()]), SolveResult::Unsat);
+//! assert_eq!(s.solve(&[]), SolveResult::Sat);
+//! assert!(s.stats().decisions < 100);
 //! ```
 
 #![warn(missing_docs)]

@@ -8,6 +8,26 @@
 //! inverters — the mechanism behind the paper's area/delay gap on
 //! XOR-rich circuits.
 //!
+//! The entry point is [`map`], steered by [`MapOptions`]:
+//!
+//! * [`MapOptions::objective`] — [`Objective::Area`],
+//!   [`Objective::Delay`] or [`Objective::Balanced`] covering;
+//! * [`MapOptions::delay_rounds`] — arrival-aware re-enumeration
+//!   rounds: after a first cover, cuts are re-enumerated under its
+//!   mapped arrival times with [`CutRank::Arrival`] (each cut ranked
+//!   by the arrival of its best library match, resolved against the
+//!   library's NPN index during enumeration) and the covering passes
+//!   rerun, iterating while the critical path improves;
+//! * [`MapOptions::cut_rank`] — the enumeration ranking
+//!   ([`CutRank::Size`], [`CutRank::Depth`], or [`CutRank::Arrival`]
+//!   to enable the rounds for every objective);
+//! * [`MapOptions::area_rounds`] / [`MapOptions::cuts_per_node`] /
+//!   [`MapOptions::cut_size`] — recovery effort and cut budget.
+//!
+//! Every mapping can be certified against its source with
+//! [`verify_mapping`] (or [`verify_mapping_report`], which also
+//! returns verification-engine statistics).
+//!
 //! # Examples
 //!
 //! ```
@@ -32,6 +52,33 @@
 //! assert_eq!(verify_mapping(&g, &mapping, &lib), CecResult::Equivalent);
 //! assert!(mapping.stats.gates <= 5);
 //! ```
+//!
+//! The objective corners of the same engine, and the arrival-aware
+//! delay guarantee — more rounds can never lengthen the critical path:
+//!
+//! ```
+//! use cntfet_aig::Aig;
+//! use cntfet_core::{Library, LogicFamily};
+//! use cntfet_techmap::{map, MapOptions, Objective};
+//!
+//! let mut g = Aig::new("chain");
+//! let p = g.add_pis(8);
+//! let mut acc = p[0];
+//! for &x in &p[1..] {
+//!     acc = g.xor(acc, x);
+//! }
+//! g.add_po(acc);
+//!
+//! let lib = Library::new(LogicFamily::TgStatic);
+//! let with = |objective, delay_rounds| {
+//!     map(&g, &lib, MapOptions { objective, delay_rounds, ..Default::default() }).stats
+//! };
+//! let area = with(Objective::Area, 0);
+//! let single = with(Objective::Delay, 0);   // single-enumeration engine
+//! let iterated = with(Objective::Delay, 2); // arrival-aware rounds
+//! assert!(area.area <= iterated.area + 1e-9);
+//! assert!(iterated.delay_norm <= single.delay_norm + 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +88,7 @@ mod matcher;
 mod power;
 mod verify;
 
+pub use cntfet_aig::CutRank;
 pub use mapper::{map, MapOptions, MapStats, MappedGate, Mapping, Objective, PoBinding, Source};
 pub use matcher::{match_is_valid, CellMatch, Matcher};
 pub use power::{estimate_energy, EnergyReport};

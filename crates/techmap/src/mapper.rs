@@ -24,7 +24,9 @@
 //!   *phase* per mapped node and charges/dedups inverters per driver.
 
 use crate::matcher::Matcher;
-use cntfet_aig::{enumerate_cuts_with, Aig, CutParams, CutRank, NodeId};
+use cntfet_aig::{
+    enumerate_cuts_custom, enumerate_cuts_with, Aig, CutArena, CutParams, CutRank, NodeId,
+};
 use cntfet_boolfn::word;
 use cntfet_core::Library;
 
@@ -114,6 +116,23 @@ pub struct MapOptions {
     /// area-flow round; any positive count adds a final exact-area
     /// round on mapping references).
     pub area_rounds: usize,
+    /// Arrival-aware re-enumeration rounds (see [`CutRank::Arrival`]):
+    /// after the first cover, cuts are re-enumerated under the mapped
+    /// arrival times of the previous round — ranked by the arrival of
+    /// each cut's best library match, tie-broken on area-flow — and
+    /// the covering passes rerun, keeping the better cover. Rounds run
+    /// under [`Objective::Delay`] (or any objective when `cut_rank` is
+    /// [`CutRank::Arrival`]) and stop early once the critical path
+    /// stops improving; `0` reproduces the single-enumeration engine
+    /// exactly.
+    pub delay_rounds: usize,
+    /// Ranking of the initial cut enumeration. [`CutRank::Size`]
+    /// (default) keeps the richest candidate variety per node;
+    /// [`CutRank::Depth`] prefers structurally shallow cuts;
+    /// [`CutRank::Arrival`] enables the arrival-aware rounds for every
+    /// objective (the first enumeration still ranks by size — mapped
+    /// arrivals only exist after a first cover).
+    pub cut_rank: CutRank,
     /// Covering objective.
     pub objective: Objective,
 }
@@ -124,6 +143,8 @@ impl Default for MapOptions {
             cut_size: 6,
             cuts_per_node: 10,
             area_rounds: 2,
+            delay_rounds: 2,
+            cut_rank: CutRank::Size,
             objective: Objective::Balanced,
         }
     }
@@ -218,13 +239,19 @@ enum Mode {
 pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
     let mut matcher = Matcher::new(library);
     let cut_size = opts.cut_size.clamp(2, 6);
-    // Size ranking keeps the richest candidate variety per node; the
-    // paper's wide XOR-capable cells make structurally deep cuts the
-    // fastest implementations, so depth-ranked truncation would hurt
-    // even the delay objective.
+    // The first enumeration has no mapped arrivals to rank by, so
+    // `CutRank::Arrival` starts from size ranking — which also keeps
+    // the richest candidate variety per node; the paper's wide
+    // XOR-capable cells make structurally deep cuts the fastest
+    // implementations, so depth-ranked truncation would hurt even the
+    // delay objective.
+    let initial_rank = match opts.cut_rank {
+        CutRank::Arrival => CutRank::Size,
+        rank => rank,
+    };
     let cuts = enumerate_cuts_with(
         aig,
-        CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: CutRank::Size },
+        CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: initial_rank },
     );
     let ctx = Ctx {
         aig,
@@ -235,7 +262,73 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
         fanout: aig.fanout_counts(),
     };
 
-    // ---- candidate generation ----
+    let cands = generate_cands(&ctx, &cuts, &mut matcher);
+    let mut sel = run_cover(&ctx, &cands, &opts);
+    let mut best = extract(&ctx, &cands, &sel);
+
+    // ---- arrival-aware delay rounds ----
+    // Structural cut ranking is a poor proxy for mapped arrival: the
+    // wide XOR cells make some deep cuts fast and some shallow cuts
+    // slow. Once a first cover exists, its per-node arrival and
+    // area-flow values let enumeration rank every candidate cut by the
+    // arrival of its *best library match* (NPN index resolved in-loop,
+    // area-flow tie-break), which re-enumerates the priority lists
+    // around implementations that are actually fast. Iterate to a
+    // fixed point, bounded by `delay_rounds`; every round is guarded —
+    // a cover that does not improve (delay, then area at equal delay)
+    // is discarded — so the result can never be worse than round 0,
+    // the plain single-enumeration flow.
+    let rounds = if opts.objective == Objective::Delay || opts.cut_rank == CutRank::Arrival {
+        opts.delay_rounds
+    } else {
+        0
+    };
+    for _ in 0..rounds {
+        let arr = sel.arr.clone();
+        let aflow = sel.aflow.clone();
+        let mut support: Vec<usize> = Vec::with_capacity(6);
+        let cuts = enumerate_cuts_custom(
+            aig,
+            CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: CutRank::Arrival },
+            |_root, leaves, tt| {
+                arrival_cost(&ctx, &mut matcher, &mut support, &arr, &aflow, leaves, tt)
+            },
+        );
+        let new_cands = generate_cands(&ctx, &cuts, &mut matcher);
+        let new_sel = run_cover(&ctx, &new_cands, &opts);
+        let m = extract(&ctx, &new_cands, &new_sel);
+        // Accept in the objective's own order: area-first when area is
+        // the sole objective (rounds reached via CutRank::Arrival),
+        // delay-first otherwise — either way the kept cover dominates
+        // round 0 on the primary metric.
+        let improved = if opts.objective == Objective::Area {
+            m.stats.area < best.stats.area - EPS
+                || (m.stats.area < best.stats.area + EPS
+                    && m.stats.delay_norm < best.stats.delay_norm - EPS)
+        } else {
+            m.stats.delay_norm < best.stats.delay_norm - EPS
+                || (m.stats.delay_norm < best.stats.delay_norm + EPS
+                    && m.stats.area < best.stats.area - EPS)
+        };
+        if !improved {
+            break;
+        }
+        best = m;
+        sel = new_sel;
+    }
+    best
+}
+
+/// Resolves every cut of every AND node against the library: NPN
+/// matches become [`Cand`]s (single-support cuts become wire aliases).
+///
+/// # Panics
+///
+/// Panics if some node ends up without a candidate (the library lacks
+/// a 2-input-complete cell set).
+fn generate_cands(ctx: &Ctx<'_>, cuts: &CutArena, matcher: &mut Matcher<'_>) -> Vec<Vec<Cand>> {
+    let aig = ctx.aig;
+    let library = ctx.library;
     let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); aig.num_nodes()];
     let mut support: Vec<usize> = Vec::with_capacity(6);
     for id in aig.and_ids() {
@@ -282,9 +375,14 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
         assert!(!list.is_empty(), "no candidate for node {id:?} — library incomplete");
         cands[id.index()] = list;
     }
+    cands
+}
 
-    // ---- pass pipeline ----
-    let n = aig.num_nodes();
+/// Runs the covering pass pipeline — forward pass, area-flow recovery
+/// under required times, exact-area refinement — over a fixed
+/// candidate set and returns the final per-node selection.
+fn run_cover(ctx: &Ctx<'_>, cands: &[Vec<Cand>], opts: &MapOptions) -> Sel {
+    let n = ctx.aig.num_nodes();
     let mut sel = Sel {
         choice: vec![0; n],
         arr: vec![0.0; n],
@@ -296,7 +394,7 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
 
     // Forward pass: delay-optimal, unless area is the sole objective.
     let mode0 = if opts.objective == Objective::Area { Mode::Flow } else { Mode::Delay };
-    select_pass(&ctx, &cands, &mut sel, mode0, opts.objective);
+    select_pass(ctx, cands, &mut sel, mode0, opts.objective);
 
     if opts.area_rounds > 0 {
         // Required times are the standard (heuristically stale) fence;
@@ -306,14 +404,14 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
         let strict = opts.objective == Objective::Delay;
         let mut target = f64::INFINITY;
         let round = |sel: &mut Sel, mode: Mode, target: &mut f64| {
-            prepare_required(&ctx, &cands, sel, opts.objective, target);
+            prepare_required(ctx, cands, sel, opts.objective, target);
             let snap = strict.then(|| sel.snapshot());
             if mode == Mode::Exact {
-                compute_refs(&ctx, &cands, sel);
+                compute_refs(ctx, cands, sel);
             }
-            select_pass(&ctx, &cands, sel, mode, opts.objective);
+            select_pass(ctx, cands, sel, mode, opts.objective);
             if let Some(snap) = snap {
-                if cover_delay(&ctx, sel) > *target + EPS {
+                if cover_delay(ctx, sel) > *target + EPS {
                     sel.restore(snap);
                 }
             }
@@ -329,8 +427,67 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
             round(&mut sel, Mode::Exact, &mut target);
         }
     }
+    sel
+}
 
-    extract(&ctx, &cands, &sel)
+/// Quantization scale turning τ-unit arrivals and area-flows into the
+/// integer ranking costs cut enumeration consumes (LSB = 1/256 τ).
+const RANK_SCALE: f64 = 256.0;
+
+/// Ranking oracle of the arrival-aware delay rounds: the cost of a
+/// cut is the mapped arrival time of its *best library match* under
+/// the previous cover's per-node arrivals (primary), tie-broken on
+/// that match's area-flow (secondary). Single-support cuts are free
+/// wires; cuts no single cell implements rank last (they survive only
+/// through the always-kept fanin-pair fallback).
+fn arrival_cost(
+    ctx: &Ctx<'_>,
+    matcher: &mut Matcher<'_>,
+    support: &mut Vec<usize>,
+    arr: &[f64],
+    aflow: &[f64],
+    leaves: &[NodeId],
+    tt: u64,
+) -> (u32, u32) {
+    let quant = |x: f64| (x * RANK_SCALE).round().clamp(0.0, u32::MAX as f64 - 1.0) as u32;
+    word::support(tt, leaves.len(), support);
+    let (best_arr, best_flow) = match support.len() {
+        0 => (0.0, 0.0), // constant cone — free
+        1 => {
+            let leaf = leaves[support[0]];
+            (arr[leaf.index()], aflow[leaf.index()]) // wire alias — free
+        }
+        k => {
+            let compact = word::shrink_to(tt, support);
+            let mut best = (f64::INFINITY, f64::INFINITY);
+            for m in matcher.matches_word(k, compact) {
+                let cell = &ctx.library.cells()[m.cell];
+                let mut a = 0.0f64;
+                let mut flow = cell.area;
+                for pin in 0..cell.num_inputs {
+                    let leaf = leaves[support[m.transform.perm(pin)]];
+                    // Which pins end up inverted depends on leaf
+                    // phases only the covering passes know; charging
+                    // the inverter on every logically complemented pin
+                    // is the conservative estimate (and vanishes under
+                    // free polarity, where `inv_delay` is 0).
+                    let pen =
+                        if m.transform.input_flipped(pin) { ctx.inv_delay } else { 0.0 };
+                    a = a.max(arr[leaf.index()] + pen + cell.pin_delay[pin]);
+                    let fo = ctx.fanout[leaf.index()].max(1) as f64;
+                    flow += aflow[leaf.index()] / fo;
+                }
+                if a < best.0 - EPS || (a < best.0 + EPS && flow < best.1) {
+                    best = (a, flow);
+                }
+            }
+            if best.0.is_infinite() {
+                return (u32::MAX, u32::MAX);
+            }
+            best
+        }
+    };
+    (quant(best_arr), quant(best_flow))
 }
 
 /// Returns (arrival, area_flow, phase of physical output) of a
@@ -873,6 +1030,118 @@ mod tests {
                         rounds,
                         pure.stats.delay_norm,
                         rec.stats.delay_norm
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_rounds_zero_reproduces_single_enumeration_engine() {
+        // Golden stats captured from the PR 2 engine (single
+        // Size-ranked enumeration, no arrival rounds) on
+        // full_adder_chain(10): `delay_rounds: 0` must reproduce them
+        // bit-for-bit for every family × objective.
+        let golden: &[(LogicFamily, Objective, usize, f64, f64)] = &[
+            (LogicFamily::TgStatic, Objective::Area, 38, 285.6667, 112.5),
+            (LogicFamily::TgStatic, Objective::Delay, 38, 285.6667, 112.5),
+            (LogicFamily::TgStatic, Objective::Balanced, 38, 285.6667, 112.5),
+            (LogicFamily::TgPseudo, Objective::Area, 38, 196.4444, 163.3333),
+            (LogicFamily::TgPseudo, Objective::Delay, 39, 209.5556, 147.7778),
+            (LogicFamily::TgPseudo, Objective::Balanced, 39, 209.5556, 147.7778),
+            (LogicFamily::CmosStatic, Objective::Area, 123, 796.0, 156.6667),
+            (LogicFamily::CmosStatic, Objective::Delay, 127, 972.0, 119.0),
+            (LogicFamily::CmosStatic, Objective::Balanced, 127, 972.0, 119.0),
+        ];
+        let src = full_adder_chain(10);
+        for &(family, objective, gates, area, delay) in golden {
+            let lib = Library::new(family);
+            let m = map(
+                &src,
+                &lib,
+                MapOptions { objective, delay_rounds: 0, ..Default::default() },
+            );
+            assert_eq!(m.stats.gates, gates, "{family:?}/{objective:?} gates");
+            assert!((m.stats.area - area).abs() < 1e-3, "{family:?}/{objective:?} area {}", m.stats.area);
+            assert!(
+                (m.stats.delay_norm - delay).abs() < 1e-3,
+                "{family:?}/{objective:?} delay {}",
+                m.stats.delay_norm
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_rounds_never_worsen_the_critical_path() {
+        // The arrival-aware rounds are guarded: whatever they do, the
+        // delay objective's critical path can only improve on the
+        // single-enumeration result.
+        for family in [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            for bits in [6, 12] {
+                let src = full_adder_chain(bits);
+                let opts = |delay_rounds| MapOptions {
+                    delay_rounds,
+                    objective: Objective::Delay,
+                    ..Default::default()
+                };
+                let single = map(&src, &lib, opts(0));
+                for rounds in [1, 3] {
+                    let iter = map(&src, &lib, opts(rounds));
+                    assert!(
+                        iter.stats.delay_norm <= single.stats.delay_norm + EPS,
+                        "{family:?}/{bits}: {rounds} rounds worsened delay {} -> {}",
+                        single.stats.delay_norm,
+                        iter.stats.delay_norm
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_rounds_never_worsen_the_area_objective() {
+        // With area as the sole objective (rounds reached via
+        // CutRank::Arrival) the acceptance guard flips to area-first:
+        // iterating can never return a larger cover than round 0.
+        for family in [LogicFamily::TgStatic, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            let src = full_adder_chain(10);
+            let opts = |delay_rounds| MapOptions {
+                objective: Objective::Area,
+                cut_rank: CutRank::Arrival,
+                delay_rounds,
+                ..Default::default()
+            };
+            let single = map(&src, &lib, opts(0));
+            let iter = map(&src, &lib, opts(2));
+            assert!(
+                iter.stats.area <= single.stats.area + EPS,
+                "{family:?}: arrival rounds worsened area {} -> {}",
+                single.stats.area,
+                iter.stats.area
+            );
+        }
+    }
+
+    #[test]
+    fn cut_rank_is_user_selectable() {
+        // Depth and Arrival ranking are selectable through MapOptions
+        // and always yield an equivalent netlist.
+        let src = full_adder_chain(8);
+        for family in [LogicFamily::TgStatic, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            for cut_rank in [CutRank::Size, CutRank::Depth, CutRank::Arrival] {
+                for objective in [Objective::Area, Objective::Delay, Objective::Balanced] {
+                    let m = map(
+                        &src,
+                        &lib,
+                        MapOptions { cut_rank, objective, ..Default::default() },
+                    );
+                    assert_eq!(
+                        crate::verify::verify_mapping(&src, &m, &lib),
+                        cntfet_aig::CecResult::Equivalent,
+                        "{family:?}/{cut_rank:?}/{objective:?}"
                     );
                 }
             }

@@ -59,6 +59,17 @@ impl<'lib> Matcher<'lib> {
         assert!(nvars <= 6, "cut function too wide for matching");
         let key = (nvars as u8, word);
         if !self.cache.contains_key(&key) {
+            // Constant-time NPN-invariant pre-filters before paying
+            // for canonicalization (`word` is replicated, so each of
+            // the 2^nvars minterms appears 2^(6-nvars) times). A
+            // rejected word is not cached either — the filters are
+            // cheaper than the hash insert.
+            let ones = (word.count_ones() >> (6 - nvars)) as u64;
+            if !self.library.npn_popcount_feasible(nvars, ones)
+                || !self.library.npn_cofactor_feasible(nvars, word)
+            {
+                return &[];
+            }
             let canon = npn_canonical(&TruthTable::from_bits(nvars, word));
             // h = T_h⁻¹(T_cell(cell_fn)): compose cell→canon with
             // canon→cut.
@@ -135,6 +146,36 @@ mod tests {
             m.matches_word(3, f.words()[0]).iter().map(|c| c.cell).collect();
         assert_eq!(by_table, by_word);
         assert!(!by_table.is_empty());
+    }
+
+    #[test]
+    fn npn_prefilters_are_sound_on_random_words() {
+        // Whenever the constant-time popcount/cofactor pre-filters
+        // reject a word, full canonicalization must also find nothing
+        // — the filters may only skip work, never matches.
+        for family in [LogicFamily::TgStatic, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            for _ in 0..500 {
+                // xorshift64
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                for nvars in 2..=6usize {
+                    let w = cntfet_boolfn::word::replicate(nvars, x);
+                    let ones = (w.count_ones() >> (6 - nvars)) as u64;
+                    let rejected = !lib.npn_popcount_feasible(nvars, ones)
+                        || !lib.npn_cofactor_feasible(nvars, w);
+                    if rejected {
+                        let canon = npn_canonical(&TruthTable::from_bits(nvars, w));
+                        assert!(
+                            lib.npn_matches(&canon.table).is_empty(),
+                            "{family:?}: filter rejected matchable word {w:#x} over {nvars} vars"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

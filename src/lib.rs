@@ -53,6 +53,18 @@
 //! let small = map(&optimized, &cntfet, MapOptions { objective: Objective::Area, ..Default::default() });
 //! assert_eq!(verify_mapping(&optimized, &small, &cntfet), CecResult::Equivalent);
 //! assert!(small.stats.area <= m1.stats.area);
+//!
+//! // 6. The delay corner iterates arrival-aware cut re-enumeration
+//! // (`delay_rounds`); the iterated cover is never slower than the
+//! // single-enumeration engine (`delay_rounds: 0`).
+//! let fast = map(&optimized, &cntfet, MapOptions { objective: Objective::Delay, ..Default::default() });
+//! let single = map(&optimized, &cntfet, MapOptions {
+//!     objective: Objective::Delay,
+//!     delay_rounds: 0,
+//!     ..Default::default()
+//! });
+//! assert_eq!(verify_mapping(&optimized, &fast, &cntfet), CecResult::Equivalent);
+//! assert!(fast.stats.delay_norm <= single.stats.delay_norm + 1e-9);
 //! ```
 
 #![warn(missing_docs)]
@@ -86,5 +98,5 @@ pub mod prelude {
     pub use cntfet_sat::{SolveResult, Solver};
     pub use cntfet_switchlevel::{solve, DynamicSim, Netlist, NodeState, Rank};
     pub use cntfet_synth::{balance, refactor, resyn2rs, rewrite};
-    pub use cntfet_techmap::{map, verify_mapping, MapOptions, MapStats, Mapping, Objective};
+    pub use cntfet_techmap::{map, verify_mapping, CutRank, MapOptions, MapStats, Mapping, Objective};
 }

@@ -106,6 +106,33 @@ proptest! {
             "recovery worsened delay: {} -> {}", pure.stats.delay_norm, rec.stats.delay_norm);
     }
 
+    /// Arrival-aware delay mapping (the default `delay_rounds`) never
+    /// maps to a longer critical path than the single-enumeration
+    /// PR 2 engine (`delay_rounds: 0`), and the iterated cover stays
+    /// formally equivalent to the source.
+    #[test]
+    fn prop_arrival_rounds_never_worsen_delay(
+        script in proptest::collection::vec((0u8..6, 0u16..300, 0u16..300), 20..100),
+        family_idx in 0usize..3
+    ) {
+        let g = random_aig(6, &script);
+        let family = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic][family_idx];
+        let lib = Library::new(family);
+        let opts = |delay_rounds| MapOptions {
+            delay_rounds,
+            objective: Objective::Delay,
+            ..Default::default()
+        };
+        let single = map(&g, &lib, opts(0));
+        let iterated = map(&g, &lib, opts(MapOptions::default().delay_rounds));
+        prop_assert!(
+            iterated.stats.delay_norm <= single.stats.delay_norm + 1e-9,
+            "arrival rounds worsened delay: {} -> {}",
+            single.stats.delay_norm, iterated.stats.delay_norm
+        );
+        prop_assert_eq!(verify_mapping(&g, &iterated, &lib), CecResult::Equivalent);
+    }
+
     /// Every tier of the sweeping CEC stack agrees with the plain
     /// miter check on random networks — including `node_budget: 0`,
     /// which disables internal sweeping and forces the pure
