@@ -13,6 +13,11 @@ pub struct Lit(u32);
 /// Sentinel literal used for the fanins of non-AND nodes.
 const LIT_NONE: Lit = Lit(u32::MAX);
 
+/// Sentinel literal marking a reclaimed (dead) node during in-place
+/// editing; dead nodes are skipped by every traversal and physically
+/// removed by [`Aig::compact`].
+pub(crate) const LIT_DEAD: Lit = Lit(u32::MAX - 1);
+
 impl Lit {
     /// Constant false.
     pub const FALSE: Lit = Lit(0);
@@ -102,14 +107,18 @@ impl NodeId {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    f0: Lit,
-    f1: Lit,
+pub(crate) struct Node {
+    pub(crate) f0: Lit,
+    pub(crate) f1: Lit,
 }
 
 impl Node {
-    fn is_and(&self) -> bool {
-        self.f0 != LIT_NONE
+    pub(crate) fn is_and(&self) -> bool {
+        self.f0 != LIT_NONE && self.f0 != LIT_DEAD
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.f0 == LIT_DEAD
     }
 }
 
@@ -132,10 +141,18 @@ impl Node {
 #[derive(Debug, Clone)]
 pub struct Aig {
     name: String,
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     pis: Vec<NodeId>,
-    pos: Vec<Lit>,
-    strash: HashMap<(u32, u32), NodeId>,
+    pub(crate) pos: Vec<Lit>,
+    pub(crate) strash: HashMap<(u32, u32), NodeId>,
+    /// Reference counts and fanout lists, live during an in-place
+    /// editing session (see [`Aig::begin_edit`]).
+    pub(crate) edit: Option<crate::edit::EditState>,
+    /// Set by [`Aig::replace_node`]: ascending id order may no longer
+    /// be topological, so traversals must take the DFS path. Fresh and
+    /// compacted graphs keep it false (plain construction appends
+    /// nodes after their fanins and cannot break the order).
+    pub(crate) edited: bool,
 }
 
 impl Aig {
@@ -147,6 +164,8 @@ impl Aig {
             pis: Vec::new(),
             pos: Vec::new(),
             strash: HashMap::new(),
+            edit: None,
+            edited: false,
         }
     }
 
@@ -160,6 +179,9 @@ impl Aig {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { f0: LIT_NONE, f1: LIT_NONE });
         self.pis.push(id);
+        if let Some(edit) = &mut self.edit {
+            edit.grow(1);
+        }
         id.lit()
     }
 
@@ -172,33 +194,61 @@ impl Aig {
     pub fn add_po(&mut self, l: Lit) {
         debug_assert!(l.node().index() < self.nodes.len());
         self.pos.push(l);
+        if let Some(edit) = &mut self.edit {
+            edit.refs[l.node().index()] += 1;
+        }
     }
 
     /// The AND of two literals (standard simplifications plus
     /// structural hashing).
     pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
-        // Constant / trivial cases.
-        if a == Lit::FALSE || b == Lit::FALSE || a == b.negate() {
-            return Lit::FALSE;
-        }
-        if a == Lit::TRUE {
-            return b;
-        }
-        if b == Lit::TRUE || a == b {
-            return a;
+        // Trivial rules and structural hashing live in `find_and`, so
+        // dry-run costing and real construction can never disagree.
+        if let Some(l) = self.find_and(a, b) {
+            return l;
         }
         let key = if a.code() < b.code() {
             (a.code(), b.code())
         } else {
             (b.code(), a.code())
         };
-        if let Some(&id) = self.strash.get(&key) {
-            return id.lit();
-        }
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { f0: Lit(key.0), f1: Lit(key.1) });
         self.strash.insert(key, id);
+        if let Some(edit) = &mut self.edit {
+            edit.grow(1);
+            for f in [Lit(key.0), Lit(key.1)] {
+                edit.refs[f.node().index()] += 1;
+                edit.fanouts[f.node().index()].push(id);
+            }
+        }
         id.lit()
+    }
+
+    /// Probes for an AND of two literals without creating anything:
+    /// `Some` when the trivial simplification rules resolve the pair or
+    /// a structurally-hashed node already exists, `None` when
+    /// [`Aig::and`] would have to allocate a fresh node. This is the
+    /// single home of the simplification rules — `and()` delegates to
+    /// it — and the dry-run primitive behind rewriting gain
+    /// evaluation.
+    pub fn find_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        // Constant / trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.negate() {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if b == Lit::TRUE || a == b {
+            return Some(a);
+        }
+        let key = if a.code() < b.code() {
+            (a.code(), b.code())
+        } else {
+            (b.code(), a.code())
+        };
+        self.strash.get(&key).map(|&id| id.lit())
     }
 
     /// The OR of two literals.
@@ -294,6 +344,10 @@ impl Aig {
 
     /// Replaces output `i` with a new literal.
     pub fn set_po(&mut self, i: usize, l: Lit) {
+        if let Some(edit) = &mut self.edit {
+            edit.refs[self.pos[i].node().index()] -= 1;
+            edit.refs[l.node().index()] += 1;
+        }
         self.pos[i] = l;
     }
 
@@ -302,9 +356,16 @@ impl Aig {
         self.nodes[id.index()].is_and()
     }
 
+    /// True iff the node was reclaimed by in-place editing (see
+    /// [`Aig::replace_node`]); dead nodes are skipped by traversals and
+    /// removed by [`Aig::compact`].
+    pub fn is_dead(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].is_dead()
+    }
+
     /// True iff the node is a primary input.
     pub fn is_pi(&self, id: NodeId) -> bool {
-        id != NodeId::CONST && !self.is_and(id)
+        id != NodeId::CONST && !self.is_and(id) && !self.is_dead(id)
     }
 
     /// Fanins of an AND node.
@@ -330,13 +391,59 @@ impl Aig {
         (0..self.nodes.len()).map(|i| NodeId(i as u32))
     }
 
+    /// All live AND nodes in a topological order (every node after its
+    /// fanins). For freshly built or compacted graphs this is simply
+    /// ascending id order; after in-place editing (where replacements
+    /// append nodes whose fanouts have smaller ids) it is the order the
+    /// DFS discovers, and the traversal helpers below use it so they
+    /// stay correct on edited graphs.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut order = Vec::with_capacity(n);
+        if !self.edited {
+            // Never edited: ascending id order is already topological.
+            order.extend(
+                (0..n).filter(|&i| self.nodes[i].is_and()).map(|i| NodeId(i as u32)),
+            );
+            return order;
+        }
+        let mut done = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for root in 0..n {
+            if done[root] || !self.nodes[root].is_and() {
+                continue;
+            }
+            stack.push(NodeId(root as u32));
+            while let Some(&x) = stack.last() {
+                let xi = x.index();
+                if done[xi] {
+                    stack.pop();
+                    continue;
+                }
+                let node = &self.nodes[xi];
+                let mut ready = true;
+                for f in [node.f0.node(), node.f1.node()] {
+                    if self.nodes[f.index()].is_and() && !done[f.index()] {
+                        stack.push(f);
+                        ready = false;
+                    }
+                }
+                if ready {
+                    done[xi] = true;
+                    order.push(x);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
     /// Logic level of every node (PIs/constant at level 0).
     pub fn levels(&self) -> Vec<u32> {
         let mut lv = vec![0u32; self.nodes.len()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_and() {
-                lv[i] = 1 + lv[n.f0.node().index()].max(lv[n.f1.node().index()]);
-            }
+        for id in self.topo_order() {
+            let n = &self.nodes[id.index()];
+            lv[id.index()] = 1 + lv[n.f0.node().index()].max(lv[n.f1.node().index()]);
         }
         lv
     }
@@ -373,12 +480,11 @@ impl Aig {
         for (pi, &v) in self.pis.iter().zip(inputs) {
             val[pi.index()] = v;
         }
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_and() {
-                let a = val[n.f0.node().index()] ^ n.f0.is_complement();
-                let b = val[n.f1.node().index()] ^ n.f1.is_complement();
-                val[i] = a && b;
-            }
+        for id in self.topo_order() {
+            let n = &self.nodes[id.index()];
+            let a = val[n.f0.node().index()] ^ n.f0.is_complement();
+            let b = val[n.f1.node().index()] ^ n.f1.is_complement();
+            val[id.index()] = a && b;
         }
         self.pos
             .iter()
@@ -395,12 +501,11 @@ impl Aig {
         for (pi, &v) in self.pis.iter().zip(inputs) {
             val[pi.index()] = v;
         }
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_and() {
-                let a = val[n.f0.node().index()] ^ if n.f0.is_complement() { !0 } else { 0 };
-                let b = val[n.f1.node().index()] ^ if n.f1.is_complement() { !0 } else { 0 };
-                val[i] = a & b;
-            }
+        for id in self.topo_order() {
+            let n = &self.nodes[id.index()];
+            let a = val[n.f0.node().index()] ^ if n.f0.is_complement() { !0 } else { 0 };
+            let b = val[n.f1.node().index()] ^ if n.f1.is_complement() { !0 } else { 0 };
+            val[id.index()] = a & b;
         }
         val
     }
@@ -436,12 +541,17 @@ impl Aig {
                 stack.push(n.f1.node());
             }
         }
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_and() && reach[i] {
-                let a = Self::map_lit(&map, n.f0);
-                let b = Self::map_lit(&map, n.f1);
-                map[i] = Some(out.and(a, b));
+        // Rebuild in a DFS topological order, so edited graphs (whose
+        // ids need not be topologically sorted any more) compact
+        // correctly too.
+        for id in self.topo_order() {
+            if !reach[id.index()] {
+                continue;
             }
+            let n = &self.nodes[id.index()];
+            let a = Self::map_lit(&map, n.f0);
+            let b = Self::map_lit(&map, n.f1);
+            map[id.index()] = Some(out.and(a, b));
         }
         for &po in &self.pos {
             let l = Self::map_lit(&map, po);
@@ -494,17 +604,14 @@ impl Aig {
         for (i, &pi) in self.pis.iter().enumerate() {
             tts[pi.index()] = TruthTable::var(n, i);
         }
-        for (i, node) in self.nodes.iter().enumerate() {
-            if node.is_and() {
-                // Fanins precede `i` topologically, so a split borrow
-                // reaches both operands without cloning either table.
-                let (head, tail) = tts.split_at_mut(i);
-                tail[0] = head[node.f0.node().index()].and_with_compl(
-                    &head[node.f1.node().index()],
-                    node.f0.is_complement(),
-                    node.f1.is_complement(),
-                );
-            }
+        for id in self.topo_order() {
+            let node = self.nodes[id.index()];
+            let t = tts[node.f0.node().index()].and_with_compl(
+                &tts[node.f1.node().index()],
+                node.f0.is_complement(),
+                node.f1.is_complement(),
+            );
+            tts[id.index()] = t;
         }
         let l = self.pos[po];
         let t = tts[l.node().index()].clone();

@@ -76,6 +76,7 @@
 mod blif;
 mod cec;
 mod cuts;
+mod edit;
 mod graph;
 mod sim;
 mod sweep;

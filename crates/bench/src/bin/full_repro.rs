@@ -3,7 +3,9 @@
 //! paper-vs-measured scoreboard. This is the one-shot artifact check
 //! behind EXPERIMENTS.md.
 
-use cntfet_bench::{run_suite, run_suite_with, suite_averages, suite_verification_stats};
+use cntfet_bench::{
+    compare_synth_engines, run_suite, run_suite_with, suite_averages, suite_verification_stats,
+};
 use cntfet_core::{characterize_family, enumerate_gates, family_averages, LogicFamily};
 use cntfet_techmap::{MapOptions, MapStats, Objective};
 
@@ -159,6 +161,48 @@ fn main() {
         what: "Mapper: arrival rounds never worsen delay",
         paper: 0.0,
         measured: worse_cells as f64,
+        tolerance_pct: 0.0,
+    });
+
+    // Synthesis engines: the in-place DAG-aware engine (PR 5) vs the
+    // seed rebuild-based sequence — never worse in (ands, depth) on
+    // any benchmark, CEC-verified, and faster end to end.
+    println!("\ncomparing synthesis engines (seed rebuild vs in-place DAG-aware)...");
+    let synth_cmp = compare_synth_engines(true, None);
+    let mut synth_worse = 0usize;
+    let mut synth_unverified = 0usize;
+    let (mut seed_ms, mut new_ms) = (0.0f64, 0.0f64);
+    let (mut seed_ands, mut new_ands) = (0usize, 0usize);
+    for c in &synth_cmp {
+        if !c.never_worse() {
+            synth_worse += 1;
+            println!(
+                "  REGRESSION {}: in-place {}/{} vs seed {}/{}",
+                c.name, c.inplace.ands, c.inplace.depth, c.seed.ands, c.seed.depth
+            );
+        }
+        synth_unverified += usize::from(!c.verified);
+        seed_ms += c.seed_ms;
+        new_ms += c.inplace_ms;
+        seed_ands += c.seed.ands;
+        new_ands += c.inplace.ands;
+    }
+    println!(
+        "  total ands {seed_ands} -> {new_ands} ({:+.1}%), suite synth wall time \
+         {seed_ms:.0} -> {new_ms:.0} ms ({:.1}x)",
+        100.0 * (new_ands as f64 - seed_ands as f64) / seed_ands as f64,
+        seed_ms / new_ms,
+    );
+    checks.push(Check {
+        what: "Synth: in-place never worse than seed (ands, depth)",
+        paper: 0.0,
+        measured: synth_worse as f64,
+        tolerance_pct: 0.0,
+    });
+    checks.push(Check {
+        what: "Synth: both engines CEC-verified per benchmark",
+        paper: 0.0,
+        measured: synth_unverified as f64,
         tolerance_pct: 0.0,
     });
 

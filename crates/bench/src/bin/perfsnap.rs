@@ -1,17 +1,17 @@
-//! Performance snapshot: measures the workspace's two hot paths —
-//! technology mapping (including the arrival-aware iterated delay
-//! mapper) and CEC verification — and writes the numbers plus
-//! SAT-solver statistics to `BENCH_PR4.json` in the current directory.
-//! The JSON continues the bench trajectory the ROADMAP asks for:
-//! `BENCH_PR3.json` (committed) records where the verification rebuild
-//! left the engine, this file records where the arrival-aware mapper
-//! lands — wall times *and* the delay/area outcomes the extra rounds
-//! buy.
+//! Performance snapshot: measures the workspace's hot paths —
+//! synthesis (the PR 5 in-place DAG-aware engine vs the seed rebuild
+//! engine), technology mapping, and CEC verification — and writes the
+//! numbers to `BENCH_PR5.json` in the current directory. The JSON
+//! continues the bench trajectory the ROADMAP asks for:
+//! `BENCH_PR3.json` records the verification rebuild, `BENCH_PR4.json`
+//! the arrival-aware mapper, this file the synthesis rebuild — wall
+//! times *and* the ands/depth outcomes the DAG-aware engine buys.
 
 use cntfet_aig::{check_equivalence_sweeping_report, CecResult, SweepOptions};
+use cntfet_bench::compare_synth_engines;
 use cntfet_circuits::{array_multiplier, c1908_like, cla_adder, ripple_adder, shift_add_multiplier};
 use cntfet_core::{Library, LogicFamily};
-use cntfet_synth::resyn2rs;
+use cntfet_synth::{resyn2rs, resyn2rs_with, SynthEngine, SynthOptions};
 use cntfet_techmap::{map, MapOptions, Objective};
 use std::time::Instant;
 
@@ -27,136 +27,123 @@ fn best_ms(n: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    println!("perfsnap: measuring mapping and verification hot paths...");
+    println!("perfsnap: measuring synthesis, mapping and verification hot paths...");
+    // Warm the per-process rewrite library (one-time build).
+    let _ = cntfet_boolfn::RwrLibrary::global();
 
-    // --- mapping: balanced default (tracked for regressions) ---
+    // --- synthesis: in-place DAG-aware engine vs the seed rebuild ---
+    let seed_opts = SynthOptions { engine: SynthEngine::Seed, ..Default::default() };
+    let mult8_src = array_multiplier(8);
+    let c1908_src = c1908_like();
+    let des_src = cntfet_circuits::des_like();
+    let synth_mult8_new_ms = best_ms(5, || {
+        assert!(resyn2rs(&mult8_src).num_ands() > 0);
+    });
+    let synth_mult8_seed_ms = best_ms(5, || {
+        assert!(resyn2rs_with(&mult8_src, &seed_opts).num_ands() > 0);
+    });
+    let synth_c1908_new_ms = best_ms(5, || {
+        assert!(resyn2rs(&c1908_src).num_ands() > 0);
+    });
+    let synth_c1908_seed_ms = best_ms(5, || {
+        assert!(resyn2rs_with(&c1908_src, &seed_opts).num_ands() > 0);
+    });
+    let synth_des_new_ms = best_ms(3, || {
+        assert!(resyn2rs(&des_src).num_ands() > 0);
+    });
+    let synth_des_seed_ms = best_ms(3, || {
+        assert!(resyn2rs_with(&des_src, &seed_opts).num_ands() > 0);
+    });
+    let m8_new = resyn2rs(&mult8_src);
+    let m8_old = resyn2rs_with(&mult8_src, &seed_opts);
+    let c19_new = resyn2rs(&c1908_src);
+    let c19_old = resyn2rs_with(&c1908_src, &seed_opts);
+    assert!(synth_mult8_new_ms * 3.0 <= synth_mult8_seed_ms, "mult8 synth speedup below 3x");
+    assert!(synth_c1908_new_ms * 3.0 <= synth_c1908_seed_ms, "c1908 synth speedup below 3x");
+
+    // Whole-suite quality outcome (ands totals, never-worse count).
+    let cmp = compare_synth_engines(false, None);
+    let suite_seed_ands: usize = cmp.iter().map(|c| c.seed.ands).sum();
+    let suite_new_ands: usize = cmp.iter().map(|c| c.inplace.ands).sum();
+    let suite_worse = cmp.iter().filter(|c| !c.never_worse()).count();
+    let suite_seed_ms: f64 = cmp.iter().map(|c| c.seed_ms).sum();
+    let suite_new_ms: f64 = cmp.iter().map(|c| c.inplace_ms).sum();
+    assert_eq!(suite_worse, 0, "in-place synth regressed a benchmark");
+
+    // --- mapping (tracked for regressions) ---
     let lib = Library::new(LogicFamily::TgStatic);
     let add16 = resyn2rs(&ripple_adder(16));
-    let c1908 = resyn2rs(&c1908_like());
-    let mult8 = resyn2rs(&array_multiplier(8));
+    let c1908 = resyn2rs(&c1908_src);
+    let mult8 = resyn2rs(&mult8_src);
     let map_add16_ms = best_ms(5, || {
-        let m = map(&add16, &lib, MapOptions::default());
-        assert!(m.stats.gates > 0);
+        assert!(map(&add16, &lib, MapOptions::default()).stats.gates > 0);
     });
     let map_c1908_ms = best_ms(5, || {
-        let m = map(&c1908, &lib, MapOptions::default());
-        assert!(m.stats.gates > 0);
+        assert!(map(&c1908, &lib, MapOptions::default()).stats.gates > 0);
+    });
+    let delay_opts = MapOptions { objective: Objective::Delay, ..Default::default() };
+    let map_mult8_delay_ms = best_ms(5, || {
+        assert!(map(&mult8, &lib, delay_opts).stats.gates > 0);
     });
 
-    // --- mapping: the delay objective, single-enumeration vs the
-    // arrival-aware iterated engine (PR 4) ---
-    let delay_opts = |delay_rounds| MapOptions {
-        objective: Objective::Delay,
-        delay_rounds,
-        ..Default::default()
-    };
-    let rounds = MapOptions::default().delay_rounds;
-    let map_mult8_delay0_ms = best_ms(5, || {
-        let m = map(&mult8, &lib, delay_opts(0));
-        assert!(m.stats.gates > 0);
-    });
-    let map_mult8_delayn_ms = best_ms(5, || {
-        let m = map(&mult8, &lib, delay_opts(rounds));
-        assert!(m.stats.gates > 0);
-    });
-    let map_c1908_delayn_ms = best_ms(5, || {
-        let m = map(&c1908, &lib, delay_opts(rounds));
-        assert!(m.stats.gates > 0);
-    });
-    let m8_single = map(&mult8, &lib, delay_opts(0)).stats;
-    let m8_iter = map(&mult8, &lib, delay_opts(rounds)).stats;
-    let c19_single = map(&c1908, &lib, delay_opts(0)).stats;
-    let c19_iter = map(&c1908, &lib, delay_opts(rounds)).stats;
-    assert!(m8_iter.delay_norm <= m8_single.delay_norm + 1e-9);
-    assert!(c19_iter.delay_norm <= c19_single.delay_norm + 1e-9);
-
-    // --- verification (the PR 3 engine, tracked for regressions) ---
+    // --- verification (tracked for regressions) ---
     let m_cols = array_multiplier(8);
     let m_sa = shift_add_multiplier(8);
     let r32 = ripple_adder(32);
     let c32 = cla_adder(32);
-
-    // Default stack on the headline miter: exhaustive simulation.
     let cec_mult8_default_ms = best_ms(5, || {
         let r = check_equivalence_sweeping_report(&m_sa, &m_cols, &SweepOptions::default());
         assert_eq!(r.result, CecResult::Equivalent);
     });
-    // Same miter forced through CDCL sweeping: the raw solver workload.
-    let sat_opts = SweepOptions { exhaustive_pis: 0, ..Default::default() };
-    let mut sat_report = None;
-    let cec_mult8_sat_ms = best_ms(2, || {
-        let r = check_equivalence_sweeping_report(&m_sa, &m_cols, &sat_opts);
-        assert_eq!(r.result, CecResult::Equivalent);
-        sat_report = Some(r);
-    });
-    let sat_report = sat_report.expect("measured at least once");
-    // Wide-interface sweeping (65 PIs — no exhaustive shortcut).
     let cec_adder32_sweep_ms = best_ms(5, || {
         let r = check_equivalence_sweeping_report(&r32, &c32, &SweepOptions::default());
         assert_eq!(r.result, CecResult::Equivalent);
     });
 
-    let s = &sat_report.sat_stats;
     let json = format!(
         r#"{{
-  "pr": 4,
-  "description": "arrival-aware delay mapping: CutRank::Arrival re-enumeration between covering passes",
+  "pr": 5,
+  "description": "in-place DAG-aware synthesis engine: MFFC rewriting over priority cuts + NPN structure library",
+  "synth_ms": {{
+    "mult8_seed": {synth_mult8_seed_ms:.3},
+    "mult8_inplace": {synth_mult8_new_ms:.3},
+    "c1908_seed": {synth_c1908_seed_ms:.3},
+    "c1908_inplace": {synth_c1908_new_ms:.3},
+    "des_seed": {synth_des_seed_ms:.3},
+    "des_inplace": {synth_des_new_ms:.3},
+    "suite_seed": {suite_seed_ms:.1},
+    "suite_inplace": {suite_new_ms:.1}
+  }},
+  "synth_outcomes": {{
+    "mult8_ands_seed": {},
+    "mult8_ands_inplace": {},
+    "mult8_depth_seed": {},
+    "mult8_depth_inplace": {},
+    "c1908_ands_seed": {},
+    "c1908_ands_inplace": {},
+    "suite_total_ands_seed": {suite_seed_ands},
+    "suite_total_ands_inplace": {suite_new_ands},
+    "suite_benchmarks_worse_than_seed": {suite_worse}
+  }},
   "mapping_ms": {{
     "add16_tg_static_balanced": {map_add16_ms:.3},
     "c1908_tg_static_balanced": {map_c1908_ms:.3},
-    "mult8_tg_static_delay_single_enum": {map_mult8_delay0_ms:.3},
-    "mult8_tg_static_delay_arrival_rounds": {map_mult8_delayn_ms:.3},
-    "c1908_tg_static_delay_arrival_rounds": {map_c1908_delayn_ms:.3}
-  }},
-  "delay_objective_outcomes_tg_static": {{
-    "mult8_delay_norm_single_enum": {:.4},
-    "mult8_delay_norm_arrival_rounds": {:.4},
-    "mult8_area_single_enum": {:.2},
-    "mult8_area_arrival_rounds": {:.2},
-    "c1908_delay_norm_single_enum": {:.4},
-    "c1908_delay_norm_arrival_rounds": {:.4},
-    "c1908_area_single_enum": {:.2},
-    "c1908_area_arrival_rounds": {:.2}
+    "mult8_tg_static_delay": {map_mult8_delay_ms:.3}
   }},
   "cec_ms": {{
     "mult8_shift_add_vs_columns_default": {cec_mult8_default_ms:.3},
-    "mult8_shift_add_vs_columns_sat_sweep": {cec_mult8_sat_ms:.3},
     "ripple_vs_cla_32_sweep": {cec_adder32_sweep_ms:.3}
-  }},
-  "solver_stats_mult8_sat_sweep": {{
-    "conflicts": {},
-    "decisions": {},
-    "propagations": {},
-    "restarts": {},
-    "learnts": {},
-    "reduces": {},
-    "gcs": {},
-    "minimized_lits": {},
-    "internal_proofs": {},
-    "refinements": {}
   }}
 }}
 "#,
-        m8_single.delay_norm,
-        m8_iter.delay_norm,
-        m8_single.area,
-        m8_iter.area,
-        c19_single.delay_norm,
-        c19_iter.delay_norm,
-        c19_single.area,
-        c19_iter.area,
-        s.conflicts,
-        s.decisions,
-        s.propagations,
-        s.restarts,
-        s.learnts,
-        s.reduces,
-        s.gcs,
-        s.minimized_lits,
-        sat_report.internal_proofs,
-        sat_report.refinements,
+        m8_old.num_ands(),
+        m8_new.num_ands(),
+        m8_old.depth(),
+        m8_new.depth(),
+        c19_old.num_ands(),
+        c19_new.num_ands(),
     );
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
     print!("{json}");
-    println!("wrote BENCH_PR4.json");
+    println!("wrote BENCH_PR5.json");
 }

@@ -8,14 +8,28 @@
 //! the area- and delay-pressed corners of the multi-objective coverer
 //! instead of the default balanced covering; `--delay-rounds N`
 //! overrides the arrival-aware re-enumeration round bound (`0`
-//! reproduces the single-enumeration engine).
+//! reproduces the single-enumeration engine); `--synth seed` runs the
+//! seed-era rebuild-based synthesis engine instead of the in-place
+//! DAG-aware one (`--synth inplace`, the default).
 
-use cntfet_bench::{print_table3, run_suite_with};
+use cntfet_bench::{print_table3, run_suite_full};
+use cntfet_synth::{SynthEngine, SynthOptions};
 use cntfet_techmap::{MapOptions, Objective};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let synth_engine = match args.iter().position(|a| a == "--synth") {
+        None => SynthEngine::InPlace,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("seed") => SynthEngine::Seed,
+            Some("inplace") => SynthEngine::InPlace,
+            other => {
+                eprintln!("unknown synth engine {other:?}: expected inplace or seed");
+                std::process::exit(2);
+            }
+        },
+    };
     let objective = match args.iter().position(|a| a == "--objective") {
         None => Objective::Balanced,
         Some(i) => match args.get(i + 1).map(String::as_str) {
@@ -42,13 +56,17 @@ fn main() {
     };
     println!("== Table 3 reproduction: synthesis + technology mapping ==");
     println!(
-        "(resyn2rs-style optimization, 6-cut NPN matching, {objective:?} covering, \
-         {delay_rounds} arrival round(s); verification {})\n",
+        "(resyn2rs optimization [{synth_engine:?} engine], 6-cut NPN matching, \
+         {objective:?} covering, {delay_rounds} arrival round(s); verification {})\n",
         if fast { "OFF (--fast)" } else { "ON" }
     );
     let t0 = std::time::Instant::now();
-    let rows =
-        run_suite_with(!fast, None, MapOptions { objective, delay_rounds, ..Default::default() });
+    let rows = run_suite_full(
+        !fast,
+        None,
+        MapOptions { objective, delay_rounds, ..Default::default() },
+        &SynthOptions { engine: synth_engine, ..Default::default() },
+    );
     print_table3(&rows);
     let all_verified = rows.iter().all(|r| r.verified);
     println!(

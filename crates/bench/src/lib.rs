@@ -9,7 +9,7 @@
 use cntfet_circuits::{paper_benchmarks, Benchmark};
 use cntfet_core::{Library, LogicFamily};
 use cntfet_sat::SolverStats;
-use cntfet_synth::resyn2rs;
+use cntfet_synth::{resyn2rs_with, SynthOptions};
 use cntfet_techmap::{map, verify_mapping_report, MapOptions, MapStats};
 
 /// Mapping results of one benchmark across the three Table 3 families.
@@ -61,7 +61,19 @@ pub fn run_benchmark(b: &Benchmark, verify: bool) -> Table3Row {
 /// `table3 --objective area|delay`, which reports the two corners of
 /// the multi-objective coverer.
 pub fn run_benchmark_with(b: &Benchmark, verify: bool, opts: MapOptions) -> Table3Row {
-    let optimized = resyn2rs(&b.aig);
+    run_benchmark_full(b, verify, opts, &SynthOptions::default())
+}
+
+/// [`run_benchmark_with`] with explicit synthesis options too — the
+/// hook behind `table3 --synth seed` and `full_repro`'s old-vs-new
+/// synthesis comparison.
+pub fn run_benchmark_full(
+    b: &Benchmark,
+    verify: bool,
+    opts: MapOptions,
+    synth: &SynthOptions,
+) -> Table3Row {
+    let optimized = resyn2rs_with(&b.aig, synth);
     let families = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic];
     let mut stats = Vec::with_capacity(3);
     let mut verified = true;
@@ -99,10 +111,83 @@ pub fn run_suite(verify: bool, subset: Option<&[&str]>) -> Vec<Table3Row> {
 
 /// [`run_suite`] with explicit mapper options.
 pub fn run_suite_with(verify: bool, subset: Option<&[&str]>, opts: MapOptions) -> Vec<Table3Row> {
+    run_suite_full(verify, subset, opts, &SynthOptions::default())
+}
+
+/// [`run_suite_with`] with explicit synthesis options too.
+pub fn run_suite_full(
+    verify: bool,
+    subset: Option<&[&str]>,
+    opts: MapOptions,
+    synth: &SynthOptions,
+) -> Vec<Table3Row> {
     paper_benchmarks()
         .iter()
         .filter(|b| subset.map(|s| s.contains(&b.name)).unwrap_or(true))
-        .map(|b| run_benchmark_with(b, verify, opts))
+        .map(|b| run_benchmark_full(b, verify, opts, synth))
+        .collect()
+}
+
+/// One benchmark's old-vs-new synthesis engine outcome (see
+/// [`compare_synth_engines`]).
+#[derive(Debug, Clone)]
+pub struct SynthComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Seed-engine result stats.
+    pub seed: cntfet_synth::AigStats,
+    /// In-place-engine result stats.
+    pub inplace: cntfet_synth::AigStats,
+    /// Seed-engine wall time (ms).
+    pub seed_ms: f64,
+    /// In-place-engine wall time (ms).
+    pub inplace_ms: f64,
+    /// Whether both engine outputs passed CEC against the input.
+    pub verified: bool,
+}
+
+impl SynthComparison {
+    /// True when the in-place engine is never worse than the seed
+    /// engine in `(ands, depth)` lexicographic order.
+    pub fn never_worse(&self) -> bool {
+        self.inplace.ands < self.seed.ands
+            || (self.inplace.ands == self.seed.ands && self.inplace.depth <= self.seed.depth)
+    }
+}
+
+/// Runs both synthesis engines (`resyn2rs`) over the benchmark suite
+/// and reports quality, wall time, and (optionally) per-benchmark CEC
+/// of each output against its input — the scoreboard behind
+/// `full_repro`'s synthesis check and the never-worse regression
+/// test.
+pub fn compare_synth_engines(verify: bool, subset: Option<&[&str]>) -> Vec<SynthComparison> {
+    use cntfet_synth::{AigStats, SynthEngine};
+    let seed_opts = SynthOptions { engine: SynthEngine::Seed, ..Default::default() };
+    let new_opts = SynthOptions::default();
+    paper_benchmarks()
+        .iter()
+        .filter(|b| subset.map(|s| s.contains(&b.name)).unwrap_or(true))
+        .map(|b| {
+            let t = std::time::Instant::now();
+            let new = resyn2rs_with(&b.aig, &new_opts);
+            let inplace_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = std::time::Instant::now();
+            let old = resyn2rs_with(&b.aig, &seed_opts);
+            let seed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let verified = !verify
+                || (cntfet_aig::check_equivalence_sweeping(&b.aig, &new)
+                    == cntfet_aig::CecResult::Equivalent
+                    && cntfet_aig::check_equivalence_sweeping(&b.aig, &old)
+                        == cntfet_aig::CecResult::Equivalent);
+            SynthComparison {
+                name: b.name.to_string(),
+                seed: AigStats::of(&old),
+                inplace: AigStats::of(&new),
+                seed_ms,
+                inplace_ms,
+                verified,
+            }
+        })
         .collect()
 }
 

@@ -37,6 +37,7 @@ mod expr;
 mod factor;
 mod isop;
 mod npn;
+pub mod rwr;
 mod tt;
 pub mod word;
 
@@ -45,4 +46,5 @@ pub use expr::{Expr, ParseExprError};
 pub use factor::factor;
 pub use isop::{isop, isop_interval};
 pub use npn::{npn_canonical, npn_canonical_exhaustive, NpnCanon, NpnTransform};
+pub use rwr::{RwrLibrary, RwrMatch, RwrOperand, RwrStructure};
 pub use tt::{TruthTable, MAX_VARS};

@@ -1,0 +1,557 @@
+//! Precomputed rewrite library: one near-optimal AIG structure per
+//! NPN class of ≤ 4-input functions.
+//!
+//! DAG-aware rewriting replaces the logic cone of a 4-feasible cut by
+//! a precomputed structure for the cut function's NPN class, instead
+//! of re-deriving an implementation (ISOP + factoring) per node. The
+//! library is built once per process ([`RwrLibrary::global`]):
+//!
+//! 1. a breadth-first exact enumeration over all 65 536 four-variable
+//!    functions finds minimal AND-tree implementations up to a node
+//!    budget (this covers every cheap class — the ones rewriting gains
+//!    on);
+//! 2. the few classes beyond the budget fall back to the better of a
+//!    Shannon/XOR-aware decomposition and the two factored-SOP phases.
+//!
+//! Entries are keyed by the same [`npn_canonical`] form the technology
+//! mapper's library index uses, so a lookup is one canonicalization
+//! plus a hash probe; the returned [`NpnTransform`] tells the caller
+//! how to wire cut leaves onto structure inputs.
+
+use crate::npn::{npn_canonical, NpnTransform};
+use crate::tt::TruthTable;
+use crate::{factor, isop, Expr};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Number of variables the library covers (structures for smaller
+/// functions are found by padding the table).
+pub const RWR_VARS: usize = 4;
+
+/// Literal encoding of [`RwrStructure`] operands: `index << 1 |
+/// complement`, where indices `0..4` are the structure's leaves and
+/// `4 + i` is the output of step `i`. Two codes are reserved for the
+/// constants ([`RwrStructure::FALSE`], [`RwrStructure::TRUE`]).
+pub type RwrLit = u8;
+
+/// A decoded structure operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RwrOperand {
+    /// Structure leaf `0..4`, with complement flag.
+    Leaf(usize, bool),
+    /// Output of an earlier step, with complement flag.
+    Step(usize, bool),
+    /// A constant.
+    Const(bool),
+}
+
+/// The AIG structure of one NPN class: a sequence of AND steps over
+/// four leaves, plus the output literal.
+#[derive(Debug, Clone)]
+pub struct RwrStructure {
+    steps: Vec<(RwrLit, RwrLit)>,
+    out: RwrLit,
+}
+
+impl RwrStructure {
+    /// The constant-false literal code.
+    pub const FALSE: RwrLit = 0xFE;
+    /// The constant-true literal code.
+    pub const TRUE: RwrLit = 0xFF;
+
+    /// The AND steps, in build order (operands of step `i` reference
+    /// only leaves and steps `< i`).
+    pub fn steps(&self) -> &[(RwrLit, RwrLit)] {
+        &self.steps
+    }
+
+    /// The output literal.
+    pub fn out(&self) -> RwrLit {
+        self.out
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Decodes an operand literal.
+    pub fn decode(lit: RwrLit) -> RwrOperand {
+        match lit {
+            Self::FALSE => RwrOperand::Const(false),
+            Self::TRUE => RwrOperand::Const(true),
+            _ => {
+                let idx = (lit >> 1) as usize;
+                let compl = lit & 1 == 1;
+                if idx < RWR_VARS {
+                    RwrOperand::Leaf(idx, compl)
+                } else {
+                    RwrOperand::Step(idx - RWR_VARS, compl)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the structure over four leaf words (the check used by
+    /// the test-suite; leaves beyond the function's support are
+    /// ignored).
+    pub fn eval16(&self, leaves: [u16; 4]) -> u16 {
+        let lit_val = |vals: &[u16], l: RwrLit| -> u16 {
+            match Self::decode(l) {
+                RwrOperand::Const(b) => {
+                    if b {
+                        !0
+                    } else {
+                        0
+                    }
+                }
+                RwrOperand::Leaf(i, c) => leaves[i] ^ if c { !0 } else { 0 },
+                RwrOperand::Step(i, c) => vals[i] ^ if c { !0 } else { 0 },
+            }
+        };
+        let mut vals: Vec<u16> = Vec::with_capacity(self.steps.len());
+        for &(a, b) in &self.steps {
+            let v = lit_val(&vals, a) & lit_val(&vals, b);
+            vals.push(v);
+        }
+        lit_val(&vals, self.out)
+    }
+}
+
+/// A library hit: the class structure plus the transform mapping the
+/// queried function onto the class representative
+/// (`transform.apply(query) == canonical`). To realize the query,
+/// structure input position `transform.perm(i)` must be driven by leaf
+/// `i` of the query, complemented iff `transform.input_flipped(i)`,
+/// and the output complemented iff `transform.output_flipped()`.
+#[derive(Debug, Clone)]
+pub struct RwrMatch<'a> {
+    /// The class structure.
+    pub structure: &'a RwrStructure,
+    /// Transform from the queried function to the canonical form.
+    pub transform: NpnTransform,
+}
+
+/// The precomputed per-NPN-class structure library (see module docs).
+#[derive(Debug)]
+pub struct RwrLibrary {
+    entries: HashMap<u16, RwrStructure>,
+    exact: usize,
+}
+
+impl RwrLibrary {
+    /// The process-wide library, built on first use.
+    pub fn global() -> &'static RwrLibrary {
+        static LIB: OnceLock<RwrLibrary> = OnceLock::new();
+        LIB.get_or_init(RwrLibrary::build)
+    }
+
+    /// Number of NPN classes stored (222 for 4 variables).
+    pub fn num_classes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of classes whose structure came from the exact
+    /// enumeration (the rest use decomposition fallbacks).
+    pub fn num_exact(&self) -> usize {
+        self.exact
+    }
+
+    /// Looks up the structure for a function given as a replicated
+    /// truth-table word over at most 4 variables (the form cut
+    /// enumeration produces) — see [`RwrMatch`] for how to apply it.
+    pub fn lookup_word(&self, word: u64) -> RwrMatch<'_> {
+        let tt = TruthTable::from_bits(RWR_VARS, word);
+        let canon = npn_canonical(&tt);
+        let key = (canon.table.words()[0] & 0xFFFF) as u16;
+        let structure = self
+            .entries
+            .get(&key)
+            .expect("rewrite library covers every 4-variable NPN class");
+        RwrMatch { structure, transform: canon.transform }
+    }
+
+    fn build() -> RwrLibrary {
+        let enumeration = enumerate_exact();
+        let mut entries: HashMap<u16, RwrStructure> = HashMap::new();
+        let mut exact = 0usize;
+        let mut visited = vec![false; 1 << 16];
+        let transforms = all_transforms();
+        for t in 0..(1u32 << 16) {
+            if visited[t as usize] {
+                continue;
+            }
+            let tt = TruthTable::from_bits(RWR_VARS, t as u64);
+            // Mark the whole NPN orbit so each class is processed once.
+            for tr in &transforms {
+                let img = (tr.apply(&tt).words()[0] & 0xFFFF) as u16;
+                visited[img as usize] = true;
+            }
+            let canon = npn_canonical(&tt);
+            let key = (canon.table.words()[0] & 0xFFFF) as u16;
+            let (structure, was_exact) = synth_class(key, &enumeration);
+            debug_assert_eq!(
+                structure.eval16([0xAAAA, 0xCCCC, 0xF0F0, 0xFF00]),
+                key,
+                "class {key:#06x} structure is wrong"
+            );
+            exact += usize::from(was_exact);
+            entries.insert(key, structure);
+        }
+        RwrLibrary { entries, exact }
+    }
+}
+
+/// All 768 NPN transforms on 4 variables (24 permutations × 16 input
+/// polarities × 2 output polarities).
+fn all_transforms() -> Vec<NpnTransform> {
+    let mut perms: Vec<[usize; 4]> = Vec::with_capacity(24);
+    let mut p = [0usize, 1, 2, 3];
+    loop {
+        perms.push(p);
+        // next_permutation
+        let mut i = 3;
+        while i > 0 && p[i - 1] >= p[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            break;
+        }
+        let mut j = 3;
+        while p[j] <= p[i - 1] {
+            j -= 1;
+        }
+        p.swap(i - 1, j);
+        p[i..].reverse();
+    }
+    let mut out = Vec::with_capacity(perms.len() * 32);
+    for perm in &perms {
+        for flips in 0u8..16 {
+            for of in [false, true] {
+                out.push(NpnTransform::new(RWR_VARS, perm, flips, of));
+            }
+        }
+    }
+    out
+}
+
+const UNREACHED: u8 = u8::MAX;
+
+/// How a function was first reached during the exact enumeration.
+#[derive(Debug, Clone, Copy)]
+enum Rec {
+    /// A projection (or complemented projection) of one variable.
+    Leaf { var: u8, neg: bool },
+    /// An AND of two previously reached functions, possibly with the
+    /// output complemented.
+    Node { a: u16, b: u16, neg: bool },
+}
+
+struct Enumeration {
+    cost: Vec<u8>,
+    recs: Vec<Option<Rec>>,
+}
+
+/// Breadth-first exact enumeration: finds, for every 4-variable
+/// function reachable within `CAP` AND-tree nodes, a minimal tree.
+/// The function set is closed under complement (an AIG edge
+/// complements for free), so plain pairwise ANDs cover all input
+/// polarities.
+fn enumerate_exact() -> Enumeration {
+    const CAP: usize = 12;
+    let n = 1usize << 16;
+    let mut cost = vec![UNREACHED; n];
+    let mut recs: Vec<Option<Rec>> = vec![None; n];
+    let mut by_cost: Vec<Vec<u16>> = vec![Vec::new(); CAP + 1];
+    for (v, &w) in VAR16.iter().enumerate() {
+        for (t, neg) in [(w, false), (!w, true)] {
+            cost[t as usize] = 0;
+            recs[t as usize] = Some(Rec::Leaf { var: v as u8, neg });
+            by_cost[0].push(t);
+        }
+    }
+    for c in 1..=CAP {
+        for ca in 0..c {
+            let cb = c - 1 - ca;
+            if cb < ca {
+                break;
+            }
+            for ia in 0..by_cost[ca].len() {
+                let fa = by_cost[ca][ia];
+                for ib in 0..by_cost[cb].len() {
+                    let fb = by_cost[cb][ib];
+                    let t = fa & fb;
+                    if t == 0 || t == u16::MAX || cost[t as usize] != UNREACHED {
+                        continue;
+                    }
+                    cost[t as usize] = c as u8;
+                    recs[t as usize] = Some(Rec::Node { a: fa, b: fb, neg: false });
+                    by_cost[c].push(t);
+                    let nt = !t;
+                    if cost[nt as usize] == UNREACHED {
+                        cost[nt as usize] = c as u8;
+                        recs[nt as usize] = Some(Rec::Node { a: fa, b: fb, neg: true });
+                        by_cost[c].push(nt);
+                    }
+                }
+            }
+        }
+    }
+    Enumeration { cost, recs }
+}
+
+/// Structural-hashing mini-builder the structures are compiled with:
+/// steps dedupe by operand pair and the trivial AND rules apply, so
+/// no structure carries constant or duplicated steps.
+struct MiniAig {
+    steps: Vec<(RwrLit, RwrLit)>,
+    strash: HashMap<(RwrLit, RwrLit), RwrLit>,
+}
+
+impl MiniAig {
+    fn new() -> MiniAig {
+        MiniAig { steps: Vec::new(), strash: HashMap::new() }
+    }
+
+    fn and(&mut self, a: RwrLit, b: RwrLit) -> RwrLit {
+        const F: RwrLit = RwrStructure::FALSE;
+        const T: RwrLit = RwrStructure::TRUE;
+        if a == F || b == F {
+            return F;
+        }
+        if a == T {
+            return b;
+        }
+        if b == T || a == b {
+            return a;
+        }
+        if a ^ b == 1 {
+            return F;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&l) = self.strash.get(&key) {
+            return l;
+        }
+        let lit = ((RWR_VARS + self.steps.len()) as u8) << 1;
+        self.steps.push(key);
+        self.strash.insert(key, lit);
+        lit
+    }
+
+    fn or(&mut self, a: RwrLit, b: RwrLit) -> RwrLit {
+        self.and(a ^ 1, b ^ 1) ^ 1
+    }
+
+    fn xor(&mut self, a: RwrLit, b: RwrLit) -> RwrLit {
+        let n0 = self.and(a, b ^ 1);
+        let n1 = self.and(a ^ 1, b);
+        self.or(n0, n1)
+    }
+}
+
+/// Builds the structure of one canonical function.
+fn synth_class(key: u16, e: &Enumeration) -> (RwrStructure, bool) {
+    if key == 0 {
+        return (RwrStructure { steps: Vec::new(), out: RwrStructure::FALSE }, true);
+    }
+    if e.cost[key as usize] != UNREACHED {
+        let mut mini = MiniAig::new();
+        let mut memo = HashMap::new();
+        let out = build_rec(key, e, &mut mini, &mut memo);
+        return (RwrStructure { steps: mini.steps, out }, true);
+    }
+    // Beyond the enumeration budget: best of Shannon/XOR decomposition
+    // and the two factored-SOP phases.
+    let mut best: Option<RwrStructure> = None;
+    let mut consider = |s: RwrStructure| {
+        if best.as_ref().map(|b| s.num_ands() < b.num_ands()).unwrap_or(true) {
+            best = Some(s);
+        }
+    };
+    {
+        let mut mini = MiniAig::new();
+        let mut memo = HashMap::new();
+        let out = decompose(key, e, &mut mini, &mut memo);
+        consider(RwrStructure { steps: mini.steps, out });
+    }
+    let tt = TruthTable::from_bits(RWR_VARS, key as u64);
+    for (expr, out_neg) in [(factor(&isop(&tt)), false), (factor(&isop(&!&tt)), true)] {
+        let mut mini = MiniAig::new();
+        let out = compile_expr(&expr, &mut mini);
+        consider(RwrStructure { steps: mini.steps, out: out ^ out_neg as u8 });
+    }
+    (best.expect("at least one fallback candidate"), false)
+}
+
+/// Replays the enumeration's recipe for `t` into `mini`, sharing
+/// repeated sub-functions through `memo`.
+fn build_rec(t: u16, e: &Enumeration, mini: &mut MiniAig, memo: &mut HashMap<u16, RwrLit>) -> RwrLit {
+    if let Some(&l) = memo.get(&t) {
+        return l;
+    }
+    let lit = match e.recs[t as usize].expect("function reached by enumeration") {
+        Rec::Leaf { var, neg } => (var << 1) | neg as u8,
+        Rec::Node { a, b, neg } => {
+            let la = build_rec(a, e, mini, memo);
+            let lb = build_rec(b, e, mini, memo);
+            mini.and(la, lb) ^ neg as u8
+        }
+    };
+    memo.insert(t, lit);
+    memo.insert(!t, lit ^ 1);
+    lit
+}
+
+const VAR16: [u16; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+
+fn cof0(t: u16, v: usize) -> u16 {
+    let lo = t & !VAR16[v];
+    lo | (lo << (1 << v))
+}
+
+fn cof1(t: u16, v: usize) -> u16 {
+    let hi = t & VAR16[v];
+    hi | (hi >> (1 << v))
+}
+
+/// Shannon/XOR-aware recursive decomposition for functions beyond the
+/// enumeration budget; reaches back into the enumeration for any
+/// sub-function it already covers.
+fn decompose(t: u16, e: &Enumeration, mini: &mut MiniAig, memo: &mut HashMap<u16, RwrLit>) -> RwrLit {
+    if t == 0 {
+        return RwrStructure::FALSE;
+    }
+    if t == u16::MAX {
+        return RwrStructure::TRUE;
+    }
+    if let Some(&l) = memo.get(&t) {
+        return l;
+    }
+    if e.cost[t as usize] != UNREACHED {
+        return build_rec(t, e, mini, memo);
+    }
+    let mut split = None;
+    for v in 0..RWR_VARS {
+        let (c0, c1) = (cof0(t, v), cof1(t, v));
+        if c0 == c1 {
+            continue; // independent of v
+        }
+        if c0 == !c1 {
+            // t = v ⊕ cof0: peel the XOR.
+            let sub = decompose(c0, e, mini, memo);
+            let lit = mini.xor((v as u8) << 1, sub);
+            memo.insert(t, lit);
+            memo.insert(!t, lit ^ 1);
+            return lit;
+        }
+        if split.is_none() {
+            split = Some(v);
+        }
+    }
+    let v = split.expect("non-constant function depends on some variable");
+    let (c0, c1) = (cof0(t, v), cof1(t, v));
+    let l1 = decompose(c1, e, mini, memo);
+    let l0 = decompose(c0, e, mini, memo);
+    let hi = mini.and((v as u8) << 1, l1);
+    let lo = mini.and((v as u8) << 1 | 1, l0);
+    let lit = mini.or(hi, lo);
+    memo.insert(t, lit);
+    memo.insert(!t, lit ^ 1);
+    lit
+}
+
+fn compile_expr(expr: &Expr, mini: &mut MiniAig) -> RwrLit {
+    match expr {
+        Expr::Const(b) => {
+            if *b {
+                RwrStructure::TRUE
+            } else {
+                RwrStructure::FALSE
+            }
+        }
+        Expr::Var(v) => *v << 1,
+        Expr::Not(inner) => compile_expr(inner, mini) ^ 1,
+        Expr::And(es) => {
+            let lits: Vec<RwrLit> = es.iter().map(|e| compile_expr(e, mini)).collect();
+            lits.into_iter().reduce(|a, b| mini.and(a, b)).unwrap_or(RwrStructure::TRUE)
+        }
+        Expr::Or(es) => {
+            let lits: Vec<RwrLit> = es.iter().map(|e| compile_expr(e, mini)).collect();
+            lits.into_iter().reduce(|a, b| mini.or(a, b)).unwrap_or(RwrStructure::FALSE)
+        }
+        Expr::Xor(es) => {
+            let lits: Vec<RwrLit> = es.iter().map(|e| compile_expr(e, mini)).collect();
+            lits.into_iter().reduce(|a, b| mini.xor(a, b)).unwrap_or(RwrStructure::FALSE)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_all_222_classes() {
+        let lib = RwrLibrary::global();
+        assert_eq!(lib.num_classes(), 222);
+        // The exact enumeration should cover the overwhelming majority.
+        assert!(lib.num_exact() >= 200, "only {} exact classes", lib.num_exact());
+    }
+
+    #[test]
+    fn every_entry_computes_its_class_function() {
+        let lib = RwrLibrary::global();
+        for (&key, s) in &lib.entries {
+            assert_eq!(s.eval16(VAR16), key, "class {key:#06x}");
+        }
+    }
+
+    #[test]
+    fn lookup_transform_realizes_the_query() {
+        // For a batch of random functions: wiring the structure per the
+        // returned transform must reproduce the function exactly.
+        let lib = RwrLibrary::global();
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let f = (state & 0xFFFF) as u16;
+            let m = lib.lookup_word(TruthTable::from_bits(4, f as u64).words()[0]);
+            // Structure input position perm(i) carries the query's
+            // variable i, complemented per the transform.
+            let t = &m.transform;
+            let mut leaves = [0u16; 4];
+            for i in 0..4 {
+                leaves[t.perm(i)] = VAR16[i] ^ if t.input_flipped(i) { !0 } else { 0 };
+            }
+            let mut got = m.structure.eval16(leaves);
+            if t.output_flipped() {
+                got = !got;
+            }
+            assert_eq!(got, f, "function {f:#06x}");
+        }
+    }
+
+    #[test]
+    fn cheap_classes_get_optimal_structures() {
+        let lib = RwrLibrary::global();
+        // AND2 class: a single node.
+        let and2 = TruthTable::from_bits(4, 0x8888);
+        assert_eq!(lib.lookup_word(and2.words()[0]).structure.num_ands(), 1);
+        // XOR2 class: three nodes.
+        let xor2 = TruthTable::from_bits(4, 0x6666);
+        assert_eq!(lib.lookup_word(xor2.words()[0]).structure.num_ands(), 3);
+        // MUX class: three nodes.
+        let mux = TruthTable::from_fn(4, |m| {
+            if m & 1 != 0 {
+                m & 2 != 0
+            } else {
+                m & 4 != 0
+            }
+        });
+        assert_eq!(lib.lookup_word(mux.words()[0]).structure.num_ands(), 3);
+        // Constant class: no nodes.
+        assert_eq!(lib.lookup_word(0).structure.num_ands(), 0);
+    }
+}

@@ -54,6 +54,19 @@ pub fn replicate(nvars: usize, low: u64) -> u64 {
     w
 }
 
+/// Complements variable `v` of the function: `flip_var(tt, v)` is
+/// `tt` with the two `v`-cofactors exchanged (an involution). The word
+/// analogue of [`crate::TruthTable::flip_var`].
+///
+/// # Panics
+///
+/// Panics if `v >= MAX_WORD_VARS`.
+pub fn flip_var(tt: u64, v: usize) -> u64 {
+    let m = VAR_MASKS[v];
+    let s = 1u32 << v;
+    ((tt & m) >> s) | ((tt & !m) << s)
+}
+
 /// True iff the function depends on variable `v < MAX_WORD_VARS`.
 pub fn depends_on(tt: u64, v: usize) -> bool {
     let m = VAR_MASKS[v];
@@ -163,6 +176,16 @@ mod tests {
     fn expand_identity_fast_path() {
         let f = replicate(3, 0b1011_0010);
         assert_eq!(expand(f, &[0, 1, 2], 3), f);
+    }
+
+    #[test]
+    fn flip_var_matches_truth_table_flip() {
+        let f = TruthTable::from_bits(4, 0x6A3C);
+        let w = f.words()[0];
+        for v in 0..4 {
+            assert_eq!(flip_var(w, v), f.flip_var(v).words()[0]);
+            assert_eq!(flip_var(flip_var(w, v), v), w, "involution");
+        }
     }
 
     #[test]

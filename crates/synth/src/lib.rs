@@ -3,10 +3,29 @@
 //! This crate stands in for the optimization half of ABC in the
 //! DATE'09 flow: the paper synthesizes its benchmarks with the
 //! `resyn2rs` script before mapping them onto the CNTFET/CMOS
-//! libraries. The same structure is provided here: depth-driven
-//! [`balance`], area-driven cut [`rewrite`]/[`refactor`] built on
-//! ISOP + algebraic factoring, and the [`resyn2rs`] script combining
-//! them.
+//! libraries. Since PR 5 the engine is *in-place and DAG-aware*,
+//! built on the same substrate as the technology mapper:
+//!
+//! * **[`Pass`] / [`Script`]** — passes edit one graph through
+//!   [`cntfet_aig::Aig::replace_node`] instead of rebuilding it; the
+//!   script runner collects per-pass stats and timing and offers a CEC
+//!   self-check hook.
+//! * **[`Rewrite`]** — true NPN-class rewriting over `CutArena`
+//!   priority cuts: cut functions are looked up in the precomputed
+//!   structure library ([`cntfet_boolfn::RwrLibrary`], one
+//!   near-optimal AIG per 4-input NPN class) and applied when the
+//!   exact gain — MFFC freed minus nodes added, dry-costed against the
+//!   strash — is positive (`zero_cost` accepts break-even
+//!   perturbations).
+//! * **[`Refactor`]** — the same gain machinery over wide cuts with
+//!   ISOP + algebraic factoring, both phases.
+//! * **[`Balance`]** — in-place Huffman balancing of single-fanout
+//!   AND trees.
+//! * **[`resyn2rs`] / [`quick_opt`]** — the paper's scripts as round
+//!   loops over [`Script::resyn2rs`] / [`Script::quick`] with a
+//!   never-worse `(ands, depth)` guard; [`SynthOptions`] selects
+//!   rounds, self-checking and the engine ([`SynthEngine::Seed`] keeps
+//!   the rebuild-based seed engine for comparisons — see [`seed`]).
 //!
 //! Every pass is function-preserving; the test-suite certifies each
 //! one with SAT-based equivalence checking ([`cntfet_aig`]).
@@ -30,12 +49,72 @@
 //! assert!(equivalent(&g, &opt));
 //! assert!(opt.depth() <= 3);
 //! ```
+//!
+//! Custom pass sequences run through the framework directly:
+//!
+//! ```
+//! use cntfet_aig::Aig;
+//! use cntfet_synth::{Balance, Rewrite, Script};
+//!
+//! let mut g = Aig::new("t");
+//! let pis = g.add_pis(6);
+//! let x = g.xor_many(&pis);
+//! g.add_po(x);
+//!
+//! let report = Script::new()
+//!     .then(Balance)
+//!     .then(Rewrite::new(false))
+//!     .run(&mut g);
+//! assert_eq!(report.passes.len(), 2);
+//! assert!(report.passes[0].time <= report.total_time());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod passes;
+mod balance;
+mod dry;
+mod pass;
+mod refactor;
+mod rewrite;
 mod script;
+pub mod seed;
 
-pub use passes::{balance, cleanup, refactor, rewrite};
-pub use script::{quick_opt, resyn2rs, AigStats};
+pub use balance::{balance_inplace, Balance};
+pub use pass::{AigStats, Pass, PassStats, Script, ScriptReport};
+pub use refactor::{refactor_inplace, Refactor};
+pub use rewrite::{rewrite_inplace, Rewrite};
+pub use script::{
+    quick_opt, quick_opt_with, resyn2rs, resyn2rs_with, SynthEngine, SynthOptions,
+};
+
+use cntfet_aig::Aig;
+
+/// Balances AND trees to minimize depth (functional wrapper around
+/// the in-place [`Balance`] pass; the input is left untouched).
+pub fn balance(aig: &Aig) -> Aig {
+    let mut out = aig.compact();
+    balance_inplace(&mut out);
+    out
+}
+
+/// DAG-aware 4-cut NPN rewriting (functional wrapper around the
+/// in-place [`Rewrite`] pass).
+pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
+    let mut out = aig.compact();
+    rewrite_inplace(&mut out, zero_cost);
+    out
+}
+
+/// Wide-cut refactoring (functional wrapper around the in-place
+/// [`Refactor`] pass).
+pub fn refactor(aig: &Aig, k: usize, zero_cost: bool) -> Aig {
+    let mut out = aig.compact();
+    refactor_inplace(&mut out, k, zero_cost);
+    out
+}
+
+/// Removes dangling logic.
+pub fn cleanup(aig: &Aig) -> Aig {
+    aig.compact()
+}

@@ -1,51 +1,111 @@
-//! Synthesis scripts: fixed sequences of optimization passes in the
-//! spirit of ABC's `resyn2rs`, which the paper runs before technology
-//! mapping (Sec. 4.4).
+//! Synthesis entry points: `resyn2rs`/`quick_opt` as scripts over the
+//! pass framework, with a never-worse guard and selectable engine.
 
-use crate::passes::{balance, refactor, rewrite};
+use crate::pass::{AigStats, Script};
+use crate::seed;
 use cntfet_aig::Aig;
 
-/// Statistics snapshot of an AIG.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AigStats {
-    /// Number of AND nodes.
-    pub ands: usize,
-    /// Logic depth.
-    pub depth: u32,
+/// Which synthesis engine runs the script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthEngine {
+    /// The in-place DAG-aware engine (priority cuts + NPN structure
+    /// library + MFFC gain accounting).
+    #[default]
+    InPlace,
+    /// The seed-era rebuild-based engine ([`crate::seed`]), kept for
+    /// old-vs-new comparisons.
+    Seed,
 }
 
-impl AigStats {
-    /// Captures the stats of an AIG.
-    pub fn of(aig: &Aig) -> AigStats {
-        AigStats { ands: aig.num_ands(), depth: aig.depth() }
+/// Options of [`resyn2rs_with`] / [`quick_opt_with`].
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_aig::{equivalent, Aig};
+/// use cntfet_synth::{resyn2rs_with, SynthEngine, SynthOptions};
+///
+/// let mut g = Aig::new("chain");
+/// let pis = g.add_pis(8);
+/// let mut acc = pis[0];
+/// for &p in &pis[1..] {
+///     acc = g.and(acc, p);
+/// }
+/// g.add_po(acc);
+///
+/// // One self-checked round of the in-place engine.
+/// let opts = SynthOptions { rounds: 1, self_check: true, ..Default::default() };
+/// let opt = resyn2rs_with(&g, &opts);
+/// assert!(equivalent(&g, &opt));
+/// assert!(opt.depth() <= 3);
+///
+/// // The seed engine remains selectable for comparisons.
+/// let baseline = resyn2rs_with(&g, &SynthOptions { engine: SynthEngine::Seed, ..Default::default() });
+/// assert!(opt.num_ands() <= baseline.num_ands());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthOptions {
+    /// Engine selection.
+    pub engine: SynthEngine,
+    /// Maximum script rounds (each round runs the full pass sequence;
+    /// iteration stops early once a round stops improving).
+    pub rounds: usize,
+    /// Run the CEC self-check hook after every pass (expensive;
+    /// intended for tests and debugging).
+    pub self_check: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions { engine: SynthEngine::InPlace, rounds: 4, self_check: false }
     }
 }
 
-/// Runs a `resyn2rs`-flavoured optimization script: alternating
-/// balancing, 4-cut rewriting and wider refactoring, iterated while it
-/// keeps helping (bounded rounds).
+/// Runs the `resyn2rs`-flavoured optimization script with default
+/// options (in-place engine, 4 rounds).
 ///
-/// Returns the optimized AIG; the result is logically equivalent to
-/// the input (each pass is verified in this crate's test-suite by SAT
-/// equivalence checking).
+/// Returns an AIG logically equivalent to the input that is never
+/// worse than it in `(ands, depth)`: each round must strictly improve
+/// or its result is discarded.
 pub fn resyn2rs(aig: &Aig) -> Aig {
+    resyn2rs_with(aig, &SynthOptions::default())
+}
+
+/// [`resyn2rs`] with explicit [`SynthOptions`].
+pub fn resyn2rs_with(aig: &Aig, opts: &SynthOptions) -> Aig {
+    match opts.engine {
+        SynthEngine::Seed => seed::resyn2rs(aig),
+        SynthEngine::InPlace => run_rounds(aig, opts, Script::resyn2rs),
+    }
+}
+
+/// A light script for quick optimization (one balance + rewrite).
+pub fn quick_opt(aig: &Aig) -> Aig {
+    quick_opt_with(aig, &SynthOptions { rounds: 1, ..Default::default() })
+}
+
+/// [`quick_opt`] with explicit [`SynthOptions`].
+pub fn quick_opt_with(aig: &Aig, opts: &SynthOptions) -> Aig {
+    match opts.engine {
+        SynthEngine::Seed => seed::quick_opt(aig),
+        SynthEngine::InPlace => run_rounds(aig, opts, Script::quick),
+    }
+}
+
+/// Round loop with the never-worse guard: keeps the best `(ands,
+/// depth)` snapshot, stops as soon as a round fails to improve it.
+/// One [`Script`] instance runs all rounds, so its no-op skip state
+/// carries over — a converged graph's follow-up round costs almost
+/// nothing.
+fn run_rounds(aig: &Aig, opts: &SynthOptions, script: fn() -> Script) -> Aig {
     let mut best = aig.compact();
     let mut best_stats = AigStats::of(&best);
-    for _round in 0..4 {
-        let mut cur = balance(&best);
-        cur = rewrite(&cur, false);
-        cur = refactor(&cur, 8, false);
-        cur = balance(&cur);
-        cur = rewrite(&cur, false);
-        cur = rewrite(&cur, true);
-        cur = balance(&cur);
-        cur = refactor(&cur, 10, true);
-        cur = rewrite(&cur, true);
-        cur = balance(&cur);
+    let mut script = script().with_self_check(opts.self_check);
+    for _round in 0..opts.rounds {
+        let mut cur = best.clone();
+        script.run(&mut cur);
         let stats = AigStats::of(&cur);
-        let better = stats.ands < best_stats.ands
-            || (stats.ands == best_stats.ands && stats.depth < best_stats.depth);
-        if better {
+        if stats.better_than(&best_stats) {
             best = cur;
             best_stats = stats;
         } else {
@@ -53,12 +113,6 @@ pub fn resyn2rs(aig: &Aig) -> Aig {
         }
     }
     best
-}
-
-/// A light script for quick optimization (one balance + rewrite).
-pub fn quick_opt(aig: &Aig) -> Aig {
-    let b = balance(aig);
-    rewrite(&b, false)
 }
 
 #[cfg(test)]
@@ -93,18 +147,36 @@ mod tests {
         let g = messy_adder(6);
         let o = resyn2rs(&g);
         assert!(equivalent(&g, &o), "resyn2rs must preserve the function");
-        assert!(
-            o.num_ands() <= g.num_ands(),
-            "{} -> {}",
-            g.num_ands(),
-            o.num_ands()
-        );
+        assert!(o.num_ands() <= g.num_ands(), "{} -> {}", g.num_ands(), o.num_ands());
+    }
+
+    #[test]
+    fn in_place_never_worse_than_seed_on_messy_adders() {
+        for bits in [2usize, 4, 6] {
+            let g = messy_adder(bits);
+            let new = resyn2rs(&g);
+            let old = seed::resyn2rs(&g);
+            assert!(equivalent(&g, &new));
+            let (ns, os) = (AigStats::of(&new), AigStats::of(&old));
+            assert!(
+                ns.ands < os.ands || (ns.ands == os.ands && ns.depth <= os.depth),
+                "bits={bits}: in-place {ns:?} vs seed {os:?}"
+            );
+        }
     }
 
     #[test]
     fn quick_opt_preserves_function() {
         let g = messy_adder(4);
         let o = quick_opt(&g);
+        assert!(equivalent(&g, &o));
+    }
+
+    #[test]
+    fn self_check_mode_runs_clean() {
+        let g = messy_adder(3);
+        let opts = SynthOptions { rounds: 2, self_check: true, ..Default::default() };
+        let o = resyn2rs_with(&g, &opts);
         assert!(equivalent(&g, &o));
     }
 

@@ -1,6 +1,16 @@
-//! AIG optimization passes: tree balancing (delay) and cut-based
-//! resynthesis (area), the workhorses of the `resyn2rs`-style script
-//! the paper runs before technology mapping.
+//! The seed-era rebuild-based synthesis engine, kept as the
+//! comparison baseline for the in-place DAG-aware engine.
+//!
+//! Every pass here copies the whole AIG: [`balance`] and [`refactor`]
+//! rebuild node by node through a translation map, and [`refactor`]
+//! re-derives an implementation (ISOP + algebraic factoring) for every
+//! node's widest cut, comparing costs by *dry-building both forms into
+//! the output graph* — which leaves rejected candidates in the output
+//! strash (later candidates reusing their nodes are under-charged, so
+//! the accounting is order-dependent) and keeps dangling garbage until
+//! the final `compact()`. The in-place engine in [`crate::rewrite`] /
+//! [`crate::refactor`] fixes both; this module exists so benchmarks
+//! and the never-worse regression tests can run old vs new.
 
 use cntfet_aig::{cut_function, enumerate_cuts, Aig, Lit, NodeId};
 use cntfet_boolfn::{factor, isop, TruthTable};
@@ -157,6 +167,45 @@ pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
 /// Removes dangling logic.
 pub fn cleanup(aig: &Aig) -> Aig {
     aig.compact()
+}
+
+/// The seed `resyn2rs` sequence: alternating balancing, 4-cut
+/// rewriting and wider refactoring, iterated while it keeps helping
+/// (bounded rounds). The baseline the in-place
+/// [`crate::resyn2rs`] is measured — and guaranteed never worse —
+/// against.
+pub fn resyn2rs(aig: &Aig) -> Aig {
+    use crate::AigStats;
+    let mut best = aig.compact();
+    let mut best_stats = AigStats::of(&best);
+    for _round in 0..4 {
+        let mut cur = balance(&best);
+        cur = rewrite(&cur, false);
+        cur = refactor(&cur, 8, false);
+        cur = balance(&cur);
+        cur = rewrite(&cur, false);
+        cur = rewrite(&cur, true);
+        cur = balance(&cur);
+        cur = refactor(&cur, 10, true);
+        cur = rewrite(&cur, true);
+        cur = balance(&cur);
+        let stats = AigStats::of(&cur);
+        let better = stats.ands < best_stats.ands
+            || (stats.ands == best_stats.ands && stats.depth < best_stats.depth);
+        if better {
+            best = cur;
+            best_stats = stats;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// The seed light script (one balance + rewrite).
+pub fn quick_opt(aig: &Aig) -> Aig {
+    let b = balance(aig);
+    rewrite(&b, false)
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //! | [`core`] | `cntfet-core` | the 46 gates, 4 families, sizing + FO4 characterization |
 //! | [`sat`] | `cntfet-sat` | CDCL SAT solver |
 //! | [`aig`] | `cntfet-aig` | And-Inverter Graphs, simulation, CEC |
-//! | [`synth`] | `cntfet-synth` | balance / rewrite / refactor, `resyn2rs` script |
+//! | [`synth`] | `cntfet-synth` | in-place DAG-aware pass engine (`Pass`/`Script`), `resyn2rs` |
 //! | [`techmap`] | `cntfet-techmap` | cut-based NPN boolean matching + covering |
 //! | [`circuits`] | `cntfet-circuits` | Table 3 benchmark generators |
 //! | [`fabric`] | `cntfet-fabric` | GNOR/GNAND regular fabrics |
@@ -97,6 +97,9 @@ pub mod prelude {
     pub use cntfet_fabric::{fabric_library, place_mapping, FabricConfig};
     pub use cntfet_sat::{SolveResult, Solver};
     pub use cntfet_switchlevel::{solve, DynamicSim, Netlist, NodeState, Rank};
-    pub use cntfet_synth::{balance, refactor, resyn2rs, rewrite};
+    pub use cntfet_synth::{
+        balance, quick_opt, refactor, resyn2rs, resyn2rs_with, rewrite, AigStats, Pass, Script,
+        SynthEngine, SynthOptions,
+    };
     pub use cntfet_techmap::{map, verify_mapping, CutRank, MapOptions, MapStats, Mapping, Objective};
 }

@@ -48,6 +48,47 @@ proptest! {
         prop_assert!(o.num_ands() <= g.num_ands());
     }
 
+    /// Every synthesis pass and script of the in-place DAG-aware
+    /// engine preserves equivalence (SAT CEC) across the benchmark
+    /// suite's five circuit families (adders, multipliers,
+    /// error-correcting XOR logic, selector/ALU-style muxing, and
+    /// unstructured random logic).
+    #[test]
+    fn prop_synth_passes_preserve_equivalence(
+        family_idx in 0usize..5,
+        size in 2usize..5,
+        seed in 0u64..1000,
+        pass_idx in 0usize..7,
+    ) {
+        use cntfet_circuits::{mux_tree, parity, random_logic};
+        use cntfet_synth::{quick_opt, refactor, AigStats};
+        let g = match family_idx {
+            0 => ripple_adder(size + 2),
+            1 => array_multiplier(size),
+            2 => parity(4 * size),
+            3 => mux_tree(size),
+            _ => random_logic("prop", 4 + size, 4, seed),
+        };
+        let o = match pass_idx {
+            0 => balance(&g),
+            1 => rewrite(&g, false),
+            2 => rewrite(&g, true),
+            3 => refactor(&g, 8, false),
+            4 => refactor(&g, 10, true),
+            5 => quick_opt(&g),
+            _ => resyn2rs(&g),
+        };
+        prop_assert!(equivalent(&g, &o), "pass {pass_idx} broke family {family_idx}");
+        if pass_idx == 6 {
+            // The script's never-worse guard: (ands, depth) vs input.
+            let (si, so) = (AigStats::of(&g.compact()), AigStats::of(&o));
+            prop_assert!(
+                so.ands < si.ands || (so.ands == si.ands && so.depth <= si.depth),
+                "resyn2rs made {si:?} worse: {so:?}"
+            );
+        }
+    }
+
     /// Mapping onto any family is formally equivalent to the source.
     #[test]
     fn prop_mapping_equivalent(
