@@ -59,7 +59,7 @@ pub fn write_blif(aig: &Aig) -> String {
     let name_of = |l: Lit, aig: &Aig| -> String {
         let n = l.node();
         if aig.is_pi(n) {
-            let idx = aig.pis().iter().position(|&p| p == n).unwrap();
+            let idx = aig.pis().iter().position(|&p| p == n).expect("literal cone stops at declared PIs");
             format!("pi{idx}")
         } else {
             format!("n{}", n.index())

@@ -51,34 +51,34 @@ pub struct CutParams {
 /// Per-cut record: a slice of the arena's leaf buffer plus signature
 /// and (for `k ≤ 6`) the cut function.
 #[derive(Debug, Clone, Copy)]
-struct CutData {
+pub(crate) struct CutData {
     /// Offset of the first leaf in the arena buffer.
-    off: u32,
+    pub(crate) off: u32,
     /// Number of leaves.
-    len: u16,
+    pub(crate) len: u16,
     /// Bloom-style signature (`1 << (leaf % 64)` folded over leaves).
-    sig: u64,
+    pub(crate) sig: u64,
     /// Function of the cut's root over its leaves (leaf `i` is
     /// variable `i`), replicated-u64 form; valid iff the arena carries
     /// truth tables.
-    tt: u64,
+    pub(crate) tt: u64,
     /// Ranking cost `(primary, secondary)` the cut survived
     /// truncation with — size/depth for the builtin ranks, the
     /// oracle's (arrival, area-flow) quantization for
     /// [`CutRank::Arrival`]. Unit cuts carry `(0, 0)`.
-    cost: (u32, u32),
+    pub(crate) cost: (u32, u32),
 }
 
 /// All cuts of an AIG, arena-packed: one contiguous leaf buffer,
 /// per-node cut spans.
 #[derive(Debug)]
 pub struct CutArena {
-    k: usize,
-    has_tts: bool,
-    leaves: Vec<NodeId>,
-    cuts: Vec<CutData>,
+    pub(crate) k: usize,
+    pub(crate) has_tts: bool,
+    pub(crate) leaves: Vec<NodeId>,
+    pub(crate) cuts: Vec<CutData>,
     /// Per node: `[start, end)` into `cuts`.
-    spans: Vec<(u32, u32)>,
+    pub(crate) spans: Vec<(u32, u32)>,
 }
 
 impl CutArena {

@@ -100,6 +100,11 @@ impl Aig {
     /// Panics if no session is active.
     pub fn end_edit(&mut self) {
         assert!(self.edit.is_some(), "no editing session active");
+        #[cfg(feature = "paranoid")]
+        {
+            let r = self.check();
+            assert!(r.is_ok(), "paranoid: end_edit on a corrupt graph: {r:?}");
+        }
         self.edit = None;
     }
 
@@ -275,14 +280,15 @@ impl Aig {
                 let po = self.pos[i];
                 if po.node() == o {
                     self.pos[i] = n.negate_if(po.is_complement());
-                    let edit = self.edit.as_mut().unwrap();
+                    let edit = self.edit.as_mut().expect("session checked active on entry");
                     edit.refs[o.index()] -= 1;
                     edit.refs[n.node().index()] += 1;
                 }
             }
 
             // Patch AND fanouts, re-hashing each.
-            let fanouts = std::mem::take(&mut self.edit.as_mut().unwrap().fanouts[o.index()]);
+            let fanouts =
+                std::mem::take(&mut self.edit.as_mut().expect("session active").fanouts[o.index()]);
             for f_id in fanouts {
                 let fnode = self.nodes[f_id.index()];
                 if !fnode.is_and() || (fnode.f0.node() != o && fnode.f1.node() != o) {
@@ -295,7 +301,7 @@ impl Aig {
                 }
                 let nf0 = if f0.node() == o { n.negate_if(f0.is_complement()) } else { f0 };
                 let nf1 = if f1.node() == o { n.negate_if(f1.is_complement()) } else { f1 };
-                let edit = self.edit.as_mut().unwrap();
+                let edit = self.edit.as_mut().expect("session checked active on entry");
                 for (old_f, new_f) in [(f0, nf0), (f1, nf1)] {
                     if old_f != new_f {
                         edit.refs[o.index()] -= 1;
@@ -332,8 +338,8 @@ impl Aig {
                 }
             }
 
-            self.edit.as_mut().unwrap().fwd[o.index()] = n;
-            if self.edit.as_ref().unwrap().refs[o.index()] == 0 {
+            self.edit.as_mut().expect("session active").fwd[o.index()] = n;
+            if self.edit.as_ref().expect("session active").refs[o.index()] == 0 {
                 self.reclaim(o);
             }
         }
@@ -347,14 +353,14 @@ impl Aig {
         while let Some(x) = stack.pop() {
             let xi = x.index();
             let node = self.nodes[xi];
-            if !node.is_and() || self.edit.as_ref().unwrap().refs[xi] != 0 {
+            if !node.is_and() || self.edit.as_ref().expect("session active").refs[xi] != 0 {
                 continue;
             }
             let key = (node.f0.code(), node.f1.code());
             if self.strash.get(&key) == Some(&x) {
                 self.strash.remove(&key);
             }
-            let edit = self.edit.as_mut().unwrap();
+            let edit = self.edit.as_mut().expect("session active");
             for f in [node.f0, node.f1] {
                 let fi = f.node().index();
                 edit.refs[fi] -= 1;
@@ -364,7 +370,7 @@ impl Aig {
                 }
             }
             self.nodes[xi] = Node { f0: crate::graph::LIT_DEAD, f1: crate::graph::LIT_DEAD };
-            self.edit.as_mut().unwrap().fanouts[xi].clear();
+            self.edit.as_mut().expect("session active").fanouts[xi].clear();
         }
     }
 }

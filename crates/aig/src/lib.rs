@@ -75,6 +75,7 @@
 
 mod blif;
 mod cec;
+mod check;
 mod cuts;
 mod edit;
 mod graph;
@@ -82,6 +83,7 @@ mod sim;
 mod sweep;
 
 pub use blif::{parse_blif, write_blif, ParseBlifError};
+pub use check::CheckError;
 pub use cec::{
     check_equivalence, check_equivalence_report, equivalent, sat_lit, tseitin, CecReport,
     CecResult,

@@ -13,9 +13,9 @@ fn pigeonhole(n: usize, m: usize) -> cntfet_sat::Solver {
         s.add_clause(&c);
     }
     for hole in 0..m {
-        for i in 0..n {
-            for j in (i + 1)..n {
-                s.add_clause(&[p[i][hole].neg(), p[j][hole].neg()]);
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                s.add_clause(&[pi[hole].neg(), pj[hole].neg()]);
             }
         }
     }

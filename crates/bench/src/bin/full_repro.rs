@@ -3,11 +3,15 @@
 //! paper-vs-measured scoreboard. This is the one-shot artifact check
 //! behind EXPERIMENTS.md.
 
+use cntfet_aig::enumerate_cuts;
 use cntfet_bench::{
     compare_synth_engines, run_suite, run_suite_with, suite_averages, suite_verification_stats,
 };
-use cntfet_core::{characterize_family, enumerate_gates, family_averages, LogicFamily};
-use cntfet_techmap::{MapOptions, MapStats, Objective};
+use cntfet_circuits::paper_benchmarks;
+use cntfet_core::{characterize_family, enumerate_gates, family_averages, Library, LogicFamily};
+use cntfet_sat::Solver;
+use cntfet_synth::resyn2rs;
+use cntfet_techmap::{check_mapping, map, MapOptions, MapStats, Objective};
 
 struct Check {
     what: &'static str,
@@ -203,6 +207,67 @@ fn main() {
         what: "Synth: both engines CEC-verified per benchmark",
         paper: 0.0,
         measured: synth_unverified as f64,
+        tolerance_pct: 0.0,
+    });
+
+    // Structural invariant audit: the same checkers the `paranoid`
+    // feature threads into the engines' hot seams, run explicitly on a
+    // suite sample — synthesized graphs, cut arenas, mapped covers per
+    // family, and a solver after solving with forced DB reductions.
+    println!("\nauditing structural invariants (graph / cuts / cover / solver checkers)...");
+    let mut invariant_violations = 0usize;
+    for b in paper_benchmarks().iter().filter(|b| ["C1908", "add-16", "C6288"].contains(&b.name))
+    {
+        let opt = resyn2rs(&b.aig);
+        if let Err(e) = opt.check() {
+            invariant_violations += 1;
+            println!("  VIOLATION {}: graph: {e}", b.name);
+        }
+        let cuts = enumerate_cuts(&opt, 6, 8);
+        if let Err(e) = cuts.check(&opt) {
+            invariant_violations += 1;
+            println!("  VIOLATION {}: cut arena: {e}", b.name);
+        }
+        for family in [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            let m = map(&opt, &lib, MapOptions::default());
+            if let Err(e) = check_mapping(&opt, &m, &lib) {
+                invariant_violations += 1;
+                println!("  VIOLATION {}/{family:?}: cover: {e}", b.name);
+            }
+        }
+    }
+    {
+        // Pigeonhole (5 into 4): UNSAT with enough conflicts to learn
+        // clauses; reduce twice to force arena churn, checking after
+        // each solver step.
+        let mut s = Solver::new();
+        let v: Vec<_> = (0..20).map(|_| s.new_var()).collect();
+        for p in 0..5 {
+            let hole: Vec<_> = (0..4).map(|h| v[p * 4 + h].pos()).collect();
+            s.add_clause(&hole);
+        }
+        for h in 0..4 {
+            for p1 in 0..5 {
+                for p2 in (p1 + 1)..5 {
+                    s.add_clause(&[v[p1 * 4 + h].neg(), v[p2 * 4 + h].neg()]);
+                }
+            }
+        }
+        for round in 0..2 {
+            let _ = s.solve_limited(&[], 60);
+            s.reduce_learnts();
+            if let Err(e) = s.check() {
+                invariant_violations += 1;
+                println!("  VIOLATION solver round {round}: {e}");
+            }
+        }
+    }
+    println!("  invariant audit: {invariant_violations} violations");
+    checks.push(Check {
+        what: "Checkers: structural invariants hold",
+        paper: 0.0,
+        measured: invariant_violations as f64,
         tolerance_pct: 0.0,
     });
 

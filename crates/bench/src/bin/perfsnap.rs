@@ -27,6 +27,12 @@ fn best_ms(n: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    // Timing numbers with the invariant checkers compiled in would be
+    // garbage — refuse to record them.
+    if cfg!(feature = "paranoid") {
+        eprintln!("perfsnap: built with --features paranoid; rebuild without it for timing runs");
+        std::process::exit(2);
+    }
     println!("perfsnap: measuring synthesis, mapping and verification hot paths...");
     // Warm the per-process rewrite library (one-time build).
     let _ = cntfet_boolfn::RwrLibrary::global();

@@ -24,7 +24,7 @@ fn main() {
     let mut table1: Vec<(cntfet_boolfn::TruthTable, GateId)> = GateId::all()
         .map(|g| (np_canonical(&g.function().to_tt(6)), g))
         .collect();
-    println!("{:<6} {:<32} {}", "Gate", "Table 1 function", "enumerated as");
+    println!("{:<6} {:<32} enumerated as", "Gate", "Table 1 function");
     for (tt, desc) in &cntfet.classes {
         let gate = table1
             .iter()

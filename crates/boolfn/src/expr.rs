@@ -81,7 +81,7 @@ impl Expr {
         }
         match flat.len() {
             0 => Expr::Const(is_and),
-            1 => flat.pop().unwrap(),
+            1 => flat.pop().expect("n-ary operator list is nonempty"),
             _ => {
                 if is_and {
                     Expr::And(flat)
@@ -105,7 +105,7 @@ impl Expr {
         }
         let base = match flat.len() {
             0 => Expr::Const(false),
-            1 => flat.pop().unwrap(),
+            1 => flat.pop().expect("n-ary operator list is nonempty"),
             _ => Expr::Xor(flat),
         };
         if parity {

@@ -310,7 +310,7 @@ pub fn npn_canonical_exhaustive(f: &TruthTable) -> NpnCanon {
             break;
         }
     }
-    let (table, transform) = best.unwrap();
+    let (table, transform) = best.expect("exact NPN search always visits at least one transform");
     NpnCanon { table, transform }
 }
 

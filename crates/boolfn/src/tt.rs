@@ -357,7 +357,7 @@ impl TruthTable {
         let mut cur: Vec<usize> = (0..self.nvars).collect();
         for (i, &target) in perm.iter().enumerate() {
             // Find where variable that must end at perm[i] currently is.
-            let j = cur.iter().position(|&c| c == i).unwrap();
+            let j = cur.iter().position(|&c| c == i).expect("permutation is a bijection, i is present");
             // We want variable i (currently at slot j) to move to slot target.
             if j != target {
                 t = t.swap_vars(j, target);

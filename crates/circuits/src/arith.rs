@@ -78,7 +78,7 @@ pub fn cla_adder(n: usize) -> Aig {
         for i in 0..(hi - group) {
             sums.push(g.xor(p[i], carries[i]));
         }
-        carry = *carries.last().unwrap();
+        carry = *carries.last().expect("adder has at least one bit");
     }
     for s in sums {
         g.add_po(s);
@@ -112,17 +112,17 @@ pub fn array_multiplier(n: usize) -> Aig {
     for col in 0..(2 * n) {
         while columns[col].len() > 1 {
             if columns[col].len() >= 3 {
-                let x = columns[col].pop_front().unwrap();
-                let y = columns[col].pop_front().unwrap();
-                let z = columns[col].pop_front().unwrap();
+                let x = columns[col].pop_front().expect("column holds three summands");
+                let y = columns[col].pop_front().expect("column holds three summands");
+                let z = columns[col].pop_front().expect("column holds three summands");
                 let (s, c) = full_adder(&mut g, x, y, z);
                 columns[col].push_back(s);
                 if col + 1 < 2 * n {
                     columns[col + 1].push_back(c);
                 }
             } else {
-                let x = columns[col].pop_front().unwrap();
-                let y = columns[col].pop_front().unwrap();
+                let x = columns[col].pop_front().expect("column holds two summands");
+                let y = columns[col].pop_front().expect("column holds two summands");
                 let s = g.xor(x, y);
                 let c = g.and(x, y);
                 columns[col].push_back(s);

@@ -101,9 +101,9 @@ pub fn majority(n: usize) -> Aig {
     while k < bits.len() {
         while bits[k].len() > 1 {
             if bits[k].len() >= 3 {
-                let x = bits[k].pop().unwrap();
-                let y = bits[k].pop().unwrap();
-                let z = bits[k].pop().unwrap();
+                let x = bits[k].pop().expect("level holds three candidates");
+                let y = bits[k].pop().expect("level holds three candidates");
+                let z = bits[k].pop().expect("level holds three candidates");
                 let (s, c) = crate::arith::full_adder(&mut g, x, y, z);
                 bits[k].push(s);
                 if bits.len() == k + 1 {
@@ -111,8 +111,8 @@ pub fn majority(n: usize) -> Aig {
                 }
                 bits[k + 1].push(c);
             } else {
-                let x = bits[k].pop().unwrap();
-                let y = bits[k].pop().unwrap();
+                let x = bits[k].pop().expect("level holds two candidates");
+                let y = bits[k].pop().expect("level holds two candidates");
                 let s = g.xor(x, y);
                 let c = g.and(x, y);
                 bits[k].push(s);

@@ -148,7 +148,7 @@ pub fn np_canonical(tt: &TruthTable) -> TruthTable {
             break;
         }
     }
-    best.unwrap()
+    best.expect("every gate function admits at least one network within the bound")
 }
 
 fn next_permutation(p: &mut [usize]) -> bool {

@@ -20,7 +20,7 @@ pub struct Fabric {
 impl Fabric {
     /// Block kind at a grid position.
     pub fn kind_at(&self, _row: usize, col: usize) -> BlockKind {
-        if col % 2 == 0 {
+        if col.is_multiple_of(2) {
             BlockKind::Gnor
         } else {
             BlockKind::Gnand

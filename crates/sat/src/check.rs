@@ -1,0 +1,566 @@
+//! Structural invariant checking for [`Solver`] — validates the flat
+//! clause arena, the two-watched-literal scheme, and the
+//! trail/reason/level bookkeeping that conflict analysis assumes.
+//!
+//! The arena is compacted under live watches ([`Solver::reduce_learnts`]
+//! and the automatic GC inside reduction), which is exactly where a
+//! stale `ClauseRef` or an untranslated reason pointer would corrupt
+//! the search silently. [`Solver::check`] makes those contracts
+//! executable; under the `paranoid` cargo feature it runs after every
+//! learnt-database reduction and garbage collection.
+
+use crate::clause_db::{ClauseRef, DELETED_BIT, HEADER_WORDS, LEARNT_BIT, REF_NONE};
+use crate::{Assign, Solver};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A violated solver invariant, naming the offending clause/variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckError {
+    /// The per-variable state vectors disagree in length.
+    StateSize {
+        /// The variable count (`assigns.len()`).
+        vars: usize,
+    },
+    /// The watch table does not have two slots per variable.
+    WatchTableSize {
+        /// Expected slot count (`2 * vars`).
+        expected: usize,
+        /// Actual slot count.
+        actual: usize,
+    },
+    /// An arena header describes a clause that is too short or runs
+    /// past the end of the arena.
+    HeaderCorrupt {
+        /// Arena offset of the bad header.
+        offset: u32,
+    },
+    /// The arena's deleted-word accounting disagrees with its headers.
+    WastedMismatch {
+        /// Stored wasted-word count.
+        stored: usize,
+        /// Count recomputed from the headers.
+        actual: usize,
+    },
+    /// The live problem-clause count disagrees with the headers.
+    ProblemCountMismatch {
+        /// Stored count.
+        stored: usize,
+        /// Count recomputed from the headers.
+        actual: usize,
+    },
+    /// `stats.learnts` disagrees with the live learnt clauses.
+    LearntCountMismatch {
+        /// Stored count.
+        stored: u64,
+        /// Count recomputed from the headers.
+        actual: u64,
+    },
+    /// A watcher references an offset that is not a clause header.
+    WatchBadRef {
+        /// The watcher's clause reference.
+        cref: ClauseRef,
+    },
+    /// A watcher references a deleted clause.
+    WatchDeleted {
+        /// The deleted clause.
+        cref: ClauseRef,
+    },
+    /// A watcher sits in the list of a literal the clause does not
+    /// watch (the watched literals must be in slots 0/1).
+    WatchWrongSlot {
+        /// The clause.
+        cref: ClauseRef,
+    },
+    /// A live clause does not have exactly one watcher per watched
+    /// literal (slots 0 and 1).
+    WatchCountWrong {
+        /// The clause.
+        cref: ClauseRef,
+        /// Watchers found for it across the whole table.
+        found: usize,
+    },
+    /// An assigned variable's reason is not a live clause.
+    ReasonBadRef {
+        /// The variable.
+        var: usize,
+    },
+    /// A reason clause does not keep its implied literal in slot 0, or
+    /// that literal is not assigned true.
+    ReasonSlot {
+        /// The implied variable.
+        var: usize,
+    },
+    /// A reason clause has a non-implied literal that is unfalsified
+    /// or was assigned above the implied literal's level.
+    ReasonLevel {
+        /// The implied variable.
+        var: usize,
+    },
+    /// An unassigned variable retains a stale reason pointer (GC would
+    /// translate it through a forwarding table it is not part of).
+    ReasonStale {
+        /// The variable.
+        var: usize,
+    },
+    /// A trail entry is not assigned true, or a variable's recorded
+    /// level is inconsistent with the trail section it sits in.
+    TrailInconsistent {
+        /// Trail position of the offending entry.
+        pos: usize,
+    },
+    /// An assigned variable does not appear on the trail.
+    AssignNotOnTrail {
+        /// The variable.
+        var: usize,
+    },
+    /// The propagation head runs past the trail.
+    QheadOutOfRange {
+        /// The stored head.
+        qhead: usize,
+        /// The trail length.
+        trail: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CheckError::StateSize { vars } => {
+                write!(f, "per-variable state vectors disagree with {vars} vars")
+            }
+            CheckError::WatchTableSize { expected, actual } => {
+                write!(f, "watch table has {actual} slots, expected {expected}")
+            }
+            CheckError::HeaderCorrupt { offset } => {
+                write!(f, "arena header at {offset} is corrupt")
+            }
+            CheckError::WastedMismatch { stored, actual } => {
+                write!(f, "wasted words: {stored} stored, {actual} actual")
+            }
+            CheckError::ProblemCountMismatch { stored, actual } => {
+                write!(f, "problem clauses: {stored} stored, {actual} actual")
+            }
+            CheckError::LearntCountMismatch { stored, actual } => {
+                write!(f, "learnt clauses: {stored} stored, {actual} actual")
+            }
+            CheckError::WatchBadRef { cref } => {
+                write!(f, "watcher references non-clause offset {cref}")
+            }
+            CheckError::WatchDeleted { cref } => {
+                write!(f, "watcher references deleted clause {cref}")
+            }
+            CheckError::WatchWrongSlot { cref } => {
+                write!(f, "clause {cref} watched by a literal outside slots 0/1")
+            }
+            CheckError::WatchCountWrong { cref, found } => {
+                write!(f, "clause {cref} has {found} watchers, expected 2")
+            }
+            CheckError::ReasonBadRef { var } => {
+                write!(f, "var {var}: reason is not a live clause")
+            }
+            CheckError::ReasonSlot { var } => {
+                write!(f, "var {var}: reason clause does not imply it from slot 0")
+            }
+            CheckError::ReasonLevel { var } => {
+                write!(f, "var {var}: reason clause is not level-consistent")
+            }
+            CheckError::ReasonStale { var } => {
+                write!(f, "var {var}: unassigned but keeps a reason pointer")
+            }
+            CheckError::TrailInconsistent { pos } => {
+                write!(f, "trail position {pos} is inconsistent")
+            }
+            CheckError::AssignNotOnTrail { var } => {
+                write!(f, "var {var}: assigned but missing from the trail")
+            }
+            CheckError::QheadOutOfRange { qhead, trail } => {
+                write!(f, "qhead {qhead} past trail of length {trail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl Solver {
+    /// Validates the solver's structural invariants: well-formed arena
+    /// headers with exact waste/problem/learnt accounting, watch lists
+    /// referencing live clauses through their slot-0/1 literals (each
+    /// live clause watched exactly twice), reasons that are live,
+    /// imply their variable from slot 0 and are level-consistent, and
+    /// a trail that agrees with the assignment and level maps.
+    ///
+    /// Returns the first violation found as a named [`CheckError`].
+    /// Read-only; `O(arena + watchers + trail)`.
+    pub fn check(&self) -> Result<(), CheckError> {
+        let n = self.num_vars();
+        if self.phase.len() != n
+            || self.level.len() != n
+            || self.reason.len() != n
+            || self.activity.len() != n
+            || self.heap_pos.len() != n
+        {
+            return Err(CheckError::StateSize { vars: n });
+        }
+        if self.watches.len() != 2 * n {
+            return Err(CheckError::WatchTableSize { expected: 2 * n, actual: self.watches.len() });
+        }
+
+        // Arena walk: collect the valid clause boundaries and re-derive
+        // the accounting the database keeps incrementally.
+        let arena = &self.clauses.arena;
+        let mut live: HashMap<ClauseRef, usize> = HashMap::new();
+        let mut deleted = std::collections::HashSet::new();
+        let mut wasted = 0usize;
+        let mut problem = 0usize;
+        let mut learnt = 0u64;
+        let mut off = 0usize;
+        while off < arena.len() {
+            let header = arena[off];
+            let size = (header >> 2) as usize;
+            let total = HEADER_WORDS + size;
+            if size < 2 || off + total > arena.len() {
+                return Err(CheckError::HeaderCorrupt { offset: off as u32 });
+            }
+            if header & DELETED_BIT != 0 {
+                wasted += total;
+                deleted.insert(off as ClauseRef);
+            } else {
+                live.insert(off as ClauseRef, size);
+                if header & LEARNT_BIT != 0 {
+                    learnt += 1;
+                } else {
+                    problem += 1;
+                }
+            }
+            off += total;
+        }
+        if wasted != self.clauses.wasted {
+            return Err(CheckError::WastedMismatch { stored: self.clauses.wasted, actual: wasted });
+        }
+        if problem != self.clauses.num_problem {
+            return Err(CheckError::ProblemCountMismatch {
+                stored: self.clauses.num_problem,
+                actual: problem,
+            });
+        }
+        if learnt != self.stats.learnts {
+            return Err(CheckError::LearntCountMismatch {
+                stored: self.stats.learnts,
+                actual: learnt,
+            });
+        }
+
+        // Watches: every watcher points at a live clause through one of
+        // its first two literals, and every live clause is watched
+        // exactly once per watched literal.
+        let mut watched: HashMap<ClauseRef, usize> = HashMap::new();
+        for (code, ws) in self.watches.iter().enumerate() {
+            let p = crate::Lit(code as u32); // falsified trigger literal
+            for w in ws {
+                if deleted.contains(&w.cref) {
+                    return Err(CheckError::WatchDeleted { cref: w.cref });
+                }
+                if !live.contains_key(&w.cref) {
+                    return Err(CheckError::WatchBadRef { cref: w.cref });
+                }
+                let watched_lit = p.negate();
+                if self.clauses.lit(w.cref, 0) != watched_lit
+                    && self.clauses.lit(w.cref, 1) != watched_lit
+                {
+                    return Err(CheckError::WatchWrongSlot { cref: w.cref });
+                }
+                *watched.entry(w.cref).or_insert(0) += 1;
+            }
+        }
+        for &cref in live.keys() {
+            let found = watched.get(&cref).copied().unwrap_or(0);
+            if found != 2 {
+                return Err(CheckError::WatchCountWrong { cref, found });
+            }
+        }
+
+        // Trail and per-variable assignment state.
+        if self.qhead > self.trail.len() {
+            return Err(CheckError::QheadOutOfRange {
+                qhead: self.qhead,
+                trail: self.trail.len(),
+            });
+        }
+        let mut on_trail = vec![false; n];
+        for (pos, &l) in self.trail.iter().enumerate() {
+            let v = l.var().index();
+            if v >= n || self.lit_value(l) != Assign::True || on_trail[v] {
+                return Err(CheckError::TrailInconsistent { pos });
+            }
+            on_trail[v] = true;
+            // The recorded level must match the trail section.
+            let lvl = self.trail_lim.partition_point(|&lim| lim <= pos) as u32;
+            if self.level[v] != lvl {
+                return Err(CheckError::TrailInconsistent { pos });
+            }
+        }
+        for (v, &is_on_trail) in on_trail.iter().enumerate() {
+            let assigned = self.assigns[v] != Assign::Undef;
+            if assigned && !is_on_trail {
+                return Err(CheckError::AssignNotOnTrail { var: v });
+            }
+            let r = self.reason[v];
+            if !assigned {
+                if r != REF_NONE {
+                    return Err(CheckError::ReasonStale { var: v });
+                }
+                continue;
+            }
+            if r == REF_NONE {
+                continue; // decision, assumption, or level-0 unit
+            }
+            let Some(&size) = live.get(&r) else {
+                return Err(CheckError::ReasonBadRef { var: v });
+            };
+            let l0 = self.clauses.lit(r, 0);
+            if l0.var().index() != v || self.lit_value(l0) != Assign::True {
+                return Err(CheckError::ReasonSlot { var: v });
+            }
+            for i in 1..size {
+                let li = self.clauses.lit(r, i);
+                if self.lit_value(li) != Assign::False
+                    || self.level[li.var().index()] > self.level[v]
+                {
+                    return Err(CheckError::ReasonLevel { var: v });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause_db::PROTECTED_BIT;
+    use crate::{SolveResult, Var, Watcher};
+
+    /// A small unsatisfiable pigeonhole instance (n+1 pigeons, n holes)
+    /// that generates plenty of learnt clauses and conflicts.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> =
+            (0..n + 1).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let c: Vec<crate::Lit> = row.iter().map(|v| v.pos()).collect();
+            s.add_clause(&c);
+        }
+        for hole in 0..n {
+            for (i, pi) in p.iter().enumerate() {
+                for pj in &p[i + 1..] {
+                    s.add_clause(&[pi[hole].neg(), pj[hole].neg()]);
+                }
+            }
+        }
+        s
+    }
+
+    fn solved_sat_instance() -> Solver {
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..24).map(|_| s.new_var()).collect();
+        for w in vs.windows(3) {
+            s.add_clause(&[w[0].pos(), w[1].neg(), w[2].pos()]);
+            s.add_clause(&[w[0].neg(), w[2].neg(), w[1].pos()]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s
+    }
+
+    #[test]
+    fn healthy_solvers_pass() {
+        let s = Solver::new();
+        assert_eq!(s.check(), Ok(()));
+
+        let mut ph = pigeonhole(5);
+        assert_eq!(ph.check(), Ok(()));
+        assert_eq!(ph.solve(&[]), SolveResult::Unsat);
+        assert_eq!(ph.check(), Ok(()));
+
+        let s = solved_sat_instance();
+        assert_eq!(s.check(), Ok(()));
+    }
+
+    #[test]
+    fn healthy_after_forced_reduce_and_gc() {
+        let mut s = pigeonhole(6);
+        let _ = s.solve_limited(&[], 200);
+        assert_eq!(s.check(), Ok(()));
+        for _ in 0..3 {
+            s.reduce_learnts();
+            assert_eq!(s.check(), Ok(()));
+            let _ = s.solve_limited(&[], 200);
+        }
+        assert_eq!(s.check(), Ok(()));
+    }
+
+    #[test]
+    fn detects_header_and_accounting_corruption() {
+        let mut s = solved_sat_instance();
+        // An impossible size in the first header.
+        let good = s.clauses.arena[0];
+        s.clauses.arena[0] = (1u32 << 20) << 2;
+        assert!(matches!(s.check(), Err(CheckError::HeaderCorrupt { offset: 0 })));
+        s.clauses.arena[0] = good;
+        assert_eq!(s.check(), Ok(()));
+
+        s.clauses.wasted += 7;
+        assert!(matches!(s.check(), Err(CheckError::WastedMismatch { .. })));
+        s.clauses.wasted -= 7;
+
+        s.clauses.num_problem += 1;
+        assert!(matches!(s.check(), Err(CheckError::ProblemCountMismatch { .. })));
+        s.clauses.num_problem -= 1;
+
+        s.stats.learnts += 1;
+        assert!(matches!(s.check(), Err(CheckError::LearntCountMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_watch_corruption() {
+        let mut s = solved_sat_instance();
+        // A watcher pointing into the middle of a clause.
+        let victim = s.watches.iter().position(|ws| !ws.is_empty()).expect("watchers exist");
+        let good = s.watches[victim][0];
+        s.watches[victim][0] = Watcher { cref: good.cref + 1, ..good };
+        let r = s.check();
+        assert!(
+            matches!(r, Err(CheckError::WatchBadRef { .. } | CheckError::HeaderCorrupt { .. })),
+            "{r:?}"
+        );
+        s.watches[victim][0] = good;
+
+        // Drop one watcher entirely: the clause is now watched once.
+        let dropped = s.watches[victim].pop().expect("nonempty");
+        assert!(matches!(s.check(), Err(CheckError::WatchCountWrong { found: 1, .. })));
+        // Re-add it under the wrong literal: count is right, slot wrong.
+        let other = (0..s.watches.len())
+            .find(|&c| {
+                let w = crate::Lit(c as u32).negate();
+                s.clauses.lit(dropped.cref, 0) != w && s.clauses.lit(dropped.cref, 1) != w
+            })
+            .expect("a non-watching literal exists");
+        s.watches[other].push(dropped);
+        assert!(matches!(s.check(), Err(CheckError::WatchWrongSlot { .. })));
+    }
+
+    #[test]
+    fn detects_watched_deleted_clause() {
+        let mut s = solved_sat_instance();
+        let cref = s.clauses.refs().next().expect("clauses exist");
+        // Delete the clause body but "forget" to detach the watchers.
+        s.clauses.delete(cref);
+        let r = s.check();
+        assert!(matches!(r, Err(CheckError::WatchDeleted { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn detects_reason_and_trail_corruption() {
+        // Solving under an assumption leaves a propagated literal with
+        // a real clause reason on the trail (the Sat trail is kept for
+        // model reads).
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]); // under a', propagates b
+        assert_eq!(s.solve(&[a.neg()]), SolveResult::Sat);
+        assert_eq!(s.check(), Ok(()));
+
+        let v = s
+            .trail
+            .iter()
+            .map(|l| l.var().index())
+            .find(|&v| s.reason[v] != REF_NONE)
+            .expect("a propagated literal with a clause reason");
+
+        let mut bad = s.clone();
+        bad.reason[v] = 1; // offset 1 is the middle of clause 0
+        assert!(matches!(bad.check(), Err(CheckError::ReasonBadRef { .. })));
+
+        let mut stale = s.clone();
+        let pos = stale.trail.iter().position(|l| l.var().index() == v).expect("on trail");
+        stale.trail.remove(pos);
+        stale.qhead = stale.trail.len();
+        assert!(matches!(stale.check(), Err(CheckError::AssignNotOnTrail { .. })));
+
+        let mut undef = s.clone();
+        undef.assigns[v] = Assign::Undef;
+        // Its trail entry is now not assigned-true.
+        assert!(matches!(undef.check(), Err(CheckError::TrailInconsistent { .. })));
+
+        let mut head = s.clone();
+        head.qhead = head.trail.len() + 1;
+        assert!(matches!(head.check(), Err(CheckError::QheadOutOfRange { .. })));
+    }
+
+    #[test]
+    fn detects_reason_slot_corruption() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.pos(), b.pos()]);
+        assert_eq!(s.solve(&[a.neg()]), SolveResult::Sat);
+        let v = s
+            .trail
+            .iter()
+            .map(|l| l.var().index())
+            .find(|&v| s.reason[v] != REF_NONE)
+            .expect("propagated literal");
+        // Swap the reason clause's literals: the implied literal leaves
+        // slot 0. Watches now disagree too, so accept either report.
+        let cref = s.reason[v];
+        s.clauses.swap_lits(cref, 0, 1);
+        let r = s.check();
+        assert!(
+            matches!(r, Err(CheckError::ReasonSlot { .. } | CheckError::WatchWrongSlot { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn detects_stale_reason_after_backtrack() {
+        let mut s = solved_sat_instance();
+        let v = (0..s.num_vars()).next().expect("vars exist");
+        s.assigns[v] = Assign::Undef;
+        let pos = s.trail.iter().position(|l| l.var().index() == v);
+        if let Some(p) = pos {
+            s.trail.remove(p);
+            s.qhead = s.trail.len();
+        }
+        s.reason[v] = 0; // stale pointer an unassigned var must not keep
+        let r = s.check();
+        assert!(
+            matches!(
+                r,
+                Err(CheckError::ReasonStale { .. } | CheckError::TrailInconsistent { .. })
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn protected_bit_does_not_trip_accounting() {
+        let mut s = pigeonhole(5);
+        let _ = s.solve_limited(&[], 100);
+        for c in s.clauses.refs().collect::<Vec<_>>() {
+            if s.clauses.is_learnt(c) {
+                s.clauses.arena[c as usize + 1] |= PROTECTED_BIT;
+            }
+        }
+        assert_eq!(s.check(), Ok(()));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CheckError::WatchDeleted { cref: 42 };
+        assert!(e.to_string().contains("42"));
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("deleted"));
+    }
+}

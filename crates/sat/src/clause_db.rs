@@ -31,20 +31,20 @@ pub(crate) type ClauseRef = u32;
 pub(crate) const REF_NONE: ClauseRef = u32::MAX;
 
 /// Words of metadata preceding the literals of every clause.
-const HEADER_WORDS: usize = 3;
+pub(crate) const HEADER_WORDS: usize = 3;
 
-const LEARNT_BIT: u32 = 0b01;
-const DELETED_BIT: u32 = 0b10;
-const PROTECTED_BIT: u32 = 1 << 31;
+pub(crate) const LEARNT_BIT: u32 = 0b01;
+pub(crate) const DELETED_BIT: u32 = 0b10;
+pub(crate) const PROTECTED_BIT: u32 = 1 << 31;
 
 /// The flat clause arena.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct ClauseDb {
-    arena: Vec<u32>,
+    pub(crate) arena: Vec<u32>,
     /// Words occupied by deleted clauses (reclaimable by [`Self::compact`]).
-    wasted: usize,
+    pub(crate) wasted: usize,
     /// Live problem (non-learnt) clauses.
-    num_problem: usize,
+    pub(crate) num_problem: usize,
 }
 
 impl ClauseDb {

@@ -55,8 +55,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod check;
 mod clause_db;
 
+pub use check::CheckError;
 use clause_db::{ClauseDb, ClauseRef, REF_NONE};
 use std::fmt;
 
@@ -199,7 +201,7 @@ impl SolverStats {
 const GLUE_LBD: u32 = 2;
 
 /// A CDCL SAT solver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     clauses: ClauseDb,
     watches: Vec<Vec<Watcher>>, // indexed by literal code
@@ -587,7 +589,7 @@ impl Solver {
             // The reason clause keeps its implied literal at slot 0.
             debug_assert_eq!(self.clauses.lit(cref, 0).var(), pv);
         }
-        learnt[0] = expanded.unwrap().negate();
+        learnt[0] = expanded.expect("binary self-subsumption matched a literal").negate();
 
         // Deep (recursive) conflict-clause minimization: a literal is
         // redundant if every path through its reason graph terminates
@@ -748,7 +750,7 @@ impl Solver {
             return None;
         }
         let top = self.heap[0];
-        let last = self.heap.pop().unwrap();
+        let last = self.heap.pop().expect("heap is nonempty when removing");
         self.heap_pos[top.index()] = HEAP_ABSENT;
         if !self.heap.is_empty() {
             self.heap[0] = last;
@@ -803,7 +805,7 @@ impl Solver {
         cands.sort_by(|&a, &b| {
             db.lbd(b)
                 .cmp(&db.lbd(a))
-                .then_with(|| db.activity(a).partial_cmp(&db.activity(b)).unwrap())
+                .then_with(|| db.activity(a).total_cmp(&db.activity(b)))
         });
         let half = cands.len() / 2;
         for &c in cands.iter().take(half) {
@@ -812,6 +814,11 @@ impl Solver {
         // Reclaim the arena once a quarter of it is tombstones.
         if self.clauses.wasted_ratio() > 0.25 {
             self.garbage_collect();
+        }
+        #[cfg(feature = "paranoid")]
+        {
+            let r = self.check();
+            assert!(r.is_ok(), "paranoid: reduce_db left a corrupt solver: {r:?}");
         }
     }
 
@@ -850,6 +857,11 @@ impl Solver {
             }
         }
         self.stats.gcs += 1;
+        #[cfg(feature = "paranoid")]
+        {
+            let r = self.check();
+            assert!(r.is_ok(), "paranoid: garbage_collect left a corrupt solver: {r:?}");
+        }
     }
 
     /// Solves the formula under the given assumptions.

@@ -27,7 +27,7 @@ impl<'a> DynamicSim<'a> {
     pub fn step(&mut self, inputs: &[bool]) -> &Solution {
         let sol = solve_with_memory(self.netlist, inputs, self.last.as_ref());
         self.last = Some(sol);
-        self.last.as_ref().unwrap()
+        self.last.as_ref().expect("evaluate() ran before state readback")
     }
 
     /// State of a node after the last step.

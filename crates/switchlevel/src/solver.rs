@@ -133,7 +133,7 @@ fn relax(
             on_devices.push(OnDevice {
                 a: d.a.index(),
                 b: d.b.index(),
-                polarity: polarity.unwrap(),
+                polarity: polarity.expect("an `on` device has resolved polarity"),
                 width: d.width,
             });
         }

@@ -60,8 +60,8 @@ pub fn balance_inplace(aig: &mut Aig) -> usize {
             .collect();
         while queue.len() > 1 {
             queue.sort_by_key(|&(level, l)| (std::cmp::Reverse(level), std::cmp::Reverse(l.code())));
-            let (_, a) = queue.pop().unwrap();
-            let (_, b) = queue.pop().unwrap();
+            let (_, a) = queue.pop().expect("balance queue keeps two entries");
+            let (_, b) = queue.pop().expect("balance queue keeps two entries");
             let n = aig.and(a, b);
             let level = level_of(aig, &mut lv, n.node());
             queue.push((level, n));

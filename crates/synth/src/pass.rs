@@ -225,6 +225,11 @@ impl Script {
                     "pass `{name}` broke equivalence (self-check)"
                 );
             }
+            #[cfg(feature = "paranoid")]
+            {
+                let r = aig.check();
+                assert!(r.is_ok(), "paranoid: pass `{name}` left a corrupt graph: {r:?}");
+            }
             if applied > 0 {
                 *version += 1;
             } else {

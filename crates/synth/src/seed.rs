@@ -79,8 +79,8 @@ pub fn balance(aig: &Aig) -> Aig {
             .collect();
         while queue.len() > 1 {
             queue.sort_by_key(|&(level, l)| (std::cmp::Reverse(level), std::cmp::Reverse(l.code())));
-            let (_, a) = queue.pop().unwrap();
-            let (_, b) = queue.pop().unwrap();
+            let (_, a) = queue.pop().expect("balance queue keeps two entries");
+            let (_, b) = queue.pop().expect("balance queue keeps two entries");
             let n = out.and(a, b);
             let level = level_of(&out, &mut lv, n);
             queue.push((level, n));
@@ -115,8 +115,8 @@ pub fn refactor(aig: &Aig, k: usize, zero_cost: bool) -> Aig {
             continue;
         }
         let (f0, f1) = aig.fanins(id);
-        let a = map[f0.node().index()].unwrap().negate_if(f0.is_complement());
-        let b = map[f1.node().index()].unwrap().negate_if(f1.is_complement());
+        let a = map[f0.node().index()].expect("topological rebuild visited fanin").negate_if(f0.is_complement());
+        let b = map[f1.node().index()].expect("topological rebuild visited fanin").negate_if(f1.is_complement());
 
         // Candidate: resynthesize the largest non-trivial cut.
         let best_cut = cuts.of(id).filter(|c| c.size() >= 2).max_by_key(|c| c.size());
@@ -153,7 +153,7 @@ pub fn refactor(aig: &Aig, k: usize, zero_cost: bool) -> Aig {
     }
 
     for &po in aig.pos() {
-        let l = map[po.node().index()].unwrap().negate_if(po.is_complement());
+        let l = map[po.node().index()].expect("rebuild covered the PO cone").negate_if(po.is_complement());
         out.add_po(l);
     }
     out.compact()

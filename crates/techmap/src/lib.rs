@@ -83,12 +83,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod check;
 mod mapper;
 mod matcher;
 mod power;
 mod verify;
 
 pub use cntfet_aig::CutRank;
+pub use check::{check_mapping, MapCheckError};
 pub use mapper::{map, MapOptions, MapStats, MappedGate, Mapping, Objective, PoBinding, Source};
 pub use matcher::{match_is_valid, CellMatch, Matcher};
 pub use power::{estimate_energy, EnergyReport};

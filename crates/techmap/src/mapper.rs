@@ -265,6 +265,11 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
     let cands = generate_cands(&ctx, &cuts, &mut matcher);
     let mut sel = run_cover(&ctx, &cands, &opts);
     let mut best = extract(&ctx, &cands, &sel);
+    #[cfg(feature = "paranoid")]
+    {
+        let r = crate::check::check_mapping(aig, &best, library);
+        assert!(r.is_ok(), "paranoid: initial cover is corrupt: {r:?}");
+    }
 
     // ---- arrival-aware delay rounds ----
     // Structural cut ranking is a poor proxy for mapped arrival: the
@@ -297,6 +302,11 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
         let new_cands = generate_cands(&ctx, &cuts, &mut matcher);
         let new_sel = run_cover(&ctx, &new_cands, &opts);
         let m = extract(&ctx, &new_cands, &new_sel);
+        #[cfg(feature = "paranoid")]
+        {
+            let r = crate::check::check_mapping(aig, &m, library);
+            assert!(r.is_ok(), "paranoid: delay-round cover is corrupt: {r:?}");
+        }
         // Accept in the objective's own order: area-first when area is
         // the sole objective (rounds reached via CutRank::Arrival),
         // delay-first otherwise — either way the kept cover dominates

@@ -3,6 +3,9 @@
 //! resolve. Each item is imported individually, so if a future PR drops
 //! or renames a re-export, the failure names exactly the missing item.
 
+// The imports are intentionally "unused": resolving them is the test.
+#![allow(unused_imports)]
+
 // The nine module aliases from the lib.rs module table.
 use ambipolar_cntfet::aig as _;
 use ambipolar_cntfet::boolfn as _;
