@@ -82,11 +82,12 @@ impl CecReport {
 }
 
 /// Decides equivalence of two narrow-input networks by complete
-/// simulation. Returns the first differing output (scanning in output
-/// order) with a distinguishing assignment.
-pub(crate) fn exhaustive_cec(a: &Aig, b: &Aig) -> CecResult {
-    let ma = SimMatrix::exhaustive(a);
-    let mb = SimMatrix::exhaustive(b);
+/// simulation (on up to `jobs` workers; `0` defers to the global
+/// [`threadpool::Jobs`]). Returns the first differing output (scanning
+/// in output order) with a distinguishing assignment.
+pub(crate) fn exhaustive_cec(a: &Aig, b: &Aig, jobs: usize) -> CecResult {
+    let ma = SimMatrix::exhaustive_jobs(a, jobs);
+    let mb = SimMatrix::exhaustive_jobs(b, jobs);
     for (o, (&la, &lb)) in a.pos().iter().zip(b.pos().iter()).enumerate() {
         for w in 0..ma.words() {
             let d = ma.lit_word(la, w) ^ mb.lit_word(lb, w);
@@ -124,7 +125,7 @@ pub fn check_equivalence_report(a: &Aig, b: &Aig) -> CecReport {
     assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
 
     if exhaustive_feasible(a, EXHAUSTIVE_MAX_PIS) && exhaustive_feasible(b, EXHAUSTIVE_MAX_PIS) {
-        return CecReport::simulation_only(exhaustive_cec(a, b));
+        return CecReport::simulation_only(exhaustive_cec(a, b, 0));
     }
 
     // Random-simulation pre-filter: cheap counterexamples first. Both

@@ -13,6 +13,7 @@
 
 use crate::graph::{Aig, NodeId};
 use cntfet_boolfn::{word, TruthTable};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Cost used to rank a node's cuts before truncating to the priority
 /// list. Smaller is better; ranking is stable, so ties keep discovery
@@ -271,123 +272,367 @@ where
     enumerate_impl(aig, params, &mut cost)
 }
 
+/// [`enumerate_cuts_with`] sharded across `jobs` worker threads (`0`
+/// resolves through [`threadpool::Jobs`]; `1` is exactly the
+/// sequential engine).
+///
+/// Nodes are grouped by topological level; within a level no node's
+/// cuts depend on another's, so workers enumerate disjoint node chunks
+/// against a read-locked snapshot of the arena and the caller splices
+/// the results back in ascending node order. Every node's cut list —
+/// leaves, functions, costs, rank order — is identical to the
+/// sequential engine's for any job count, so consumers (mapping,
+/// rewriting) produce the same result either way; only the arena's
+/// internal storage order may differ.
+///
+/// # Panics
+///
+/// Same contract as [`enumerate_cuts_with`].
+pub fn enumerate_cuts_with_jobs(aig: &Aig, params: CutParams, jobs: usize) -> CutArena {
+    assert!(
+        params.rank != CutRank::Arrival,
+        "CutRank::Arrival needs a cost oracle; use enumerate_cuts_custom"
+    );
+    let jobs = threadpool::Jobs::resolve(jobs);
+    if jobs <= 1 {
+        return enumerate_cuts_with(aig, params);
+    }
+    let levels = match params.rank {
+        CutRank::Depth => aig.levels(),
+        _ => Vec::new(),
+    };
+    let (levels, rank) = (&levels, params.rank);
+    enumerate_impl_par(aig, params, jobs, &move || {
+        move |_root: NodeId, leaves: &[NodeId], _tt: u64| match rank {
+            CutRank::Size => (leaves.len() as u32, 0),
+            CutRank::Depth => {
+                let depth = leaves.iter().map(|l| levels[l.index()]).max().unwrap_or(0);
+                (depth, leaves.len() as u32)
+            }
+            CutRank::Arrival => unreachable!(),
+        }
+    })
+}
+
+/// [`enumerate_cuts_custom`] sharded across `jobs` worker threads (`0`
+/// resolves through [`threadpool::Jobs`]). Because workers rank cuts
+/// concurrently, the oracle is supplied as a *factory*: `make_coster`
+/// runs once per worker chunk to build that worker's private oracle
+/// (e.g. a library matcher with its own memo table). The factory must
+/// be pure — every oracle it builds must return the same cost for the
+/// same `(root, leaves, function)` query — or the parallel result will
+/// not match the sequential one.
+///
+/// With `jobs ≤ 1` this is exactly [`enumerate_cuts_custom`].
+///
+/// # Panics
+///
+/// Panics if `params.k < 2`.
+pub fn enumerate_cuts_custom_jobs<C, F>(
+    aig: &Aig,
+    params: CutParams,
+    jobs: usize,
+    make_coster: C,
+) -> CutArena
+where
+    C: Fn() -> F + Sync,
+    F: FnMut(NodeId, &[NodeId], u64) -> (u32, u32),
+{
+    let jobs = threadpool::Jobs::resolve(jobs);
+    if jobs <= 1 {
+        let mut coster = make_coster();
+        return enumerate_impl(aig, params, &mut coster);
+    }
+    enumerate_impl_par(aig, params, jobs, &make_coster)
+}
+
 /// A cut-ranking oracle: `(root, sorted leaves, function word) →
 /// (primary, secondary)` cost, smaller is better.
 type CutCost<'a> = dyn FnMut(NodeId, &[NodeId], u64) -> (u32, u32) + 'a;
 
-fn enumerate_impl(aig: &Aig, params: CutParams, coster: &mut CutCost<'_>) -> CutArena {
-    let CutParams { k, max_cuts, .. } = params;
-    assert!(k >= 2, "cut size must be at least 2");
-    let has_tts = k <= word::MAX_WORD_VARS;
-    let n = aig.num_nodes();
+/// Node-local scratch recycled across the nodes one enumeration worker
+/// processes.
+#[derive(Default)]
+struct NodeScratch {
+    /// Shared leaf buffer the scratch cuts slice into.
+    sleaves: Vec<NodeId>,
+    /// Candidate cuts of the node under construction.
+    scuts: Vec<ScratchCut>,
+    /// Indices into `scuts` of the kept cuts, in rank order.
+    order: Vec<usize>,
+    /// Leaf-position scratch for `expand_cut_word`.
+    pos: Vec<usize>,
+}
 
-    let mut arena = CutArena {
+fn fresh_arena(aig: &Aig, k: usize, max_cuts: usize) -> CutArena {
+    let n = aig.num_nodes();
+    CutArena {
         k,
-        has_tts,
+        has_tts: k <= word::MAX_WORD_VARS,
         // Rough guesses: most nodes keep close to max_cuts cuts of a
         // few leaves each; growth beyond this is a single realloc.
         leaves: Vec::with_capacity(n * max_cuts.min(8) * 2),
         cuts: Vec::with_capacity(n * max_cuts.min(8)),
         spans: vec![(0, 0); n],
-    };
+    }
+}
 
-    // Node-local scratch, recycled across nodes.
-    let mut sleaves: Vec<NodeId> = Vec::new();
-    let mut scuts: Vec<ScratchCut> = Vec::new();
-    let mut order: Vec<usize> = Vec::new();
-    let mut pos: Vec<usize> = Vec::with_capacity(k);
+/// Computes the ranked non-unit cuts of AND node `id` from its fanins'
+/// cut lists in `arena`, leaving the winners in `sc.order` (indices
+/// into `sc.scuts`, rank order). Reads the arena only — callers splice
+/// the results in themselves, which is what lets level-sharded workers
+/// run this concurrently against a shared arena snapshot.
+fn compute_node_cuts(
+    arena: &CutArena,
+    aig: &Aig,
+    id: NodeId,
+    max_cuts: usize,
+    coster: &mut CutCost<'_>,
+    sc: &mut NodeScratch,
+) {
+    let k = arena.k;
+    let has_tts = arena.has_tts;
+    let (f0, f1) = aig.fanins(id);
+    sc.sleaves.clear();
+    sc.scuts.clear();
+    let (s0, e0) = arena.spans[f0.node().index()];
+    let (s1, e1) = arena.spans[f1.node().index()];
+    for i0 in s0..e0 {
+        for i1 in s1..e1 {
+            let c0 = arena.cuts[i0 as usize];
+            let c1 = arena.cuts[i1 as usize];
+            // Signature quick-reject: the popcount of the united
+            // signatures is a lower bound on the true union size.
+            if (c0.sig | c1.sig).count_ones() as usize > k {
+                continue;
+            }
+            let off = sc.sleaves.len() as u32;
+            if !merge_leaves(arena, &c0, &c1, k, &mut sc.sleaves) {
+                sc.sleaves.truncate(off as usize);
+                continue;
+            }
+            let merged = &sc.sleaves[off as usize..];
+            let len = merged.len() as u16;
+            let sig = c0.sig | c1.sig;
+            // Dominance: drop the merged cut if an existing cut is
+            // a subset of it; kill existing cuts it is a subset of.
+            let sleaves = &sc.sleaves;
+            let dominated = sc.scuts.iter().any(|s| {
+                s.alive
+                    && subset(
+                        &sleaves[s.off as usize..(s.off + s.len as u32) as usize],
+                        s.sig,
+                        merged,
+                        sig,
+                    )
+            });
+            if dominated {
+                sc.sleaves.truncate(off as usize);
+                continue;
+            }
+            let tt = if has_tts {
+                let merged = &sc.sleaves[off as usize..];
+                let ta = expand_cut_word(arena, &c0, merged, &mut sc.pos);
+                let tb = expand_cut_word(arena, &c1, merged, &mut sc.pos);
+                (ta ^ flip(f0.is_complement())) & (tb ^ flip(f1.is_complement()))
+            } else {
+                0
+            };
+            let (sleaves, scuts) = (&sc.sleaves, &mut sc.scuts);
+            let merged = &sleaves[off as usize..];
+            for s in scuts.iter_mut() {
+                if s.alive
+                    && subset(
+                        merged,
+                        sig,
+                        &sleaves[s.off as usize..(s.off + s.len as u32) as usize],
+                        s.sig,
+                    )
+                {
+                    s.alive = false;
+                }
+            }
+            let cost = coster(id, merged, tt);
+            sc.scuts.push(ScratchCut { off, len, sig, tt, cost, alive: true });
+        }
+    }
 
+    // Rank survivors (stable) and keep the best max_cuts - 1.
+    sc.order.clear();
+    let scuts = &sc.scuts;
+    sc.order.extend((0..scuts.len()).filter(|&i| scuts[i].alive));
+    sc.order.sort_by_key(|&i| scuts[i].cost);
+    sc.order.truncate(max_cuts.saturating_sub(1));
+    // The direct fanin-pair cut (the very first merge: unit ×
+    // unit) is the universal fallback every 2-input-complete
+    // library can realize — keep it even when the ranking would
+    // truncate it, so mapping never runs out of candidates. It
+    // displaces the worst-ranked survivor, keeping the per-node
+    // count within `max_cuts`.
+    if !scuts.is_empty() && scuts[0].alive && !sc.order.contains(&0) {
+        sc.order.pop();
+        sc.order.push(0);
+    }
+}
+
+/// Appends `id`'s unit cut plus its kept scratch cuts (rank order) to
+/// the arena and records the node's span.
+fn emit_node(arena: &mut CutArena, id: NodeId, sc: &NodeScratch) {
+    let start = arena.cuts.len() as u32;
+    push_unit(arena, id);
+    for &i in &sc.order {
+        let s = sc.scuts[i];
+        let off = arena.leaves.len() as u32;
+        arena
+            .leaves
+            .extend_from_slice(&sc.sleaves[s.off as usize..(s.off + s.len as u32) as usize]);
+        arena.cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt, cost: s.cost });
+    }
+    arena.spans[id.index()] = (start, arena.cuts.len() as u32);
+}
+
+fn enumerate_impl(aig: &Aig, params: CutParams, coster: &mut CutCost<'_>) -> CutArena {
+    let CutParams { k, max_cuts, .. } = params;
+    assert!(k >= 2, "cut size must be at least 2");
+    let mut arena = fresh_arena(aig, k, max_cuts);
+    let mut sc = NodeScratch::default();
     for id in aig.node_ids() {
-        let start = arena.cuts.len() as u32;
         if !aig.is_and(id) {
             // Constant node or PI: just the unit cut. The constant's
             // "function" is 0 (it never appears as an AND cut leaf —
             // structural hashing folds constant fanins away).
+            let start = arena.cuts.len() as u32;
             push_unit(&mut arena, id);
             arena.spans[id.index()] = (start, arena.cuts.len() as u32);
             continue;
         }
-
-        let (f0, f1) = aig.fanins(id);
-        sleaves.clear();
-        scuts.clear();
-        let (s0, e0) = arena.spans[f0.node().index()];
-        let (s1, e1) = arena.spans[f1.node().index()];
-        for i0 in s0..e0 {
-            for i1 in s1..e1 {
-                let c0 = arena.cuts[i0 as usize];
-                let c1 = arena.cuts[i1 as usize];
-                // Signature quick-reject: the popcount of the united
-                // signatures is a lower bound on the true union size.
-                if (c0.sig | c1.sig).count_ones() as usize > k {
-                    continue;
-                }
-                let off = sleaves.len() as u32;
-                if !merge_leaves(&arena, &c0, &c1, k, &mut sleaves) {
-                    sleaves.truncate(off as usize);
-                    continue;
-                }
-                let merged = &sleaves[off as usize..];
-                let len = merged.len() as u16;
-                let sig = c0.sig | c1.sig;
-                // Dominance: drop the merged cut if an existing cut is
-                // a subset of it; kill existing cuts it is a subset of.
-                let dominated = scuts.iter().any(|s| {
-                    s.alive && subset(&sleaves[s.off as usize..(s.off + s.len as u32) as usize], s.sig, merged, sig)
-                });
-                if dominated {
-                    sleaves.truncate(off as usize);
-                    continue;
-                }
-                let tt = if has_tts {
-                    let merged = &sleaves[off as usize..];
-                    let ta = expand_cut_word(&arena, &c0, merged, &mut pos);
-                    let tb = expand_cut_word(&arena, &c1, merged, &mut pos);
-                    (ta ^ flip(f0.is_complement())) & (tb ^ flip(f1.is_complement()))
-                } else {
-                    0
-                };
-                let merged = &sleaves[off as usize..];
-                for s in scuts.iter_mut() {
-                    if s.alive
-                        && subset(merged, sig, &sleaves[s.off as usize..(s.off + s.len as u32) as usize], s.sig)
-                    {
-                        s.alive = false;
-                    }
-                }
-                let cost = coster(id, merged, tt);
-                scuts.push(ScratchCut { off, len, sig, tt, cost, alive: true });
-            }
-        }
-
-        // Rank survivors (stable) and keep the best max_cuts - 1.
-        order.clear();
-        order.extend((0..scuts.len()).filter(|&i| scuts[i].alive));
-        order.sort_by_key(|&i| scuts[i].cost);
-        order.truncate(max_cuts.saturating_sub(1));
-        // The direct fanin-pair cut (the very first merge: unit ×
-        // unit) is the universal fallback every 2-input-complete
-        // library can realize — keep it even when the ranking would
-        // truncate it, so mapping never runs out of candidates. It
-        // displaces the worst-ranked survivor, keeping the per-node
-        // count within `max_cuts`.
-        if !scuts.is_empty() && scuts[0].alive && !order.contains(&0) {
-            order.pop();
-            order.push(0);
-        }
-
-        push_unit(&mut arena, id);
-        for &i in &order {
-            let s = scuts[i];
-            let off = arena.leaves.len() as u32;
-            arena
-                .leaves
-                .extend_from_slice(&sleaves[s.off as usize..(s.off + s.len as u32) as usize]);
-            arena.cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt, cost: s.cost });
-        }
-        arena.spans[id.index()] = (start, arena.cuts.len() as u32);
+        compute_node_cuts(&arena, aig, id, max_cuts, coster, &mut sc);
+        emit_node(&mut arena, id, &sc);
     }
     arena
+}
+
+/// One node's kept cuts as computed by a parallel worker: leaf slices
+/// rebased into a node-local buffer so the caller can splice them into
+/// the shared arena in deterministic (ascending node) order.
+struct NodeRes {
+    leaves: Vec<NodeId>,
+    cuts: Vec<CutData>,
+}
+
+fn enumerate_impl_par<C, F>(aig: &Aig, params: CutParams, jobs: usize, make_coster: &C) -> CutArena
+where
+    C: Fn() -> F + Sync,
+    F: FnMut(NodeId, &[NodeId], u64) -> (u32, u32),
+{
+    let CutParams { k, max_cuts, .. } = params;
+    assert!(k >= 2, "cut size must be at least 2");
+    let n = aig.num_nodes();
+
+    // Rank nodes so every AND sits strictly above both fanins; the
+    // level shards below only run nodes of equal rank concurrently.
+    // The one-pass computation needs fanin ids below the node id (true
+    // for every strash-built graph); fall back to the sequential
+    // engine if an imported graph violates it.
+    let mut rank = vec![0u32; n];
+    for id in aig.node_ids() {
+        if !aig.is_and(id) {
+            continue;
+        }
+        let (f0, f1) = aig.fanins(id);
+        let (i0, i1) = (f0.node().index(), f1.node().index());
+        if i0 >= id.index() || i1 >= id.index() {
+            let mut coster = make_coster();
+            return enumerate_impl(aig, params, &mut coster);
+        }
+        rank[id.index()] = 1 + rank[i0].max(rank[i1]);
+    }
+
+    // (rank, id)-sorted node list; each rank is one contiguous segment
+    // and ids stay ascending inside it, fixing the emission order.
+    let mut sorted: Vec<NodeId> = aig.node_ids().collect();
+    sorted.sort_by_key(|id| (rank[id.index()], id.index()));
+    let mut segments: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut seg_start = 0;
+    for i in 1..=sorted.len() {
+        if i == sorted.len() || rank[sorted[i].index()] != rank[sorted[seg_start].index()] {
+            segments.push(seg_start..i);
+            seg_start = i;
+        }
+    }
+
+    let shared_lock = RwLock::new(fresh_arena(aig, k, max_cuts));
+    let outbox_store: Mutex<Vec<(usize, NodeRes)>> = Mutex::new(Vec::new());
+    let (sorted, shared, outbox) = (&sorted, &shared_lock, &outbox_store);
+    threadpool::scope(jobs, |s| {
+        for seg in &segments {
+            for r in threadpool::split_even(seg.len(), jobs) {
+                if r.is_empty() {
+                    continue;
+                }
+                let base = seg.start + r.start;
+                let ids = &sorted[base..seg.start + r.end];
+                s.spawn(move || {
+                    let guard = shared.read().unwrap_or_else(PoisonError::into_inner);
+                    let arena = &*guard;
+                    let mut coster = make_coster();
+                    let mut sc = NodeScratch::default();
+                    let mut local: Vec<(usize, NodeRes)> = Vec::new();
+                    for (di, &id) in ids.iter().enumerate() {
+                        if !aig.is_and(id) {
+                            continue;
+                        }
+                        compute_node_cuts(arena, aig, id, max_cuts, &mut coster, &mut sc);
+                        let mut leaves = Vec::new();
+                        let mut cuts = Vec::with_capacity(sc.order.len());
+                        for &i in &sc.order {
+                            let s = sc.scuts[i];
+                            let off = leaves.len() as u32;
+                            leaves.extend_from_slice(
+                                &sc.sleaves[s.off as usize..(s.off + s.len as u32) as usize],
+                            );
+                            cuts.push(CutData {
+                                off,
+                                len: s.len,
+                                sig: s.sig,
+                                tt: s.tt,
+                                cost: s.cost,
+                            });
+                        }
+                        local.push((base + di, NodeRes { leaves, cuts }));
+                    }
+                    drop(guard);
+                    outbox.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+                });
+            }
+            s.wait();
+
+            // Splice the level back in ascending node order — the only
+            // arena mutation, done on the calling thread while no
+            // worker holds the read lock.
+            let mut batch =
+                std::mem::take(&mut *outbox.lock().unwrap_or_else(PoisonError::into_inner));
+            batch.sort_by_key(|(p, _)| *p);
+            let mut results = batch.into_iter().peekable();
+            let mut arena = shared.write().unwrap_or_else(PoisonError::into_inner);
+            for pos in seg.clone() {
+                let id = sorted[pos];
+                let start = arena.cuts.len() as u32;
+                push_unit(&mut arena, id);
+                if let Some((_, res)) = results.next_if(|&(p, _)| p == pos) {
+                    for c in &res.cuts {
+                        let off = arena.leaves.len() as u32;
+                        arena.leaves.extend_from_slice(
+                            &res.leaves[c.off as usize..(c.off + c.len as u32) as usize],
+                        );
+                        arena.cuts.push(CutData { off, ..*c });
+                    }
+                }
+                arena.spans[id.index()] = (start, arena.cuts.len() as u32);
+            }
+        }
+    });
+    shared_lock.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn flip(c: bool) -> u64 {
@@ -691,6 +936,69 @@ mod tests {
             if let Some(&first) = costs.first() {
                 assert!(costs[..costs.len() - 1].iter().all(|&c| first <= c));
             }
+        }
+    }
+
+    /// A reconvergent multi-level circuit wide enough that level
+    /// shards actually split across several workers.
+    fn reconvergent_aig() -> Aig {
+        let mut g = Aig::new("reconv");
+        let pis = g.add_pis(10);
+        let mut acc = pis[0];
+        let mut outs = Vec::new();
+        for &p in &pis[1..] {
+            let sum = g.xor(acc, p);
+            let carry = g.and(acc, p);
+            outs.push(sum);
+            acc = g.or(sum, carry);
+        }
+        outs.push(acc);
+        for o in outs {
+            g.add_po(o);
+        }
+        g
+    }
+
+    fn assert_same_per_node(g: &Aig, a: &CutArena, b: &CutArena) {
+        assert_eq!(a.k(), b.k());
+        assert_eq!(a.has_functions(), b.has_functions());
+        for id in g.node_ids() {
+            let ca: Vec<_> = a
+                .of(id)
+                .map(|c| (c.leaves().to_vec(), c.function_word(), c.rank_cost()))
+                .collect();
+            let cb: Vec<_> = b
+                .of(id)
+                .map(|c| (c.leaves().to_vec(), c.function_word(), c.rank_cost()))
+                .collect();
+            assert_eq!(ca, cb, "cut lists diverge at node {id:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential_per_node() {
+        let g = reconvergent_aig();
+        for rank in [CutRank::Size, CutRank::Depth] {
+            let params = CutParams { k: 4, max_cuts: 6, rank };
+            let seq = enumerate_cuts_with(&g, params);
+            for jobs in [2, 3, 7] {
+                let par = enumerate_cuts_with_jobs(&g, params, jobs);
+                assert_same_per_node(&g, &seq, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_custom_oracle_matches_sequential() {
+        let g = reconvergent_aig();
+        let params = CutParams { k: 4, max_cuts: 5, rank: CutRank::Arrival };
+        let oracle = |_root: NodeId, leaves: &[NodeId], tt: u64| {
+            (tt.count_ones() + leaves.len() as u32, leaves.iter().map(|l| l.index() as u32).sum())
+        };
+        let seq = enumerate_cuts_custom(&g, params, oracle);
+        for jobs in [2, 4] {
+            let par = enumerate_cuts_custom_jobs(&g, params, jobs, || oracle);
+            assert_same_per_node(&g, &seq, &par);
         }
     }
 

@@ -2,6 +2,10 @@
 //! Table 3 with verification, and the Figure 6 summary — then prints a
 //! paper-vs-measured scoreboard. This is the one-shot artifact check
 //! behind EXPERIMENTS.md.
+//!
+//! `--jobs N` sets the worker-thread budget (default: `CNTFET_JOBS`
+//! or the detected core count); every number in the scoreboard is
+//! identical for every value.
 
 use cntfet_aig::enumerate_cuts;
 use cntfet_bench::{
@@ -30,6 +34,16 @@ impl Check {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n > 0 => threadpool::Jobs::set(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let t0 = std::time::Instant::now();
     let mut checks: Vec<Check> = Vec::new();
 

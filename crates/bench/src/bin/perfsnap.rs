@@ -1,14 +1,20 @@
 //! Performance snapshot: measures the workspace's hot paths —
 //! synthesis (the PR 5 in-place DAG-aware engine vs the seed rebuild
-//! engine), technology mapping, and CEC verification — and writes the
-//! numbers to `BENCH_PR5.json` in the current directory. The JSON
-//! continues the bench trajectory the ROADMAP asks for:
-//! `BENCH_PR3.json` records the verification rebuild, `BENCH_PR4.json`
-//! the arrival-aware mapper, this file the synthesis rebuild — wall
-//! times *and* the ands/depth outcomes the DAG-aware engine buys.
+//! engine), technology mapping, CEC verification, and the parallel
+//! suite at several worker counts — and writes the numbers to
+//! `BENCH_PR7.json` in the current directory. The JSON continues the
+//! bench trajectory the ROADMAP asks for: `BENCH_PR3.json` records the
+//! verification rebuild, `BENCH_PR4.json` the arrival-aware mapper,
+//! `BENCH_PR5.json` the synthesis rebuild, this file the work-stealing
+//! thread pool — suite wall times at `jobs ∈ {1, 2, 4, all}` plus a
+//! determinism cross-check that every worker count produced the same
+//! report. Scaling rows are honest measurements of the machine the
+//! snapshot ran on: `available_parallelism` is recorded next to them,
+//! and on a single-core container the jobs>1 rows will not (and must
+//! not pretend to) beat jobs=1.
 
 use cntfet_aig::{check_equivalence_sweeping_report, CecResult, SweepOptions};
-use cntfet_bench::compare_synth_engines;
+use cntfet_bench::{compare_synth_engines, run_suite_with};
 use cntfet_circuits::{array_multiplier, c1908_like, cla_adder, ripple_adder, shift_add_multiplier};
 use cntfet_core::{Library, LogicFamily};
 use cntfet_synth::{resyn2rs, resyn2rs_with, SynthEngine, SynthOptions};
@@ -106,10 +112,43 @@ fn main() {
         assert_eq!(r.result, CecResult::Equivalent);
     });
 
+    // --- parallel suite scaling (PR 7) ---
+    // One unverified suite pass per worker count; `0` is the resolved
+    // "all cores" default. The reports must be identical — that's the
+    // determinism contract, checked here on the real suite — while the
+    // wall times say whatever this machine's core count lets them say.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("perfsnap: suite scaling on {cores} core(s)...");
+    let suite_at = |jobs: usize| {
+        threadpool::Jobs::set(jobs);
+        let t = Instant::now();
+        let rows = run_suite_with(false, None, cntfet_techmap::MapOptions::default());
+        let secs = t.elapsed().as_secs_f64();
+        (secs, format!("{rows:?}"))
+    };
+    let (suite_jobs1_s, report1) = suite_at(1);
+    let (suite_jobs2_s, report2) = suite_at(2);
+    let (suite_jobs4_s, report4) = suite_at(4);
+    let (suite_all_s, report_all) = suite_at(0);
+    threadpool::Jobs::set(0);
+    let deterministic =
+        report1 == report2 && report1 == report4 && report1 == report_all;
+    assert!(deterministic, "suite reports diverged across worker counts");
+
     let json = format!(
         r#"{{
-  "pr": 5,
-  "description": "in-place DAG-aware synthesis engine: MFFC rewriting over priority cuts + NPN structure library",
+  "pr": 7,
+  "description": "work-stealing thread pool: parallel simulation, SAT sweeping, cut enumeration and benchmark suite with deterministic results",
+  "parallel": {{
+    "available_parallelism": {cores},
+    "suite_wall_s": {{
+      "jobs_1": {suite_jobs1_s:.2},
+      "jobs_2": {suite_jobs2_s:.2},
+      "jobs_4": {suite_jobs4_s:.2},
+      "jobs_all": {suite_all_s:.2}
+    }},
+    "identical_reports_across_worker_counts": {deterministic}
+  }},
   "synth_ms": {{
     "mult8_seed": {synth_mult8_seed_ms:.3},
     "mult8_inplace": {synth_mult8_new_ms:.3},
@@ -149,7 +188,7 @@ fn main() {
         c19_old.num_ands(),
         c19_new.num_ands(),
     );
-    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
     print!("{json}");
-    println!("wrote BENCH_PR5.json");
+    println!("wrote BENCH_PR7.json");
 }

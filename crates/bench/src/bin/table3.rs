@@ -10,7 +10,9 @@
 //! overrides the arrival-aware re-enumeration round bound (`0`
 //! reproduces the single-enumeration engine); `--synth seed` runs the
 //! seed-era rebuild-based synthesis engine instead of the in-place
-//! DAG-aware one (`--synth inplace`, the default).
+//! DAG-aware one (`--synth inplace`, the default); `--jobs N` sets the
+//! worker-thread budget (default: `CNTFET_JOBS` or the detected core
+//! count — the table is identical for every value).
 
 use cntfet_bench::{print_table3, run_suite_full};
 use cntfet_synth::{SynthEngine, SynthOptions};
@@ -54,10 +56,21 @@ fn main() {
             }
         },
     };
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n > 0 => threadpool::Jobs::set(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("== Table 3 reproduction: synthesis + technology mapping ==");
     println!(
         "(resyn2rs optimization [{synth_engine:?} engine], 6-cut NPN matching, \
-         {objective:?} covering, {delay_rounds} arrival round(s); verification {})\n",
+         {objective:?} covering, {delay_rounds} arrival round(s), {} worker(s); \
+         verification {})\n",
+        threadpool::Jobs::get(),
         if fast { "OFF (--fast)" } else { "ON" }
     );
     let t0 = std::time::Instant::now();

@@ -73,17 +73,37 @@ pub fn run_benchmark_full(
     opts: MapOptions,
     synth: &SynthOptions,
 ) -> Table3Row {
+    run_benchmark_libs(b, verify, opts, synth, &suite_libraries())
+}
+
+/// The three Table 3 libraries, in column order. Built once per suite
+/// run and shared (immutably) across all suite workers.
+fn suite_libraries() -> [Library; 3] {
+    [
+        Library::new(LogicFamily::TgStatic),
+        Library::new(LogicFamily::TgPseudo),
+        Library::new(LogicFamily::CmosStatic),
+    ]
+}
+
+/// [`run_benchmark_full`] against prebuilt libraries — the per-worker
+/// body of the parallel suite.
+fn run_benchmark_libs(
+    b: &Benchmark,
+    verify: bool,
+    opts: MapOptions,
+    synth: &SynthOptions,
+    libs: &[Library; 3],
+) -> Table3Row {
     let optimized = resyn2rs_with(&b.aig, synth);
-    let families = [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic];
     let mut stats = Vec::with_capacity(3);
     let mut verified = true;
     let mut sat_stats = SolverStats::default();
     let mut exhaustive_checks = 0;
-    for family in families {
-        let lib = Library::new(family);
-        let m = map(&optimized, &lib, opts);
+    for lib in libs {
+        let m = map(&optimized, lib, opts);
         if verify {
-            let report = verify_mapping_report(&optimized, &m, &lib);
+            let report = verify_mapping_report(&optimized, &m, lib);
             verified &= report.result == cntfet_aig::CecResult::Equivalent;
             sat_stats.absorb(&report.sat_stats);
             exhaustive_checks += u32::from(report.exhaustive);
@@ -115,17 +135,30 @@ pub fn run_suite_with(verify: bool, subset: Option<&[&str]>, opts: MapOptions) -
 }
 
 /// [`run_suite_with`] with explicit synthesis options too.
+///
+/// Benchmarks run in parallel across the workspace worker budget
+/// ([`threadpool::Jobs`]; `CNTFET_JOBS=1` forces sequential). Each
+/// worker owns its whole synth→map→verify chain and writes into a
+/// pre-assigned row, so the report is identical for every worker
+/// count.
 pub fn run_suite_full(
     verify: bool,
     subset: Option<&[&str]>,
     opts: MapOptions,
     synth: &SynthOptions,
 ) -> Vec<Table3Row> {
-    paper_benchmarks()
-        .iter()
+    let benches: Vec<Benchmark> = paper_benchmarks()
+        .into_iter()
         .filter(|b| subset.map(|s| s.contains(&b.name)).unwrap_or(true))
-        .map(|b| run_benchmark_full(b, verify, opts, synth))
-        .collect()
+        .collect();
+    // Shared read-only state: the three libraries (NPN index included)
+    // and the rewriting structure library, forced ahead of the fan-out
+    // so workers never race to build them lazily.
+    let libs = suite_libraries();
+    let _ = cntfet_boolfn::RwrLibrary::global();
+    threadpool::par_map(0, benches.len(), |i| {
+        run_benchmark_libs(&benches[i], verify, opts, synth, &libs)
+    })
 }
 
 /// One benchmark's old-vs-new synthesis engine outcome (see
@@ -164,31 +197,33 @@ pub fn compare_synth_engines(verify: bool, subset: Option<&[&str]>) -> Vec<Synth
     use cntfet_synth::{AigStats, SynthEngine};
     let seed_opts = SynthOptions { engine: SynthEngine::Seed, ..Default::default() };
     let new_opts = SynthOptions::default();
-    paper_benchmarks()
-        .iter()
+    let benches: Vec<Benchmark> = paper_benchmarks()
+        .into_iter()
         .filter(|b| subset.map(|s| s.contains(&b.name)).unwrap_or(true))
-        .map(|b| {
-            let t = std::time::Instant::now();
-            let new = resyn2rs_with(&b.aig, &new_opts);
-            let inplace_ms = t.elapsed().as_secs_f64() * 1e3;
-            let t = std::time::Instant::now();
-            let old = resyn2rs_with(&b.aig, &seed_opts);
-            let seed_ms = t.elapsed().as_secs_f64() * 1e3;
-            let verified = !verify
-                || (cntfet_aig::check_equivalence_sweeping(&b.aig, &new)
-                    == cntfet_aig::CecResult::Equivalent
-                    && cntfet_aig::check_equivalence_sweeping(&b.aig, &old)
-                        == cntfet_aig::CecResult::Equivalent);
-            SynthComparison {
-                name: b.name.to_string(),
-                seed: AigStats::of(&old),
-                inplace: AigStats::of(&new),
-                seed_ms,
-                inplace_ms,
-                verified,
-            }
-        })
-        .collect()
+        .collect();
+    let _ = cntfet_boolfn::RwrLibrary::global();
+    threadpool::par_map(0, benches.len(), |i| {
+        let b = &benches[i];
+        let t = std::time::Instant::now();
+        let new = resyn2rs_with(&b.aig, &new_opts);
+        let inplace_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = std::time::Instant::now();
+        let old = resyn2rs_with(&b.aig, &seed_opts);
+        let seed_ms = t.elapsed().as_secs_f64() * 1e3;
+        let verified = !verify
+            || (cntfet_aig::check_equivalence_sweeping(&b.aig, &new)
+                == cntfet_aig::CecResult::Equivalent
+                && cntfet_aig::check_equivalence_sweeping(&b.aig, &old)
+                    == cntfet_aig::CecResult::Equivalent);
+        SynthComparison {
+            name: b.name.to_string(),
+            seed: AigStats::of(&old),
+            inplace: AigStats::of(&new),
+            seed_ms,
+            inplace_ms,
+            verified,
+        }
+    })
 }
 
 /// Column-wise averages in the style of Table 3's "Average" row.

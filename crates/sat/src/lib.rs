@@ -1,9 +1,10 @@
 //! A compact CDCL SAT solver in the MiniSat → Glucose lineage:
 //! two-watched literals over a flat clause arena, first-UIP conflict
 //! analysis with deep (recursive) clause minimization, VSIDS
-//! branching, phase saving, Luby restarts, and LBD-driven
-//! learnt-clause reduction with glue protection plus mark-and-compact
-//! garbage collection of the arena.
+//! branching, phase saving, adaptive LBD-driven restarts
+//! (Glucose-style, with trail blocking), and LBD-driven learnt-clause
+//! reduction with glue protection plus mark-and-compact garbage
+//! collection of the arena.
 //!
 //! The solver exists to certify logic transformations elsewhere in the
 //! workspace (combinational equivalence checking of optimized and
@@ -179,6 +180,13 @@ pub struct SolverStats {
     /// Literals removed from learnt clauses by conflict-clause
     /// minimization.
     pub minimized_lits: u64,
+    /// Restarts triggered by the adaptive recent-LBD policy. Kept
+    /// separate from `restarts` (even though it is currently the only
+    /// restart source) so alternative schedules stay distinguishable.
+    pub adaptive_restarts: u64,
+    /// Adaptive restarts suppressed because the trail had grown well
+    /// past its running average (the solver looked close to a model).
+    pub blocked_restarts: u64,
 }
 
 impl SolverStats {
@@ -193,6 +201,28 @@ impl SolverStats {
         self.reduces += other.reduces;
         self.gcs += other.gcs;
         self.minimized_lits += other.minimized_lits;
+        self.adaptive_restarts += other.adaptive_restarts;
+        self.blocked_restarts += other.blocked_restarts;
+    }
+
+    /// Field-wise saturating difference `self − base`: the work done
+    /// since `base` was snapshotted. Parallel drivers snapshot a
+    /// solver's stats before cloning it and absorb only each worker
+    /// clone's delta, so inherited counters are not double-counted.
+    #[must_use]
+    pub fn delta(&self, base: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(base.conflicts),
+            decisions: self.decisions.saturating_sub(base.decisions),
+            propagations: self.propagations.saturating_sub(base.propagations),
+            restarts: self.restarts.saturating_sub(base.restarts),
+            learnts: self.learnts.saturating_sub(base.learnts),
+            reduces: self.reduces.saturating_sub(base.reduces),
+            gcs: self.gcs.saturating_sub(base.gcs),
+            minimized_lits: self.minimized_lits.saturating_sub(base.minimized_lits),
+            adaptive_restarts: self.adaptive_restarts.saturating_sub(base.adaptive_restarts),
+            blocked_restarts: self.blocked_restarts.saturating_sub(base.blocked_restarts),
+        }
     }
 }
 
@@ -884,9 +914,26 @@ impl Solver {
         self.cancel_until(0);
 
         let mut max_learnts = (self.num_clauses() as f64 * 0.4).max(1000.0);
-        let mut restart_idx = 0u64;
-        let mut conflicts_until_restart = luby(restart_idx) * 100;
         let mut conflicts_left = max_conflicts;
+
+        // Adaptive (Glucose-style) restart state, per call, all in
+        // exact integer arithmetic so the policy is reproducible. A
+        // sliding window holds the LBDs of the last `RESTART_WINDOW`
+        // conflicts; once full, a restart fires when the window
+        // average runs 25% above the call's global mean — the search
+        // has drifted into a region of worse learnt clauses. When the
+        // trail has grown 40% past its own global mean the window is
+        // cleared instead ("blocked" restart): the solver looks close
+        // to a model worth keeping, so the next restart is at least a
+        // full window of fresh conflicts away.
+        const RESTART_WINDOW: usize = 50;
+        let mut conflicts_seen = 0u64;
+        let mut sum_lbd = 0u64;
+        let mut sum_trail = 0u64;
+        let mut win = [0u32; RESTART_WINDOW];
+        let mut win_pos = 0usize;
+        let mut win_cnt = 0usize;
+        let mut win_sum = 0u64;
 
         loop {
             if let Some(conflict) = self.propagate() {
@@ -901,6 +948,24 @@ impl Solver {
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, bt, lbd) = self.analyze(conflict);
+                conflicts_seen += 1;
+                sum_lbd += lbd as u64;
+                let tlen = self.trail.len() as u64;
+                sum_trail += tlen;
+                if win_cnt == RESTART_WINDOW && 5 * tlen * conflicts_seen > 7 * sum_trail {
+                    self.stats.blocked_restarts += 1;
+                    win_cnt = 0;
+                    win_pos = 0;
+                    win_sum = 0;
+                }
+                if win_cnt == RESTART_WINDOW {
+                    win_sum -= win[win_pos] as u64;
+                } else {
+                    win_cnt += 1;
+                }
+                win[win_pos] = lbd;
+                win_sum += lbd as u64;
+                win_pos = (win_pos + 1) % RESTART_WINDOW;
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], REF_NONE);
@@ -912,16 +977,24 @@ impl Solver {
                 }
                 self.var_decay();
                 self.cla_decay();
-                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if self.stats.learnts as f64 > max_learnts {
                     self.reduce_db();
                     max_learnts *= 1.1;
                 }
             } else {
-                if conflicts_until_restart == 0 && self.decision_level() > assumptions.len() as u32 {
+                // Restart when the recent-LBD window says the search
+                // has degraded: window average > 1.25 × global mean,
+                // compared cross-multiplied so the test is exact.
+                let adaptive = win_cnt == RESTART_WINDOW
+                    && 2 * win_sum * conflicts_seen > 125 * sum_lbd;
+                if adaptive && self.decision_level() > assumptions.len() as u32 {
                     self.stats.restarts += 1;
-                    restart_idx += 1;
-                    conflicts_until_restart = luby(restart_idx) * 100;
+                    self.stats.adaptive_restarts += 1;
+                    // A restart empties the window: the next one is at
+                    // least a full window of fresh conflicts away.
+                    win_cnt = 0;
+                    win_pos = 0;
+                    win_sum = 0;
                     self.cancel_until(assumptions.len() as u32);
                     continue;
                 }
@@ -956,22 +1029,6 @@ impl Solver {
             }
         }
     }
-}
-
-/// The Luby restart sequence (1,1,2,1,1,2,4,…), 0-indexed.
-fn luby(mut x: u64) -> u64 {
-    let mut size = 1u64;
-    let mut seq = 0u32;
-    while size < x + 1 {
-        seq += 1;
-        size = 2 * size + 1;
-    }
-    while size - 1 != x {
-        size = (size - 1) / 2;
-        seq -= 1;
-        x %= size;
-    }
-    1u64 << seq
 }
 
 #[cfg(test)]
@@ -1050,6 +1107,24 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_restarts_fire_on_hard_unsat() {
+        let (s, r) = pigeonhole(7, 6);
+        assert_eq!(r, SolveResult::Unsat);
+        let st = s.stats();
+        eprintln!("pigeonhole(7,6): {st:?}");
+        let (s87, _) = pigeonhole(8, 7);
+        eprintln!("pigeonhole(8,7): {:?}", s87.stats());
+        // The hole instance runs long enough to fill the LBD window
+        // several times over, so the adaptive policy must fire.
+        assert!(st.adaptive_restarts > 0, "adaptive policy never fired: {st:?}");
+        assert_eq!(st.adaptive_restarts, st.restarts);
+        // Counters are pure functions of the clause sequence — a
+        // second identical run reproduces them exactly.
+        let (s2, _) = pigeonhole(7, 6);
+        assert_eq!(format!("{st:?}"), format!("{:?}", s2.stats()));
+    }
+
+    #[test]
     fn assumptions() {
         let mut s = Solver::new();
         let v = vars(&mut s, 3);
@@ -1112,14 +1187,6 @@ mod tests {
                         .any(|l| s.value(l.var()).unwrap() != l.is_neg()));
                 }
             }
-        }
-    }
-
-    #[test]
-    fn luby_sequence() {
-        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
-        for (i, &e) in expect.iter().enumerate() {
-            assert_eq!(luby(i as u64), e, "luby({i})");
         }
     }
 

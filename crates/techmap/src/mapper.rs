@@ -25,7 +25,8 @@
 
 use crate::matcher::Matcher;
 use cntfet_aig::{
-    enumerate_cuts_custom, enumerate_cuts_with, Aig, CutArena, CutParams, CutRank, NodeId,
+    enumerate_cuts_custom, enumerate_cuts_custom_jobs, enumerate_cuts_with_jobs, Aig, CutArena,
+    CutParams, CutRank, NodeId,
 };
 use cntfet_boolfn::word;
 use cntfet_core::Library;
@@ -135,6 +136,12 @@ pub struct MapOptions {
     pub cut_rank: CutRank,
     /// Covering objective.
     pub objective: Objective,
+    /// Worker threads for cut enumeration (`0` resolves through the
+    /// workspace [`threadpool::Jobs`] default, `1` forces the
+    /// sequential engine). The mapped result is identical for every
+    /// value: workers shard enumeration over a fixed node grid and the
+    /// covering passes stay sequential.
+    pub jobs: usize,
 }
 
 impl Default for MapOptions {
@@ -146,6 +153,7 @@ impl Default for MapOptions {
             delay_rounds: 2,
             cut_rank: CutRank::Size,
             objective: Objective::Balanced,
+            jobs: 0,
         }
     }
 }
@@ -239,6 +247,7 @@ enum Mode {
 pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
     let mut matcher = Matcher::new(library);
     let cut_size = opts.cut_size.clamp(2, 6);
+    let jobs = threadpool::Jobs::resolve(opts.jobs);
     // The first enumeration has no mapped arrivals to rank by, so
     // `CutRank::Arrival` starts from size ranking — which also keeps
     // the richest candidate variety per node; the paper's wide
@@ -249,9 +258,10 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
         CutRank::Arrival => CutRank::Size,
         rank => rank,
     };
-    let cuts = enumerate_cuts_with(
+    let cuts = enumerate_cuts_with_jobs(
         aig,
         CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: initial_rank },
+        jobs,
     );
     let ctx = Ctx {
         aig,
@@ -291,14 +301,27 @@ pub fn map(aig: &Aig, library: &Library, opts: MapOptions) -> Mapping {
     for _ in 0..rounds {
         let arr = sel.arr.clone();
         let aflow = sel.aflow.clone();
-        let mut support: Vec<usize> = Vec::with_capacity(6);
-        let cuts = enumerate_cuts_custom(
-            aig,
-            CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: CutRank::Arrival },
-            |_root, leaves, tt| {
+        let params = CutParams { k: cut_size, max_cuts: opts.cuts_per_node, rank: CutRank::Arrival };
+        // The arrival oracle queries a memoized library matcher, which
+        // is mutable state — each enumeration worker gets its own
+        // matcher via the factory form. The memo is transparent (same
+        // answers with or without it), so per-worker tables rank every
+        // cut exactly as the shared sequential matcher would.
+        let cuts = if jobs <= 1 {
+            let mut support: Vec<usize> = Vec::with_capacity(6);
+            enumerate_cuts_custom(aig, params, |_root, leaves, tt| {
                 arrival_cost(&ctx, &mut matcher, &mut support, &arr, &aflow, leaves, tt)
-            },
-        );
+            })
+        } else {
+            let (ctx, arr, aflow) = (&ctx, &arr, &aflow);
+            enumerate_cuts_custom_jobs(aig, params, jobs, || {
+                let mut matcher = Matcher::new(ctx.library);
+                let mut support: Vec<usize> = Vec::with_capacity(6);
+                move |_root: NodeId, leaves: &[NodeId], tt: u64| {
+                    arrival_cost(ctx, &mut matcher, &mut support, arr, aflow, leaves, tt)
+                }
+            })
+        };
         let new_cands = generate_cands(&ctx, &cuts, &mut matcher);
         let new_sel = run_cover(&ctx, &new_cands, &opts);
         let m = extract(&ctx, &new_cands, &new_sel);
@@ -1170,5 +1193,35 @@ mod tests {
         assert_eq!(a.stats.gates, b.stats.gates);
         assert_eq!(a.stats.area, b.stats.area);
         assert_eq!(a.stats.delay_norm, b.stats.delay_norm);
+    }
+
+    #[test]
+    fn parallel_mapping_matches_sequential_cover() {
+        // The whole parallel story hangs on this: sharded enumeration
+        // (both the initial Size-ranked pass and the arrival-ranked
+        // delay rounds with per-worker matchers) must select the exact
+        // cover the sequential engine does — gate for gate, not just
+        // stat for stat.
+        let src = full_adder_chain(10);
+        for family in [LogicFamily::TgStatic, LogicFamily::TgPseudo, LogicFamily::CmosStatic] {
+            let lib = Library::new(family);
+            for objective in [Objective::Area, Objective::Delay, Objective::Balanced] {
+                let opts = MapOptions { objective, jobs: 1, ..MapOptions::default() };
+                let seq = map(&src, &lib, opts);
+                for jobs in [2, 4] {
+                    let par = map(&src, &lib, MapOptions { jobs, ..opts });
+                    assert_eq!(
+                        format!("{:?} {:?}", seq.gates, seq.pos),
+                        format!("{:?} {:?}", par.gates, par.pos),
+                        "{family:?}/{objective:?} cover diverged at jobs={jobs}"
+                    );
+                    assert_eq!(
+                        format!("{:?}", seq.stats),
+                        format!("{:?}", par.stats),
+                        "{family:?}/{objective:?} stats diverged at jobs={jobs}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,491 @@
+//! Minimal scoped work-stealing thread pool, vendored offline.
+//!
+//! The workspace's parallel engines (word-chunked `SimMatrix`
+//! simulation, SAT-sweeping candidate batches, level-sharded cut
+//! enumeration, the per-benchmark suite fan-out) all sit on this one
+//! crate. It deliberately implements a small, safe subset of what
+//! `rayon`/`crossbeam` offer:
+//!
+//! * [`scope`] — a scoped pool: spawn borrowing tasks, join before
+//!   returning (same lifetime contract as [`std::thread::scope`]).
+//! * [`Scope::wait`] — a mid-scope barrier: the caller helps drain
+//!   the queues, then blocks until every spawned task has finished.
+//! * [`par_map`] — indexed map with deterministic output order.
+//! * [`Jobs`] — the process-wide worker-count policy, honoring the
+//!   `CNTFET_JOBS` environment variable and `--jobs N` style
+//!   overrides via [`Jobs::set`].
+//!
+//! Scheduling is work-stealing over per-worker deques (the owner pops
+//! LIFO from the back, thieves steal FIFO from the front) guarded by a
+//! single mutex — contention is negligible because every engine
+//! submits coarse chunks, not per-item tasks. Execution *order* is
+//! therefore non-deterministic, and the engines built on top are
+//! required to make their *results* order-independent: outputs land in
+//! pre-assigned slots ([`par_map`]) and reductions happen on the
+//! calling thread in a fixed order. `jobs == 1` never spawns a thread
+//! and runs everything inline on the caller.
+//!
+//! A task that panics poisons nothing: a drop guard keeps the
+//! pending-task accounting correct so the join cannot deadlock, and
+//! the panic resurfaces from [`scope`] when the owning worker thread
+//! is joined.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A queued unit of work: may borrow anything that outlives the scope.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Process-wide worker-count policy.
+///
+/// Resolution order: an explicit [`Jobs::set`] override (e.g. from a
+/// `--jobs N` flag), then the `CNTFET_JOBS` environment variable
+/// (read once), then [`std::thread::available_parallelism`].
+///
+/// ```
+/// threadpool::Jobs::set(3);
+/// assert_eq!(threadpool::Jobs::get(), 3);
+/// assert_eq!(threadpool::Jobs::resolve(0), 3); // 0 = "use the global"
+/// assert_eq!(threadpool::Jobs::resolve(2), 2); // explicit wins
+/// threadpool::Jobs::set(0); // clear the override
+/// ```
+pub struct Jobs;
+
+/// `Jobs::set` override; 0 means "no override".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Lazily parsed `CNTFET_JOBS` / `available_parallelism` fallback.
+static JOBS_ENV: OnceLock<usize> = OnceLock::new();
+
+impl Jobs {
+    /// The effective global worker count (always ≥ 1).
+    pub fn get() -> usize {
+        let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+        if forced > 0 {
+            return forced;
+        }
+        *JOBS_ENV.get_or_init(|| {
+            parse_jobs(std::env::var("CNTFET_JOBS").ok().as_deref()).unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+        })
+    }
+
+    /// Forces the global worker count; `0` clears the override and
+    /// returns to the `CNTFET_JOBS` / detected-core default.
+    pub fn set(n: usize) {
+        JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+    }
+
+    /// Resolves a per-call option: `requested > 0` is taken verbatim,
+    /// `0` defers to [`Jobs::get`]. Engines expose a `jobs: usize`
+    /// option defaulting to 0 and pass it through here.
+    pub fn resolve(requested: usize) -> usize {
+        if requested > 0 {
+            requested
+        } else {
+            Self::get()
+        }
+    }
+}
+
+/// Parses a `CNTFET_JOBS`-style value; `None`/empty/junk/0 → `None`.
+fn parse_jobs(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// Shared pool state: one deque per worker behind a single mutex.
+struct Inner<'env> {
+    /// Per-worker deques; index 0 belongs to the scope-owning thread.
+    queues: Vec<VecDeque<Task<'env>>>,
+    /// Round-robin cursor for distributing newly spawned tasks.
+    next: usize,
+    /// Tasks queued or currently running.
+    unfinished: usize,
+    /// Set once the scope is over; workers exit when their steal
+    /// sweep comes up empty.
+    shutdown: bool,
+}
+
+struct Shared<'env> {
+    inner: Mutex<Inner<'env>>,
+    /// Signalled when work arrives or on shutdown.
+    work: Condvar,
+    /// Signalled when `unfinished` reaches zero.
+    done: Condvar,
+}
+
+impl<'env> Shared<'env> {
+    fn new(workers: usize) -> Self {
+        Shared {
+            inner: Mutex::new(Inner {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                unfinished: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Locks the pool state, shrugging off poison: the accounting is
+    /// kept consistent by drop guards even when a task panics.
+    fn lock(&self) -> MutexGuard<'_, Inner<'env>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push(&self, task: Task<'env>) {
+        let mut g = self.lock();
+        let q = g.next % g.queues.len();
+        g.next = g.next.wrapping_add(1);
+        g.queues[q].push_back(task);
+        g.unfinished += 1;
+        drop(g);
+        self.work.notify_one();
+    }
+
+    /// Pops from `me`'s own deque (LIFO) or steals from another
+    /// worker's (FIFO), returning `None` only when all are empty.
+    fn take(g: &mut Inner<'env>, me: usize) -> Option<Task<'env>> {
+        if let Some(t) = g.queues[me].pop_back() {
+            return Some(t);
+        }
+        let n = g.queues.len();
+        for k in 1..n {
+            let victim = (me + k) % n;
+            if let Some(t) = g.queues[victim].pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs one task under a guard that fixes up `unfinished` (and
+    /// wakes joiners) even if the task unwinds.
+    fn run(&self, task: Task<'env>) {
+        struct Finish<'a, 'env>(&'a Shared<'env>);
+        impl Drop for Finish<'_, '_> {
+            fn drop(&mut self) {
+                let mut g = self.0.lock();
+                g.unfinished -= 1;
+                let idle = g.unfinished == 0;
+                drop(g);
+                if idle {
+                    self.0.done.notify_all();
+                }
+            }
+        }
+        let _finish = Finish(self);
+        task();
+    }
+
+    /// Worker thread body: run tasks until shutdown with all queues
+    /// drained.
+    fn worker_loop(&self, me: usize) {
+        loop {
+            let task = {
+                let mut g = self.lock();
+                loop {
+                    if let Some(t) = Self::take(&mut g, me) {
+                        break t;
+                    }
+                    if g.shutdown {
+                        return;
+                    }
+                    g = self.work.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            self.run(task);
+        }
+    }
+
+    /// Caller-side join: help run queued tasks, then block until every
+    /// in-flight task has finished.
+    fn drain(&self, me: usize) {
+        loop {
+            let task = {
+                let mut g = self.lock();
+                loop {
+                    if let Some(t) = Self::take(&mut g, me) {
+                        break Some(t);
+                    }
+                    if g.unfinished == 0 {
+                        break None;
+                    }
+                    g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            match task {
+                Some(t) => self.run(t),
+                None => return,
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut g = self.lock();
+        g.shutdown = true;
+        drop(g);
+        self.work.notify_all();
+    }
+}
+
+/// Spawn handle passed to the [`scope`] closure.
+///
+/// Tasks may borrow anything that outlives the `scope` call (the
+/// `'env` lifetime), exactly like [`std::thread::scope`]. The handle
+/// itself cannot be captured by spawned tasks — the lifetimes forbid
+/// it — so [`Scope::wait`] is always called from the scope-owning
+/// thread.
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Queues `task` on one of the worker deques (round-robin). The
+    /// task starts as soon as any worker — or the caller inside
+    /// [`Scope::wait`] / the end-of-scope join — picks it up.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.shared.push(Box::new(task));
+    }
+
+    /// Mid-scope barrier: the calling thread helps execute queued
+    /// tasks, then blocks until every task spawned so far has
+    /// finished. Engines use this to sequence sharded phases (e.g.
+    /// one topological level of cut enumeration) while keeping the
+    /// worker threads alive across phases.
+    pub fn wait(&self) {
+        self.shared.drain(0);
+    }
+}
+
+/// Runs `f` with a pool of `jobs` workers (the calling thread counts
+/// as one of them; `jobs <= 1` spawns no threads at all) and joins
+/// every spawned task before returning.
+///
+/// Panics from tasks are not swallowed: the scope completes the join,
+/// then re-raises the panic, mirroring [`std::thread::scope`].
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let sum = AtomicUsize::new(0);
+/// let sum = &sum;
+/// threadpool::scope(4, |s| {
+///     for i in 1..=10usize {
+///         s.spawn(move || {
+///             sum.fetch_add(i, Ordering::Relaxed);
+///         });
+///     }
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 55);
+/// ```
+pub fn scope<'env, T, F>(jobs: usize, f: F) -> T
+where
+    F: FnOnce(&Scope<'_, 'env>) -> T,
+{
+    /// Ensures workers are told to exit even when `f` or a
+    /// caller-side task unwinds, so the implicit thread join below
+    /// cannot deadlock.
+    struct ShutdownGuard<'a, 'env>(&'a Shared<'env>);
+    impl Drop for ShutdownGuard<'_, '_> {
+        fn drop(&mut self) {
+            self.0.shutdown();
+        }
+    }
+
+    let workers = jobs.max(1);
+    let shared = Shared::new(workers);
+    std::thread::scope(|ts| {
+        for me in 1..workers {
+            let sh = &shared;
+            ts.spawn(move || sh.worker_loop(me));
+        }
+        let _guard = ShutdownGuard(&shared);
+        let out = f(&Scope { shared: &shared });
+        shared.drain(0);
+        out
+    })
+}
+
+/// Maps `f` over `0..n` on up to `jobs` workers (`0` defers to
+/// [`Jobs::get`]) and returns the results **in index order** —
+/// scheduling never leaks into the output. Each result is written
+/// into its pre-assigned slot, so the output is identical for every
+/// worker count, including `jobs == 1` which runs `f` inline without
+/// touching the pool.
+///
+/// ```
+/// let squares = threadpool::par_map(4, 8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = Jobs::resolve(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    scope(jobs, |s| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            s.spawn(move || *slot = Some(f(i)));
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("scope() joins every spawned task before returning"))
+        .collect()
+}
+
+/// Splits `0..n` into at most `pieces` contiguous near-even non-empty
+/// ranges. Deterministic in `n` and `pieces` alone — engines use a
+/// *fixed* `pieces` (or a fixed chunk size) when the decomposition
+/// must not depend on the worker count.
+///
+/// ```
+/// assert_eq!(threadpool::split_even(10, 4).len(), 4);
+/// assert_eq!(threadpool::split_even(2, 4), vec![0..1, 1..2]);
+/// assert!(threadpool::split_even(0, 4).is_empty());
+/// ```
+pub fn split_even(n: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, n);
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn par_map_matches_sequential_for_every_job_count() {
+        let want: Vec<usize> = (0..37).map(|i| i * 3 + 1).collect();
+        for jobs in 1..=6 {
+            assert_eq!(par_map(jobs, 37, |i| i * 3 + 1), want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(4, 1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        let hits: Vec<AtomicBool> = (0..100).map(|_| AtomicBool::new(false)).collect();
+        let hits = &hits;
+        scope(4, |s| {
+            for h in hits.iter() {
+                s.spawn(move || h.store(true, Ordering::Relaxed));
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed)));
+    }
+
+    #[test]
+    fn wait_is_a_barrier_and_workers_survive_it() {
+        let phase1 = AtomicUsize::new(0);
+        let phase2 = AtomicUsize::new(0);
+        let (p1, p2) = (&phase1, &phase2);
+        scope(3, |s| {
+            for _ in 0..20 {
+                s.spawn(move || {
+                    p1.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            s.wait();
+            assert_eq!(p1.load(Ordering::Relaxed), 20);
+            for _ in 0..20 {
+                s.spawn(move || {
+                    p2.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            s.wait();
+            assert_eq!(p2.load(Ordering::Relaxed), 20);
+        });
+    }
+
+    #[test]
+    fn jobs_one_runs_inline_on_the_caller() {
+        let main_id = std::thread::current().id();
+        let ids = par_map(1, 8, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn task_panic_propagates_without_deadlock() {
+        let ran_rest = AtomicUsize::new(0);
+        let ran = &ran_rest;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(4, |s| {
+                for i in 0..10 {
+                    s.spawn(move || {
+                        if i == 5 {
+                            panic!("task failure must surface");
+                        }
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic inside a task must propagate out of scope()");
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        assert_eq!(scope(2, |_| 42), 42);
+    }
+
+    #[test]
+    fn split_even_covers_exactly_once() {
+        for n in 0..50 {
+            for pieces in 1..8 {
+                let ranges = split_even(n, pieces);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert_eq!(first.start, 0);
+                    assert_eq!(last.end, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs(Some("4")), Some(4));
+        assert_eq!(parse_jobs(Some(" 2 ")), Some(2));
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("cores")), None);
+        assert_eq!(parse_jobs(Some("")), None);
+        assert_eq!(parse_jobs(None), None);
+    }
+}
