@@ -11,6 +11,7 @@
 //! the same forward pass, so downstream consumers never walk cones or
 //! allocate per-cut sets.
 
+use crate::edit::EditDelta;
 use crate::graph::{Aig, NodeId};
 use cntfet_boolfn::{word, TruthTable};
 use std::sync::{Mutex, PoisonError, RwLock};
@@ -18,7 +19,7 @@ use std::sync::{Mutex, PoisonError, RwLock};
 /// Cost used to rank a node's cuts before truncating to the priority
 /// list. Smaller is better; ranking is stable, so ties keep discovery
 /// order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CutRank {
     /// Fewer leaves first — favours large cones per cell (area).
     #[default]
@@ -72,7 +73,7 @@ pub(crate) struct CutData {
 
 /// All cuts of an AIG, arena-packed: one contiguous leaf buffer,
 /// per-node cut spans.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CutArena {
     pub(crate) k: usize,
     pub(crate) has_tts: bool,
@@ -107,6 +108,335 @@ impl CutArena {
     pub fn of(&self, node: NodeId) -> CutIter<'_> {
         let (start, end) = self.spans[node.index()];
         CutIter { arena: self, cur: start as usize, end: end as usize }
+    }
+
+    /// Re-enumerates cuts only where an editing session changed the
+    /// graph, splicing the refreshed lists into the arena in place.
+    ///
+    /// `delta` is the [`EditDelta`] returned by [`Aig::end_edit`] and
+    /// `params` must carry the same `k` the arena was built with. The
+    /// ascending pass recomputes every seed-dirty node plus any node
+    /// whose fanin's cut list actually changed, and stops propagating
+    /// as soon as a refreshed list comes out identical to the stored
+    /// one — so the work is proportional to the edit's structural
+    /// footprint, not to the graph.
+    ///
+    /// After the call every node's cut list — leaves, functions,
+    /// costs, rank order — is identical to what
+    /// [`enumerate_cuts_with`] would produce from scratch on the
+    /// post-edit graph (including its convention that a fanin appended
+    /// *after* its fanout reads as an empty list during the ascending
+    /// pass). Only the arena's internal storage order may differ:
+    /// superseded spans linger as unreachable garbage until the next
+    /// full enumeration. With `CNTFET_NO_CACHE=1` set
+    /// ([`cntfet_boolfn::cache::enabled`]) the whole arena is rebuilt
+    /// from scratch instead — behaviourally identical, just without
+    /// the dirty-region shortcut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.rank` is [`CutRank::Arrival`] (an external
+    /// oracle's costs cannot be replayed incrementally), if `params.k`
+    /// differs from the arena's, or if the arena, delta and graph
+    /// sizes are inconsistent (e.g. the arena was not built from the
+    /// delta's pre-edit graph).
+    pub fn update(&mut self, aig: &Aig, delta: &EditDelta, params: CutParams) {
+        assert!(
+            params.rank != CutRank::Arrival,
+            "CutRank::Arrival needs a cost oracle; incremental update supports builtin ranks"
+        );
+        if !cntfet_boolfn::cache::enabled() {
+            self.update_prepare(aig, delta, params);
+            *self = enumerate_cuts_with(aig, params);
+            return;
+        }
+        self.update_prepare(aig, delta, params);
+        let n = aig.num_nodes();
+        let levels = match params.rank {
+            CutRank::Depth => aig.levels(),
+            _ => Vec::new(),
+        };
+        let mut coster = |_root: NodeId, leaves: &[NodeId], _tt: u64| match params.rank {
+            CutRank::Size => (leaves.len() as u32, 0),
+            CutRank::Depth => {
+                let depth = leaves.iter().map(|l| levels[l.index()]).max().unwrap_or(0);
+                (depth, leaves.len() as u32)
+            }
+            CutRank::Arrival => unreachable!(),
+        };
+        let mut seed = vec![false; n];
+        for d in delta.dirty() {
+            seed[d.index()] = true;
+        }
+        let mut changed = vec![false; n];
+        let mut sc = NodeScratch::default();
+        let (mut tmp_leaves, mut tmp_cuts) = (Vec::new(), Vec::new());
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            let is_and = aig.is_and(id);
+            let need = seed[i]
+                || (is_and && {
+                    let (f0, f1) = aig.fanins(id);
+                    let (a, b) = (f0.node().index(), f1.node().index());
+                    // Propagation only flows upward: the from-scratch
+                    // pass reads an empty list for a fanin at or above
+                    // the node's id, so its content cannot matter here.
+                    (a < i && changed[a]) || (b < i && changed[b])
+                });
+            if !need {
+                continue;
+            }
+            if is_and {
+                // Emulate the from-scratch ascending-order semantics on
+                // an edited (non-topological) graph: a fanin whose id
+                // is not below the node's reads as an empty cut list —
+                // hide such spans for the duration of the merge.
+                let (f0, f1) = aig.fanins(id);
+                let mut hid: [Option<(usize, (u32, u32))>; 2] = [None, None];
+                for (slot, fi) in [f0.node().index(), f1.node().index()].into_iter().enumerate()
+                {
+                    if fi >= i && hid[0].map(|(x, _)| x) != Some(fi) {
+                        hid[slot] = Some((fi, self.spans[fi]));
+                        self.spans[fi] = (0, 0);
+                    }
+                }
+                compute_node_cuts(self, aig, id, params.max_cuts, &mut coster, &mut sc);
+                for (fi, span) in hid.into_iter().flatten() {
+                    self.spans[fi] = span;
+                }
+                rebase_scratch(&sc, &mut tmp_leaves, &mut tmp_cuts);
+            } else {
+                // PI, constant or reclaimed node: the list is just the
+                // unit cut, exactly as the from-scratch pass emits it.
+                tmp_leaves.clear();
+                tmp_cuts.clear();
+            }
+            if self.stored_equals(id, &tmp_cuts, &tmp_leaves) {
+                continue;
+            }
+            changed[i] = true;
+            self.splice(id, &tmp_cuts, &tmp_leaves);
+        }
+    }
+
+    /// [`CutArena::update`] with the per-level recomputation sharded
+    /// across `jobs` worker threads (`0` resolves through
+    /// [`threadpool::Jobs`]; `1` is exactly the sequential engine).
+    ///
+    /// Dirty nodes are grouped by topological level; within a level no
+    /// node's cuts depend on another's, so workers recompute disjoint
+    /// chunks against the shared arena and the caller compares and
+    /// splices the results back in ascending node order — the same
+    /// guarantee shape as [`enumerate_cuts_with_jobs`]: per-node cut
+    /// lists are identical to the sequential engine's (and therefore
+    /// to from-scratch enumeration) for any job count. Falls back to
+    /// the sequential engine when the edited graph is no longer
+    /// topological in id order.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`CutArena::update`].
+    pub fn update_jobs(&mut self, aig: &Aig, delta: &EditDelta, params: CutParams, jobs: usize) {
+        assert!(
+            params.rank != CutRank::Arrival,
+            "CutRank::Arrival needs a cost oracle; incremental update supports builtin ranks"
+        );
+        let jobs = threadpool::Jobs::resolve(jobs);
+        if jobs <= 1 || !cntfet_boolfn::cache::enabled() {
+            return self.update(aig, delta, params);
+        }
+        let n = aig.num_nodes();
+
+        // Rank nodes so every AND sits strictly above both fanins; the
+        // level shards below only run nodes of equal rank concurrently.
+        // An edited graph may reference later-appended fanins — fall
+        // back to the sequential engine then (it emulates the
+        // from-scratch empty-span convention those graphs need).
+        let mut rank = vec![0u32; n];
+        for id in aig.node_ids() {
+            if !aig.is_and(id) {
+                continue;
+            }
+            let (f0, f1) = aig.fanins(id);
+            let (i0, i1) = (f0.node().index(), f1.node().index());
+            if i0 >= id.index() || i1 >= id.index() {
+                return self.update(aig, delta, params);
+            }
+            rank[id.index()] = 1 + rank[i0].max(rank[i1]);
+        }
+        self.update_prepare(aig, delta, params);
+        let levels = match params.rank {
+            CutRank::Depth => aig.levels(),
+            _ => Vec::new(),
+        };
+        let mut seed = vec![false; n];
+        for d in delta.dirty() {
+            seed[d.index()] = true;
+        }
+        let mut changed = vec![false; n];
+
+        // (rank, id)-sorted node list; each rank is one contiguous
+        // segment and ids stay ascending inside it.
+        let mut sorted: Vec<NodeId> = aig.node_ids().collect();
+        sorted.sort_by_key(|id| (rank[id.index()], id.index()));
+        let mut segments: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut seg_start = 0;
+        for i in 1..=sorted.len() {
+            if i == sorted.len() || rank[sorted[i].index()] != rank[sorted[seg_start].index()] {
+                segments.push(seg_start..i);
+                seg_start = i;
+            }
+        }
+
+        let rank_kind = params.rank;
+        let levels_ref = &levels;
+        let make_coster = move || {
+            move |_root: NodeId, leaves: &[NodeId], _tt: u64| match rank_kind {
+                CutRank::Size => (leaves.len() as u32, 0),
+                CutRank::Depth => {
+                    let depth = leaves.iter().map(|l| levels_ref[l.index()]).max().unwrap_or(0);
+                    (depth, leaves.len() as u32)
+                }
+                CutRank::Arrival => unreachable!(),
+            }
+        };
+
+        for seg in &segments {
+            let cand: Vec<NodeId> = sorted[seg.clone()]
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    seed[id.index()]
+                        || (aig.is_and(id) && {
+                            let (f0, f1) = aig.fanins(id);
+                            changed[f0.node().index()] || changed[f1.node().index()]
+                        })
+                })
+                .collect();
+            if cand.is_empty() {
+                continue;
+            }
+            let outbox: Mutex<Vec<(usize, NodeRes)>> = Mutex::new(Vec::new());
+            {
+                let arena = &*self;
+                let (cand, outbox, make_coster) = (&cand, &outbox, &make_coster);
+                threadpool::scope(jobs, |s| {
+                    for r in threadpool::split_even(cand.len(), jobs) {
+                        if r.is_empty() {
+                            continue;
+                        }
+                        let base = r.start;
+                        let ids = &cand[r];
+                        s.spawn(move || {
+                            let mut coster = make_coster();
+                            let mut sc = NodeScratch::default();
+                            let mut local: Vec<(usize, NodeRes)> = Vec::new();
+                            for (di, &id) in ids.iter().enumerate() {
+                                if !aig.is_and(id) {
+                                    continue;
+                                }
+                                compute_node_cuts(
+                                    arena,
+                                    aig,
+                                    id,
+                                    params.max_cuts,
+                                    &mut coster,
+                                    &mut sc,
+                                );
+                                let (mut leaves, mut cuts) = (Vec::new(), Vec::new());
+                                rebase_scratch(&sc, &mut leaves, &mut cuts);
+                                local.push((base + di, NodeRes { leaves, cuts }));
+                            }
+                            outbox.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+                        });
+                    }
+                });
+            }
+            // Compare and splice in ascending node order — the only
+            // arena mutation, after every worker has finished reading.
+            let mut batch = outbox.into_inner().unwrap_or_else(PoisonError::into_inner);
+            batch.sort_by_key(|(p, _)| *p);
+            let mut results = batch.into_iter().peekable();
+            for (pos, &id) in cand.iter().enumerate() {
+                let (cuts, leaves) = match results.next_if(|&(p, _)| p == pos) {
+                    Some((_, res)) => (res.cuts, res.leaves),
+                    None => (Vec::new(), Vec::new()),
+                };
+                if self.stored_equals(id, &cuts, &leaves) {
+                    continue;
+                }
+                changed[id.index()] = true;
+                self.splice(id, &cuts, &leaves);
+            }
+        }
+    }
+
+    /// Shared sanity checks of the incremental entry points, plus span
+    /// growth for nodes the edit appended.
+    fn update_prepare(&mut self, aig: &Aig, delta: &EditDelta, params: CutParams) {
+        assert!(params.k >= 2, "cut size must be at least 2");
+        assert_eq!(params.k, self.k, "incremental update must reuse the arena's cut size");
+        assert_eq!(
+            self.spans.len(),
+            delta.nodes_before(),
+            "arena was not built from the delta's pre-edit graph"
+        );
+        assert_eq!(
+            aig.num_nodes(),
+            delta.nodes_after(),
+            "delta does not describe the post-edit graph"
+        );
+        self.spans.resize(aig.num_nodes(), (0, 0));
+    }
+
+    /// True iff `id`'s stored cut list equals the unit cut followed by
+    /// `cuts` (whose offsets index `leaves`).
+    fn stored_equals(&self, id: NodeId, cuts: &[CutData], leaves: &[NodeId]) -> bool {
+        let (start, end) = self.spans[id.index()];
+        let (start, end) = (start as usize, end as usize);
+        if end - start != cuts.len() + 1 {
+            return false;
+        }
+        let u = self.cuts[start];
+        let unit_tt = if id == NodeId::CONST { 0 } else { word::var_word(0) };
+        if u.len != 1
+            || self.leaves[u.off as usize] != id
+            || u.sig != 1 << (id.index() % 64)
+            || u.tt != unit_tt
+            || u.cost != (0, 0)
+        {
+            return false;
+        }
+        for (c_old, c_new) in self.cuts[start + 1..end].iter().zip(cuts) {
+            if c_old.len != c_new.len
+                || c_old.sig != c_new.sig
+                || c_old.tt != c_new.tt
+                || c_old.cost != c_new.cost
+            {
+                return false;
+            }
+            let lo = &self.leaves[c_old.off as usize..(c_old.off + c_old.len as u32) as usize];
+            let ln = &leaves[c_new.off as usize..(c_new.off + c_new.len as u32) as usize];
+            if lo != ln {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Appends the unit cut of `id` plus `cuts` (offsets indexing
+    /// `leaves`) at the arena's end and re-points the node's span; the
+    /// old span becomes unreachable garbage.
+    fn splice(&mut self, id: NodeId, cuts: &[CutData], leaves: &[NodeId]) {
+        let start = self.cuts.len() as u32;
+        push_unit(self, id);
+        for c in cuts {
+            let off = self.leaves.len() as u32;
+            self.leaves
+                .extend_from_slice(&leaves[c.off as usize..(c.off + c.len as u32) as usize]);
+            self.cuts.push(CutData { off, ..*c });
+        }
+        self.spans[id.index()] = (start, self.cuts.len() as u32);
     }
 }
 
@@ -489,6 +819,21 @@ fn emit_node(arena: &mut CutArena, id: NodeId, sc: &NodeScratch) {
         arena.cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt, cost: s.cost });
     }
     arena.spans[id.index()] = (start, arena.cuts.len() as u32);
+}
+
+/// Rebases the kept scratch cuts of one node into caller-owned
+/// buffers (offsets indexing `leaves`), clearing both first — the
+/// interchange format [`CutArena::stored_equals`] and
+/// [`CutArena::splice`] consume.
+fn rebase_scratch(sc: &NodeScratch, leaves: &mut Vec<NodeId>, cuts: &mut Vec<CutData>) {
+    leaves.clear();
+    cuts.clear();
+    for &i in &sc.order {
+        let s = sc.scuts[i];
+        let off = leaves.len() as u32;
+        leaves.extend_from_slice(&sc.sleaves[s.off as usize..(s.off + s.len as u32) as usize]);
+        cuts.push(CutData { off, len: s.len, sig: s.sig, tt: s.tt, cost: s.cost });
+    }
 }
 
 fn enumerate_impl(aig: &Aig, params: CutParams, coster: &mut CutCost<'_>) -> CutArena {
@@ -1007,6 +1352,138 @@ mod tests {
     fn arrival_rank_without_oracle_panics() {
         let g = sample_aig();
         enumerate_cuts_with(&g, CutParams { k: 4, max_cuts: 4, rank: CutRank::Arrival });
+    }
+
+    #[test]
+    fn update_matches_scratch_after_reassociation() {
+        // The edit appends nodes referenced by a lower-id fanout, so
+        // the update must reproduce the from-scratch empty-span
+        // convention on the now non-topological graph.
+        for rank in [CutRank::Size, CutRank::Depth] {
+            let params = CutParams { k: 4, max_cuts: 6, rank };
+            let mut g = Aig::new("t");
+            let p = g.add_pis(4);
+            let c1 = g.and(p[0], p[1]);
+            let c2 = g.and(c1, p[2]);
+            let top = g.and(c2, p[3]);
+            g.add_po(top);
+            let mut arena = enumerate_cuts_with(&g, params);
+            g.begin_edit();
+            let r = g.and(p[1], p[2]);
+            let c2b = g.and(p[0], r);
+            g.replace_node(c2.node(), c2b);
+            let delta = g.end_edit();
+            arena.update(&g, &delta, params);
+            assert_same_per_node(&g, &enumerate_cuts_with(&g, params), &arena);
+        }
+    }
+
+    #[test]
+    fn update_matches_scratch_after_cascade_collapse() {
+        // Replacing by a constant collapses a fanout chain and
+        // reclaims nodes: the refreshed lists of dead nodes shrink to
+        // the unit cut, exactly as from-scratch enumeration emits them.
+        let params = CutParams { k: 4, max_cuts: 6, rank: CutRank::Size };
+        let mut g = Aig::new("t");
+        let p = g.add_pis(3);
+        let x = g.and(p[0], p[1]);
+        let y = g.and(x, p[2]);
+        let z = g.or(y, p[0]);
+        g.add_po(z);
+        let mut arena = enumerate_cuts_with(&g, params);
+        g.begin_edit();
+        g.replace_node(x.node(), crate::graph::Lit::FALSE);
+        let delta = g.end_edit();
+        arena.update(&g, &delta, params);
+        assert_same_per_node(&g, &enumerate_cuts_with(&g, params), &arena);
+    }
+
+    #[test]
+    fn update_with_empty_delta_is_noop() {
+        let mut g = reconvergent_aig();
+        let params = CutParams { k: 4, max_cuts: 6, rank: CutRank::Size };
+        let mut arena = enumerate_cuts_with(&g, params);
+        let (cuts_before, leaves_before) = (arena.num_cuts(), arena.num_leaves());
+        g.begin_edit();
+        let delta = g.end_edit();
+        assert!(delta.is_empty());
+        arena.update(&g, &delta, params);
+        if cntfet_boolfn::cache::enabled() {
+            assert_eq!(arena.num_cuts(), cuts_before);
+            assert_eq!(arena.num_leaves(), leaves_before);
+        }
+        assert_same_per_node(&g, &enumerate_cuts_with(&g, params), &arena);
+    }
+
+    #[test]
+    fn update_jobs_matches_scratch_on_topological_edit() {
+        // Replacing by an already-present lower-id node keeps the
+        // graph topological in id order, so the sharded path runs
+        // (rather than falling back to the sequential engine).
+        let params = CutParams { k: 4, max_cuts: 6, rank: CutRank::Size };
+        let mut g = Aig::new("t");
+        let p = g.add_pis(3);
+        let a1 = g.and(p[0], p[1]);
+        let top1 = g.and(a1, p[2]);
+        let a2 = g.and(p[0], p[1].negate());
+        let top2 = g.and(a2, p[2]);
+        g.add_po(top1);
+        g.add_po(top2);
+        let pre = enumerate_cuts_with(&g, params);
+        g.begin_edit();
+        g.replace_node(a2.node(), a1);
+        let delta = g.end_edit();
+        let scratch = enumerate_cuts_with(&g, params);
+        for jobs in [1, 2, 4] {
+            let mut arena = pre.clone();
+            arena.update_jobs(&g, &delta, params, jobs);
+            assert_same_per_node(&g, &scratch, &arena);
+        }
+    }
+
+    #[test]
+    fn update_matches_scratch_on_larger_session() {
+        // Several re-associations in one session over a reconvergent
+        // graph: cascades may merge or kill nodes collected earlier,
+        // and the delta must still drive the arena to the from-scratch
+        // fixpoint — sequentially and sharded.
+        for rank in [CutRank::Size, CutRank::Depth] {
+            let params = CutParams { k: 4, max_cuts: 6, rank };
+            let mut g = reconvergent_aig();
+            let pre = enumerate_cuts_with(&g, params);
+            g.begin_edit();
+            let ands: Vec<NodeId> = g.and_ids().collect();
+            let mut done = 0;
+            for id in ands {
+                if done == 3 {
+                    break;
+                }
+                if !g.is_and(id) {
+                    continue; // died in an earlier cascade
+                }
+                let (f0, f1) = g.fanins(id);
+                if f0.is_complement() || !g.is_and(f0.node()) {
+                    continue;
+                }
+                // (g0·g1)·f1 → g0·(g1·f1).
+                let (g0, g1) = g.fanins(f0.node());
+                let inner = g.and(g1, f1);
+                let outer = g.and(g0, inner);
+                g.replace_node(id, outer);
+                done += 1;
+            }
+            assert!(done > 0, "expected at least one re-association");
+            let delta = g.end_edit();
+            let scratch = enumerate_cuts_with(&g, params);
+            let mut seq = pre.clone();
+            seq.update(&g, &delta, params);
+            assert_same_per_node(&g, &scratch, &seq);
+            for jobs in [2, 4] {
+                let mut par = pre.clone();
+                par.update_jobs(&g, &delta, params, jobs);
+                assert_same_per_node(&g, &scratch, &par);
+            }
+        }
     }
 
     #[test]

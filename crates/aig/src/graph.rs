@@ -391,6 +391,50 @@ impl Aig {
         (0..self.nodes.len()).map(|i| NodeId(i as u32))
     }
 
+    /// A 128-bit structural fingerprint of the graph: a deterministic
+    /// hash of its name, primary inputs, every node's raw fanin codes
+    /// and the primary-output literals, accumulated by two
+    /// independently seeded splitmix-style streams. Equal structures
+    /// (same name, same node array, same outputs) always produce equal
+    /// fingerprints; distinct ones collide with probability ~2⁻¹²⁸.
+    ///
+    /// The walk is pure id order and never touches the strash table
+    /// (whose iteration order is arbitrary), so the fingerprint is
+    /// stable across processes, job counts and insertion histories —
+    /// the property the workspace's strash-fingerprint result caches
+    /// rely on to key mapping, synthesis-script and CEC outcomes.
+    pub fn fingerprint(&self) -> u128 {
+        let mut lo = FpStream { acc: 0x243F_6A88_85A3_08D3, mul: 0xBF58_476D_1CE4_E5B9 };
+        let mut hi = FpStream { acc: 0x1319_8A2E_0370_7344, mul: 0xA076_1D64_78BD_642F };
+        let mut put = |x: u64| {
+            lo.put(x);
+            hi.put(x);
+        };
+        let bytes = self.name.as_bytes();
+        put(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            put(u64::from_le_bytes(w));
+        }
+        put(self.pis.len() as u64);
+        for &pi in &self.pis {
+            put(pi.index() as u64);
+        }
+        put(self.nodes.len() as u64);
+        for n in &self.nodes {
+            // The raw fanin pair distinguishes every node kind: ANDs
+            // carry literal codes, PIs/constants the NONE sentinel,
+            // reclaimed nodes the DEAD sentinel.
+            put((n.f0.code() as u64) << 32 | n.f1.code() as u64);
+        }
+        put(self.pos.len() as u64);
+        for po in &self.pos {
+            put(po.code() as u64);
+        }
+        ((hi.acc as u128) << 64) | lo.acc as u128
+    }
+
     /// All live AND nodes in a topological order (every node after its
     /// fanins). For freshly built or compacted graphs this is simply
     /// ascending id order; after in-place editing (where replacements
@@ -646,6 +690,23 @@ impl Aig {
     }
 }
 
+/// One stream of [`Aig::fingerprint`]: a seeded splitmix64-style
+/// multiply-xor accumulator. Two streams with independent seeds and
+/// middle multipliers give the fingerprint its 128 bits.
+struct FpStream {
+    acc: u64,
+    mul: u64,
+}
+
+impl FpStream {
+    fn put(&mut self, x: u64) {
+        let mut z = self.acc ^ x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(self.mul);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.acc = z ^ (z >> 31);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +720,36 @@ mod tests {
         let y = g.and(b, a);
         assert_eq!(x, y);
         assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_structures() {
+        let mut g = Aig::new("t");
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x);
+        let base = g.fingerprint();
+        // Deterministic across calls and across an identical rebuild.
+        assert_eq!(base, g.fingerprint());
+        let mut g2 = Aig::new("t");
+        let a2 = g2.add_pi();
+        let b2 = g2.add_pi();
+        let x2 = g2.and(a2, b2);
+        g2.add_po(x2);
+        assert_eq!(base, g2.fingerprint());
+        // Name, output polarity and structure all separate.
+        let mut renamed = g.clone();
+        renamed.name = "u".into();
+        assert_ne!(base, renamed.fingerprint());
+        let mut flipped = g.clone();
+        flipped.set_po(0, x.negate());
+        assert_ne!(base, flipped.fingerprint());
+        let mut grown = g.clone();
+        let c = grown.add_pi();
+        let y = grown.and(x, c);
+        grown.set_po(0, y);
+        assert_ne!(base, grown.fingerprint());
     }
 
     #[test]

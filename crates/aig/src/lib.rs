@@ -79,6 +79,7 @@ mod check;
 mod cuts;
 mod edit;
 mod graph;
+pub mod rcache;
 mod sim;
 mod sweep;
 
@@ -92,8 +93,10 @@ pub use cuts::{
     cut_function, enumerate_cuts, enumerate_cuts_custom, enumerate_cuts_custom_jobs,
     enumerate_cuts_with, enumerate_cuts_with_jobs, CutArena, CutIter, CutParams, CutRank, CutView,
 };
+pub use edit::EditDelta;
 pub use graph::{Aig, Lit, NodeId};
+pub use rcache::ResultCache;
 pub use sweep::{
-    check_equivalence_sweeping, check_equivalence_sweeping_report,
-    check_equivalence_sweeping_with, SweepOptions,
+    cec_cache_stats, check_equivalence_sweeping, check_equivalence_sweeping_report,
+    check_equivalence_sweeping_with, clear_cec_cache, SweepOptions,
 };

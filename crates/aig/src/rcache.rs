@@ -1,0 +1,153 @@
+//! Process-wide result caching keyed by structural fingerprints.
+//!
+//! [`ResultCache`] is the container behind the workspace's
+//! strash-fingerprint result caches: technology mapping, synthesis
+//! scripts and CEC sweeps memoize their outcome under a key combining
+//! [`crate::Aig::fingerprint`] with a digest of every option that can
+//! influence the result. Hits skip the engine entirely — the cached
+//! value *is* the deterministic outcome the engine would recompute.
+//!
+//! The container honours the workspace-wide cache policy
+//! ([`cntfet_boolfn::cache::enabled`]): with `CNTFET_NO_CACHE=1` set,
+//! every lookup computes from scratch, stores nothing and counts
+//! nothing, so cached and uncached runs are bitwise comparable.
+
+use cntfet_boolfn::CacheStats;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A bounded, thread-safe memo table from result-determining keys to
+/// cloned outcomes, with `SolverStats`-style hit/miss counters.
+///
+/// When an insertion would exceed the capacity the whole table is
+/// cleared (the same wholesale-eviction idiom as the factoring cache):
+/// the map stays bounded without per-entry bookkeeping, and a
+/// pathological workload degrades to recomputing, never to unbounded
+/// memory.
+#[derive(Debug)]
+pub struct ResultCache<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> ResultCache<K, V> {
+    /// An empty cache holding at most `cap` entries (`cap ≥ 1`).
+    pub fn new(cap: usize) -> ResultCache<K, V> {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, or runs `compute`, stores a
+    /// clone of its result and returns it. The lock is *not* held
+    /// while `compute` runs, so concurrent misses on the same key may
+    /// compute redundantly — safe because every cached engine is
+    /// deterministic in its key.
+    ///
+    /// With caching disabled process-wide this is exactly `compute()`:
+    /// no storage, no counters.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if !cntfet_boolfn::cache::enabled() {
+            return compute();
+        }
+        {
+            let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if map.len() >= self.cap && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, v.clone());
+        v
+    }
+
+    /// Hit/miss counters accumulated so far. Monotonic: [`clear`]
+    /// drops entries, never history.
+    ///
+    /// [`clear`]: ResultCache::clear
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored entry (counters keep accumulating) — used by
+    /// benchmarks to measure genuinely cold runs.
+    pub fn clear(&self) {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let c: ResultCache<u64, String> = ResultCache::new(16);
+        let mut computed = 0;
+        for _ in 0..3 {
+            let v = c.get_or_insert_with(7, || {
+                computed += 1;
+                "seven".to_string()
+            });
+            assert_eq!(v, "seven");
+        }
+        if cntfet_boolfn::cache::enabled() {
+            assert_eq!(computed, 1);
+            assert_eq!(c.stats(), CacheStats { hits: 2, misses: 1 });
+            assert_eq!(c.len(), 1);
+        } else {
+            assert_eq!(computed, 3);
+            assert_eq!(c.stats(), CacheStats::default());
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let c: ResultCache<u64, u64> = ResultCache::new(16);
+        let _ = c.get_or_insert_with(1, || 10);
+        c.clear();
+        assert!(c.is_empty());
+        let before = c.stats();
+        let v = c.get_or_insert_with(1, || 10);
+        assert_eq!(v, 10);
+        if cntfet_boolfn::cache::enabled() {
+            assert_eq!(c.stats().lookups(), before.lookups() + 1);
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let c: ResultCache<u64, u64> = ResultCache::new(4);
+        for k in 0..64 {
+            let _ = c.get_or_insert_with(k, || k * 2);
+        }
+        assert!(c.len() <= 4);
+    }
+}

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 /// reproduce the library's standard behavior; tests and benches can
 /// stress specific paths (e.g. `node_budget: 0` disables internal
 /// sweeping entirely, forcing the pure output-miter fallback).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SweepOptions {
     /// Conflict budget per internal equivalence proof; `0` skips the
     /// internal sweep and solves only the output miters.
@@ -74,8 +74,33 @@ pub fn check_equivalence_sweeping_with(a: &Aig, b: &Aig, opts: &SweepOptions) ->
     check_equivalence_sweeping_report(a, b, opts).result
 }
 
+/// The process-wide CEC result cache: verdicts (full [`CecReport`]s)
+/// keyed by both graphs' structural fingerprints and the resolved
+/// sweep options. The sweeping engine is deterministic in that key,
+/// so a hit returns exactly what a recomputation would.
+fn cec_cache() -> &'static crate::ResultCache<(u128, u128, SweepOptions), CecReport> {
+    static CACHE: std::sync::OnceLock<crate::ResultCache<(u128, u128, SweepOptions), CecReport>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| crate::ResultCache::new(1024))
+}
+
+/// Hit/miss counters of the process-wide CEC result cache.
+pub fn cec_cache_stats() -> cntfet_boolfn::CacheStats {
+    cec_cache().stats()
+}
+
+/// Drops every entry of the process-wide CEC result cache (counters
+/// keep accumulating) — used by benchmarks to measure cold runs.
+pub fn clear_cec_cache() {
+    cec_cache().clear();
+}
+
 /// [`check_equivalence_sweeping`] returning the full [`CecReport`]
 /// (solver statistics, internal proof and refinement counts).
+///
+/// Results are memoized process-wide under the two graphs' structural
+/// fingerprints and the resolved options ([`cec_cache_stats`] reads
+/// the counters; `CNTFET_NO_CACHE=1` disables the memo).
 ///
 /// # Panics
 ///
@@ -83,6 +108,16 @@ pub fn check_equivalence_sweeping_with(a: &Aig, b: &Aig, opts: &SweepOptions) ->
 pub fn check_equivalence_sweeping_report(a: &Aig, b: &Aig, opts: &SweepOptions) -> CecReport {
     assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
     assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+    // Resolve the deferred job count into the key: the verdict is
+    // deterministic for every fixed value, but the report's solver
+    // statistics legitimately differ between engine configurations.
+    let resolved = SweepOptions { jobs: threadpool::Jobs::resolve(opts.jobs), ..*opts };
+    cec_cache().get_or_insert_with((a.fingerprint(), b.fingerprint(), resolved), || {
+        sweeping_report_uncached(a, b, opts)
+    })
+}
+
+fn sweeping_report_uncached(a: &Aig, b: &Aig, opts: &SweepOptions) -> CecReport {
 
     // Narrow interface: complete simulation decides without SAT (as
     // long as the matrices fit the memory budget).

@@ -1,24 +1,33 @@
 //! Performance snapshot: measures the workspace's hot paths —
-//! synthesis (the PR 5 in-place DAG-aware engine vs the seed rebuild
-//! engine), technology mapping, CEC verification, and the parallel
-//! suite at several worker counts — and writes the numbers to
-//! `BENCH_PR7.json` in the current directory. The JSON continues the
-//! bench trajectory the ROADMAP asks for: `BENCH_PR3.json` records the
-//! verification rebuild, `BENCH_PR4.json` the arrival-aware mapper,
-//! `BENCH_PR5.json` the synthesis rebuild, this file the work-stealing
-//! thread pool — suite wall times at `jobs ∈ {1, 2, 4, all}` plus a
-//! determinism cross-check that every worker count produced the same
-//! report. Scaling rows are honest measurements of the machine the
-//! snapshot ran on: `available_parallelism` is recorded next to them,
-//! and on a single-core container the jobs>1 rows will not (and must
-//! not pretend to) beat jobs=1.
+//! synthesis (in-place engine vs the seed rebuild engine), technology
+//! mapping, CEC verification, the parallel suite at several worker
+//! counts, and (new in PR 8) the incrementality substrate: warm-vs-cold
+//! result-cache behaviour of the whole suite synthesis and
+//! dirty-region cut-enumeration updates vs from-scratch re-enumeration
+//! — and writes the numbers to `BENCH_PR8.json` in the current
+//! directory. The JSON continues the bench trajectory the ROADMAP asks
+//! for: `BENCH_PR3.json` records the verification rebuild,
+//! `BENCH_PR4.json` the arrival-aware mapper, `BENCH_PR5.json` the
+//! synthesis rebuild, `BENCH_PR7.json` the work-stealing thread pool,
+//! this file the caches. Every engine timing row clears the
+//! process-wide result caches before each iteration, so those numbers
+//! stay comparable with the earlier snapshots; the dedicated
+//! cold/warm rows are where the caches are allowed to shine. Scaling
+//! rows are honest measurements of the machine the snapshot ran on:
+//! `available_parallelism` is recorded next to them, and on a
+//! single-core container the jobs>1 rows will not (and must not
+//! pretend to) beat jobs=1.
 
-use cntfet_aig::{check_equivalence_sweeping_report, CecResult, SweepOptions};
-use cntfet_bench::{compare_synth_engines, run_suite_with};
+use cntfet_aig::{
+    cec_cache_stats, check_equivalence_sweeping_report, enumerate_cuts_with, CecResult, CutParams,
+    CutRank, NodeId, SweepOptions,
+};
+use cntfet_bench::{clear_result_caches, compare_synth_engines, run_suite_with};
+use cntfet_boolfn::{canon_cache_stats, CacheStats};
 use cntfet_circuits::{array_multiplier, c1908_like, cla_adder, ripple_adder, shift_add_multiplier};
 use cntfet_core::{Library, LogicFamily};
-use cntfet_synth::{resyn2rs, resyn2rs_with, SynthEngine, SynthOptions};
-use cntfet_techmap::{map, MapOptions, Objective};
+use cntfet_synth::{resyn2rs, resyn2rs_with, synth_cache_stats, SynthEngine, SynthOptions};
+use cntfet_techmap::{map, map_cache_stats, MapOptions, Objective};
 use std::time::Instant;
 
 /// Best-of-`n` wall time of `f`, in milliseconds.
@@ -32,6 +41,26 @@ fn best_ms(n: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// Best-of-`n` *cold* wall time: every iteration starts with the
+/// process-wide result caches dropped, so the engines genuinely
+/// recompute (matching the semantics of the pre-PR 8 snapshots).
+fn best_cold_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    best_ms(n, || {
+        clear_result_caches();
+        f();
+    })
+}
+
+/// Formats a hit/miss counter pair as a JSON fragment.
+fn stats_json(s: &CacheStats) -> String {
+    format!(
+        r#"{{ "hits": {}, "misses": {}, "hit_rate": {:.3} }}"#,
+        s.hits,
+        s.misses,
+        s.hit_rate()
+    )
+}
+
 fn main() {
     // Timing numbers with the invariant checkers compiled in would be
     // garbage — refuse to record them.
@@ -39,31 +68,98 @@ fn main() {
         eprintln!("perfsnap: built with --features paranoid; rebuild without it for timing runs");
         std::process::exit(2);
     }
-    println!("perfsnap: measuring synthesis, mapping and verification hot paths...");
+    println!("perfsnap: measuring synthesis, mapping, verification and cache hot paths...");
     // Warm the per-process rewrite library (one-time build).
     let _ = cntfet_boolfn::RwrLibrary::global();
+
+    // --- result caches: cold vs warm suite synthesis ---
+    // One sequential synthesis pass over all paper benchmarks, timed
+    // twice: cold (caches just dropped) and warm (every graph's
+    // fingerprint already memoized). The warm pass must be at least 2x
+    // faster and return bit-identical results.
+    let suite_synth = || -> Vec<u128> {
+        cntfet_circuits::paper_benchmarks().iter().map(|b| resyn2rs(&b.aig).fingerprint()).collect()
+    };
+    clear_result_caches();
+    let t = Instant::now();
+    let cold_fps = suite_synth();
+    let suite_synth_cold_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm_fps = suite_synth();
+    let suite_synth_warm_s = t.elapsed().as_secs_f64();
+    assert_eq!(cold_fps, warm_fps, "warm suite synthesis returned different graphs");
+    assert!(
+        suite_synth_warm_s * 2.0 <= suite_synth_cold_s,
+        "warm suite synthesis not 2x faster: cold {suite_synth_cold_s:.3}s vs warm {suite_synth_warm_s:.3}s"
+    );
+    let warm_speedup = suite_synth_cold_s / suite_synth_warm_s;
+
+    // --- incremental cut enumeration: update vs from-scratch ---
+    // A deterministic edit trace on the suite's biggest graph: every
+    // 7th eligible AND gets re-associated, then the pre-edit arena is
+    // driven to the post-edit graph with `update` and compared against
+    // full re-enumeration for time (the workspace tests compare the
+    // cut lists themselves).
+    let params = CutParams { k: 4, max_cuts: 8, rank: CutRank::Size };
+    let mut incr_g = cntfet_circuits::des_like().compact();
+    let pre_arena = enumerate_cuts_with(&incr_g, params);
+    incr_g.begin_edit();
+    let ands: Vec<NodeId> = incr_g.and_ids().collect();
+    let mut edited = 0usize;
+    for (i, id) in ands.into_iter().enumerate() {
+        if i % 7 != 0 || edited == 8 || !incr_g.is_and(id) {
+            continue;
+        }
+        let (f0, f1) = incr_g.fanins(id);
+        if f0.is_complement() || !incr_g.is_and(f0.node()) {
+            continue;
+        }
+        let (g0, g1) = incr_g.fanins(f0.node());
+        let inner = incr_g.and(g1, f1);
+        let outer = incr_g.and(g0, inner);
+        if outer != id.lit() {
+            incr_g.replace_node(id, outer);
+            edited += 1;
+        }
+    }
+    let delta = incr_g.end_edit();
+    assert!(edited > 0, "edit trace produced no edits");
+    let full_enum_ms = best_ms(5, || {
+        assert!(enumerate_cuts_with(&incr_g, params).num_cuts() > 0);
+    });
+    let mut update_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let mut arena = pre_arena.clone();
+        let t = Instant::now();
+        arena.update(&incr_g, &delta, params);
+        update_ms = update_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(
+        update_ms * 2.0 <= full_enum_ms,
+        "incremental update not 2x faster: full {full_enum_ms:.3}ms vs update {update_ms:.3}ms"
+    );
 
     // --- synthesis: in-place DAG-aware engine vs the seed rebuild ---
     let seed_opts = SynthOptions { engine: SynthEngine::Seed, ..Default::default() };
     let mult8_src = array_multiplier(8);
     let c1908_src = c1908_like();
     let des_src = cntfet_circuits::des_like();
-    let synth_mult8_new_ms = best_ms(5, || {
+    let synth_mult8_new_ms = best_cold_ms(5, || {
         assert!(resyn2rs(&mult8_src).num_ands() > 0);
     });
-    let synth_mult8_seed_ms = best_ms(5, || {
+    let synth_mult8_seed_ms = best_cold_ms(5, || {
         assert!(resyn2rs_with(&mult8_src, &seed_opts).num_ands() > 0);
     });
-    let synth_c1908_new_ms = best_ms(5, || {
+    let synth_c1908_new_ms = best_cold_ms(5, || {
         assert!(resyn2rs(&c1908_src).num_ands() > 0);
     });
-    let synth_c1908_seed_ms = best_ms(5, || {
+    let synth_c1908_seed_ms = best_cold_ms(5, || {
         assert!(resyn2rs_with(&c1908_src, &seed_opts).num_ands() > 0);
     });
-    let synth_des_new_ms = best_ms(3, || {
+    let synth_des_new_ms = best_cold_ms(3, || {
         assert!(resyn2rs(&des_src).num_ands() > 0);
     });
-    let synth_des_seed_ms = best_ms(3, || {
+    let synth_des_seed_ms = best_cold_ms(3, || {
         assert!(resyn2rs_with(&des_src, &seed_opts).num_ands() > 0);
     });
     let m8_new = resyn2rs(&mult8_src);
@@ -74,6 +170,7 @@ fn main() {
     assert!(synth_c1908_new_ms * 3.0 <= synth_c1908_seed_ms, "c1908 synth speedup below 3x");
 
     // Whole-suite quality outcome (ands totals, never-worse count).
+    clear_result_caches();
     let cmp = compare_synth_engines(false, None);
     let suite_seed_ands: usize = cmp.iter().map(|c| c.seed.ands).sum();
     let suite_new_ands: usize = cmp.iter().map(|c| c.inplace.ands).sum();
@@ -87,14 +184,14 @@ fn main() {
     let add16 = resyn2rs(&ripple_adder(16));
     let c1908 = resyn2rs(&c1908_src);
     let mult8 = resyn2rs(&mult8_src);
-    let map_add16_ms = best_ms(5, || {
+    let map_add16_ms = best_cold_ms(5, || {
         assert!(map(&add16, &lib, MapOptions::default()).stats.gates > 0);
     });
-    let map_c1908_ms = best_ms(5, || {
+    let map_c1908_ms = best_cold_ms(5, || {
         assert!(map(&c1908, &lib, MapOptions::default()).stats.gates > 0);
     });
     let delay_opts = MapOptions { objective: Objective::Delay, ..Default::default() };
-    let map_mult8_delay_ms = best_ms(5, || {
+    let map_mult8_delay_ms = best_cold_ms(5, || {
         assert!(map(&mult8, &lib, delay_opts).stats.gates > 0);
     });
 
@@ -103,23 +200,26 @@ fn main() {
     let m_sa = shift_add_multiplier(8);
     let r32 = ripple_adder(32);
     let c32 = cla_adder(32);
-    let cec_mult8_default_ms = best_ms(5, || {
+    let cec_mult8_default_ms = best_cold_ms(5, || {
         let r = check_equivalence_sweeping_report(&m_sa, &m_cols, &SweepOptions::default());
         assert_eq!(r.result, CecResult::Equivalent);
     });
-    let cec_adder32_sweep_ms = best_ms(5, || {
+    let cec_adder32_sweep_ms = best_cold_ms(5, || {
         let r = check_equivalence_sweeping_report(&r32, &c32, &SweepOptions::default());
         assert_eq!(r.result, CecResult::Equivalent);
     });
 
-    // --- parallel suite scaling (PR 7) ---
+    // --- parallel suite scaling (PR 7, caches cleared per row) ---
     // One unverified suite pass per worker count; `0` is the resolved
-    // "all cores" default. The reports must be identical — that's the
-    // determinism contract, checked here on the real suite — while the
-    // wall times say whatever this machine's core count lets them say.
+    // "all cores" default. The result caches are dropped before every
+    // row so each one is a genuine cold run, and the reports must be
+    // identical — that's the determinism contract, checked here on the
+    // real suite — while the wall times say whatever this machine's
+    // core count lets them say.
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("perfsnap: suite scaling on {cores} core(s)...");
     let suite_at = |jobs: usize| {
+        clear_result_caches();
         threadpool::Jobs::set(jobs);
         let t = Instant::now();
         let rows = run_suite_with(false, None, cntfet_techmap::MapOptions::default());
@@ -131,14 +231,40 @@ fn main() {
     let (suite_jobs4_s, report4) = suite_at(4);
     let (suite_all_s, report_all) = suite_at(0);
     threadpool::Jobs::set(0);
-    let deterministic =
-        report1 == report2 && report1 == report4 && report1 == report_all;
+    let deterministic = report1 == report2 && report1 == report4 && report1 == report_all;
     assert!(deterministic, "suite reports diverged across worker counts");
+
+    // --- cache counters, accumulated over everything above ---
+    let canon = canon_cache_stats();
+    let cec = cec_cache_stats();
+    let mapc = map_cache_stats();
+    let synth = synth_cache_stats();
 
     let json = format!(
         r#"{{
-  "pr": 7,
-  "description": "work-stealing thread pool: parallel simulation, SAT sweeping, cut enumeration and benchmark suite with deterministic results",
+  "pr": 8,
+  "description": "incremental recomputation + cross-call caching: dirty-region cut enumeration, NPN canonicalization memo, strash-fingerprint result caches for synthesis/mapping/CEC",
+  "caching": {{
+    "suite_synth_cold_s": {suite_synth_cold_s:.3},
+    "suite_synth_warm_s": {suite_synth_warm_s:.4},
+    "warm_speedup": {warm_speedup:.1},
+    "cold_warm_identical_fingerprints": true,
+    "counters": {{
+      "npn_canon": {canon_json},
+      "cec": {cec_json},
+      "map": {map_json},
+      "synth": {synth_json}
+    }}
+  }},
+  "incremental_cuts": {{
+    "circuit": "des-like",
+    "nodes": {incr_nodes},
+    "edits": {edited},
+    "dirty_nodes": {dirty_nodes},
+    "full_enum_ms": {full_enum_ms:.3},
+    "update_ms": {update_ms:.3},
+    "speedup": {incr_speedup:.1}
+  }},
   "parallel": {{
     "available_parallelism": {cores},
     "suite_wall_s": {{
@@ -187,8 +313,15 @@ fn main() {
         m8_new.depth(),
         c19_old.num_ands(),
         c19_new.num_ands(),
+        canon_json = stats_json(&canon),
+        cec_json = stats_json(&cec),
+        map_json = stats_json(&mapc),
+        synth_json = stats_json(&synth),
+        incr_nodes = incr_g.num_nodes(),
+        dirty_nodes = delta.dirty().len(),
+        incr_speedup = full_enum_ms / update_ms,
     );
-    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
     print!("{json}");
-    println!("wrote BENCH_PR7.json");
+    println!("wrote BENCH_PR8.json");
 }

@@ -41,7 +41,7 @@ const EXPECT_BUDGET: &[(&str, usize)] = &[
     ("crates/aig/src/blif.rs", 1),
     ("crates/aig/src/check.rs", 1),
     ("crates/aig/src/cuts.rs", 1),
-    ("crates/aig/src/edit.rs", 12),
+    ("crates/aig/src/edit.rs", 15),
     ("crates/aig/src/graph.rs", 1),
     ("crates/boolfn/src/expr.rs", 2),
     ("crates/boolfn/src/npn.rs", 2),

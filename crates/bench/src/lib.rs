@@ -48,6 +48,21 @@ impl Table3Row {
     }
 }
 
+/// Drops every process-wide result cache — synthesis outcomes
+/// ([`cntfet_synth::clear_synth_cache`]), mappings
+/// ([`cntfet_techmap::clear_map_cache`]) and CEC verdicts
+/// ([`cntfet_aig::clear_cec_cache`]) — so the next pipeline run is
+/// cold. Hit/miss counters keep accumulating; the per-thread NPN
+/// canonicalization memo is left alone (its entries are cheap to
+/// recompute and clearing it would not make a run meaningfully
+/// "cold"). Benchmarks call this between timed passes to measure
+/// cold-vs-warm behaviour honestly.
+pub fn clear_result_caches() {
+    cntfet_synth::clear_synth_cache();
+    cntfet_techmap::clear_map_cache();
+    cntfet_aig::clear_cec_cache();
+}
+
 /// Runs the full Table 3 pipeline on one benchmark with default
 /// (balanced) mapper options.
 ///

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 mod cube;
 mod expr;
 mod factor;
@@ -41,10 +42,14 @@ pub mod rwr;
 mod tt;
 pub mod word;
 
+pub use cache::CacheStats;
 pub use cube::{Cube, Sop};
 pub use expr::{Expr, ParseExprError};
 pub use factor::factor;
 pub use isop::{isop, isop_interval};
-pub use npn::{npn_canonical, npn_canonical_exhaustive, NpnCanon, NpnTransform};
+pub use npn::{
+    canon_cache_stats, npn_canonical, npn_canonical_cached, npn_canonical_exhaustive, CanonCache,
+    NpnCanon, NpnTransform,
+};
 pub use rwr::{RwrLibrary, RwrMatch, RwrOperand, RwrStructure};
 pub use tt::{TruthTable, MAX_VARS};

@@ -7,7 +7,9 @@
 //! representative to index library cells: a cut matches a cell iff
 //! their canonical forms are equal.
 
+use crate::cache::CacheStats;
 use crate::tt::TruthTable;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An NPN transform: `apply(f)(x) = f(y) ^ output_flip` where
 /// `y[perm[i]] = x[i] ^ input_flip_bit(i)` — i.e. first complement
@@ -314,6 +316,158 @@ pub fn npn_canonical_exhaustive(f: &TruthTable) -> NpnCanon {
     NpnCanon { table, transform }
 }
 
+/// One slot of a [`CanonCache`]: `tag == 0` means empty, otherwise
+/// `tag == nvars + 1` and the slot memoizes `(word, nvars) →
+/// (canonical word, transform)`.
+#[derive(Debug, Clone, Copy)]
+struct CanonSlot {
+    word: u64,
+    tag: u8,
+    canon: u64,
+    transform: NpnTransform,
+}
+
+/// Fixed-size, seeded-hash memo for [`npn_canonical`].
+///
+/// Canonicalization is the hottest scalar kernel of the workspace: it
+/// sits inside library matching, the rewrite-library lookup and the
+/// mapper's arrival oracle, and the same cut functions recur
+/// constantly. The cache is an open-addressed table of
+/// `(word, nvars) → (canonical word, transform)` entries with a
+/// bounded linear probe; on a full probe window the incoming entry
+/// evicts the home slot. Capacity is fixed at construction, so memory
+/// stays bounded no matter how many distinct functions flow through.
+///
+/// The memo is *transparent*: [`CanonCache::canonical`] returns
+/// exactly what [`npn_canonical`] would — same table, same transform —
+/// so consumers keep their determinism guarantees, and per-worker
+/// instances (behind the matcher factory of the parallel enumeration)
+/// answer identically to a shared sequential one.
+#[derive(Debug)]
+pub struct CanonCache {
+    slots: Vec<CanonSlot>,
+    mask: usize,
+}
+
+/// Probe window length: slots inspected before evicting the home slot.
+const CANON_PROBE: usize = 8;
+
+/// Default table size (log2): 32k slots ≈ 1 MiB per instance.
+const CANON_LOG2_SLOTS: u32 = 15;
+
+impl CanonCache {
+    /// A cache with the default capacity (32k slots).
+    pub fn new() -> Self {
+        Self::with_log2_slots(CANON_LOG2_SLOTS)
+    }
+
+    /// A cache with `1 << log2_slots` slots (clamped to `[8, 24]`).
+    pub fn with_log2_slots(log2_slots: u32) -> Self {
+        let bits = log2_slots.clamp(8, 24);
+        let n = 1usize << bits;
+        let empty = CanonSlot {
+            word: 0,
+            tag: 0,
+            canon: 0,
+            transform: NpnTransform::identity(0),
+        };
+        CanonCache { slots: vec![empty; n], mask: n - 1 }
+    }
+
+    /// Seeded hash of the `(word, nvars)` key (splitmix64 finalizer).
+    fn slot_of(&self, word: u64, nvars: usize) -> usize {
+        let mut z = word ^ (nvars as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize & self.mask
+    }
+
+    /// Memoized [`npn_canonical`]: identical result, amortized cost of
+    /// one hash probe for recurring functions. Hits and misses are
+    /// accumulated into the process-wide counters readable via
+    /// [`canon_cache_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f.nvars() > 6` (same contract as [`npn_canonical`]).
+    pub fn canonical(&mut self, f: &TruthTable) -> NpnCanon {
+        let nvars = f.nvars();
+        assert!(nvars <= 6, "NPN canonicalization supports at most 6 variables");
+        let word = f.words()[0];
+        let tag = nvars as u8 + 1;
+        let home = self.slot_of(word, nvars);
+        let mut insert_at = home;
+        let mut found_free = false;
+        for p in 0..CANON_PROBE {
+            let i = (home + p) & self.mask;
+            let s = self.slots[i];
+            if s.tag == tag && s.word == word {
+                CANON_HITS.fetch_add(1, Ordering::Relaxed);
+                return NpnCanon {
+                    table: TruthTable::from_bits(nvars, s.canon),
+                    transform: s.transform,
+                };
+            }
+            if s.tag == 0 && !found_free {
+                insert_at = i;
+                found_free = true;
+            }
+        }
+        CANON_MISSES.fetch_add(1, Ordering::Relaxed);
+        let canon = npn_canonical(f);
+        self.slots[insert_at] = CanonSlot {
+            word,
+            tag,
+            canon: canon.table.words()[0],
+            transform: canon.transform,
+        };
+        canon
+    }
+}
+
+impl Default for CanonCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static CANON_HITS: AtomicU64 = AtomicU64::new(0);
+static CANON_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide hit/miss counters aggregated over every [`CanonCache`]
+/// instance (the thread-local default included).
+pub fn canon_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: CANON_HITS.load(Ordering::Relaxed),
+        misses: CANON_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+std::thread_local! {
+    static TL_CANON: std::cell::RefCell<CanonCache> =
+        std::cell::RefCell::new(CanonCache::new());
+}
+
+/// [`npn_canonical`] through the calling thread's [`CanonCache`]
+/// instance — the entry point the library matcher, the rewrite-library
+/// lookup and the arrival oracle use. Falls back to the direct
+/// computation when caching is disabled (see [`crate::cache::enabled`]).
+///
+/// Thread locality keeps the memo coherent with the workspace's
+/// determinism contract: each enumeration worker consults its own
+/// table, and since the memo is transparent every worker still ranks
+/// and matches exactly as the sequential engine would.
+///
+/// # Panics
+///
+/// Panics if `f.nvars() > 6`.
+pub fn npn_canonical_cached(f: &TruthTable) -> NpnCanon {
+    if !crate::cache::enabled() {
+        return npn_canonical(f);
+    }
+    TL_CANON.with(|c| c.borrow_mut().canonical(f))
+}
+
 fn next_permutation(p: &mut [usize]) -> bool {
     if p.len() < 2 {
         return false;
@@ -431,6 +585,58 @@ mod tests {
         let c1 = npn_canonical(&x1).table;
         assert_eq!(npn_canonical(&x2).table, c1);
         assert_eq!(npn_canonical(&x3).table, c1);
+    }
+
+    #[test]
+    fn canon_cache_agrees_with_direct_on_random_words() {
+        let mut cache = CanonCache::with_log2_slots(8); // tiny: force evictions
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            for nvars in 0..=6usize {
+                let w = crate::word::replicate(nvars, x);
+                let f = TruthTable::from_bits(nvars, w);
+                let direct = npn_canonical(&f);
+                let cached = cache.canonical(&f);
+                assert_eq!(cached.table, direct.table, "nvars={nvars} word={w:#x}");
+                assert_eq!(cached.transform, direct.transform, "nvars={nvars} word={w:#x}");
+                // Second query (a guaranteed hit unless evicted) must
+                // agree too.
+                let again = cache.canonical(&f);
+                assert_eq!(again.table, direct.table);
+                assert_eq!(again.transform, direct.transform);
+            }
+        }
+    }
+
+    #[test]
+    fn canon_cache_distinguishes_nvars_of_equal_words() {
+        // The replicated word of the 2-var AND also appears as a
+        // legitimate 6-var function; the (word, nvars) key must keep
+        // them apart.
+        let mut cache = CanonCache::new();
+        let w = crate::word::replicate(2, 0b1000);
+        let f2 = TruthTable::from_bits(2, w);
+        let f6 = TruthTable::from_bits(6, w);
+        assert_eq!(cache.canonical(&f2).table, npn_canonical(&f2).table);
+        assert_eq!(cache.canonical(&f6).table, npn_canonical(&f6).table);
+        assert_eq!(cache.canonical(&f2).table.nvars(), 2);
+        assert_eq!(cache.canonical(&f6).table.nvars(), 6);
+    }
+
+    #[test]
+    fn cached_entry_points_agree() {
+        for bits in [0x6996u64, 0x8000, 0xFEED, 0x0001, 0xCAFE] {
+            let f = tt4(bits);
+            let direct = npn_canonical(&f);
+            let cached = npn_canonical_cached(&f);
+            assert_eq!(cached.table, direct.table);
+            assert_eq!(cached.transform, direct.transform);
+        }
+        let stats = canon_cache_stats();
+        assert!(stats.lookups() > 0 || !crate::cache::enabled());
     }
 
     #[test]

@@ -162,7 +162,7 @@ impl RwrLibrary {
     /// enumeration produces) — see [`RwrMatch`] for how to apply it.
     pub fn lookup_word(&self, word: u64) -> RwrMatch<'_> {
         let tt = TruthTable::from_bits(RWR_VARS, word);
-        let canon = npn_canonical(&tt);
+        let canon = crate::npn::npn_canonical_cached(&tt);
         let key = (canon.table.words()[0] & 0xFFFF) as u16;
         let structure = self
             .entries

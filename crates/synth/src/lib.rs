@@ -85,7 +85,8 @@ pub use pass::{AigStats, Pass, PassStats, Script, ScriptReport};
 pub use refactor::{refactor_inplace, Refactor};
 pub use rewrite::{rewrite_inplace, Rewrite};
 pub use script::{
-    quick_opt, quick_opt_with, resyn2rs, resyn2rs_with, SynthEngine, SynthOptions,
+    clear_synth_cache, quick_opt, quick_opt_with, resyn2rs, resyn2rs_with, synth_cache_stats,
+    SynthEngine, SynthOptions,
 };
 
 use cntfet_aig::Aig;

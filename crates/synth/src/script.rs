@@ -6,7 +6,7 @@ use crate::seed;
 use cntfet_aig::Aig;
 
 /// Which synthesis engine runs the script.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SynthEngine {
     /// The in-place DAG-aware engine (priority cuts + NPN structure
     /// library + MFFC gain accounting).
@@ -43,7 +43,7 @@ pub enum SynthEngine {
 /// let baseline = resyn2rs_with(&g, &SynthOptions { engine: SynthEngine::Seed, ..Default::default() });
 /// assert!(opt.num_ands() <= baseline.num_ands());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SynthOptions {
     /// Engine selection.
     pub engine: SynthEngine,
@@ -61,6 +61,32 @@ impl Default for SynthOptions {
     }
 }
 
+/// Everything that determines a synthesis outcome: the input's
+/// structural fingerprint, the full options and the script kind
+/// (`0` = resyn2rs, `1` = quick). Both engines are single-threaded
+/// and deterministic in this key.
+type SynthKey = (u128, SynthOptions, u8);
+
+/// The process-wide synthesis result cache: optimized graphs keyed by
+/// [`SynthKey`].
+fn synth_cache() -> &'static cntfet_aig::ResultCache<SynthKey, Aig> {
+    static CACHE: std::sync::OnceLock<cntfet_aig::ResultCache<SynthKey, Aig>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| cntfet_aig::ResultCache::new(256))
+}
+
+/// Hit/miss counters of the process-wide synthesis result cache.
+pub fn synth_cache_stats() -> cntfet_boolfn::CacheStats {
+    synth_cache().stats()
+}
+
+/// Drops every entry of the process-wide synthesis result cache
+/// (counters keep accumulating) — used by benchmarks to measure cold
+/// runs.
+pub fn clear_synth_cache() {
+    synth_cache().clear();
+}
+
 /// Runs the `resyn2rs`-flavoured optimization script with default
 /// options (in-place engine, 4 rounds).
 ///
@@ -72,11 +98,15 @@ pub fn resyn2rs(aig: &Aig) -> Aig {
 }
 
 /// [`resyn2rs`] with explicit [`SynthOptions`].
+///
+/// Results are memoized process-wide under the input's structural
+/// fingerprint and the options ([`synth_cache_stats`] reads the
+/// counters; `CNTFET_NO_CACHE=1` disables the memo).
 pub fn resyn2rs_with(aig: &Aig, opts: &SynthOptions) -> Aig {
-    match opts.engine {
+    synth_cache().get_or_insert_with((aig.fingerprint(), *opts, 0), || match opts.engine {
         SynthEngine::Seed => seed::resyn2rs(aig),
         SynthEngine::InPlace => run_rounds(aig, opts, Script::resyn2rs),
-    }
+    })
 }
 
 /// A light script for quick optimization (one balance + rewrite).
@@ -84,12 +114,13 @@ pub fn quick_opt(aig: &Aig) -> Aig {
     quick_opt_with(aig, &SynthOptions { rounds: 1, ..Default::default() })
 }
 
-/// [`quick_opt`] with explicit [`SynthOptions`].
+/// [`quick_opt`] with explicit [`SynthOptions`] (memoized like
+/// [`resyn2rs_with`], under its own script-kind tag).
 pub fn quick_opt_with(aig: &Aig, opts: &SynthOptions) -> Aig {
-    match opts.engine {
+    synth_cache().get_or_insert_with((aig.fingerprint(), *opts, 1), || match opts.engine {
         SynthEngine::Seed => seed::quick_opt(aig),
         SynthEngine::InPlace => run_rounds(aig, opts, Script::quick),
-    }
+    })
 }
 
 /// Round loop with the never-worse guard: keeps the best `(ands,

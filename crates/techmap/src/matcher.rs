@@ -8,7 +8,7 @@
 //! recur constantly during mapping, even the canonicalization is
 //! memoized behind a word-keyed cache.
 
-use cntfet_boolfn::{npn_canonical, NpnTransform, TruthTable};
+use cntfet_boolfn::{npn_canonical_cached, NpnTransform, TruthTable};
 use cntfet_core::{Cell, Library};
 use std::collections::HashMap;
 
@@ -70,7 +70,7 @@ impl<'lib> Matcher<'lib> {
             {
                 return &[];
             }
-            let canon = npn_canonical(&TruthTable::from_bits(nvars, word));
+            let canon = npn_canonical_cached(&TruthTable::from_bits(nvars, word));
             // h = T_h⁻¹(T_cell(cell_fn)): compose cell→canon with
             // canon→cut.
             let inv = canon.transform.inverse();
@@ -167,7 +167,7 @@ mod tests {
                     let rejected = !lib.npn_popcount_feasible(nvars, ones)
                         || !lib.npn_cofactor_feasible(nvars, w);
                     if rejected {
-                        let canon = npn_canonical(&TruthTable::from_bits(nvars, w));
+                        let canon = cntfet_boolfn::npn_canonical(&TruthTable::from_bits(nvars, w));
                         assert!(
                             lib.npn_matches(&canon.table).is_empty(),
                             "{family:?}: filter rejected matchable word {w:#x} over {nvars} vars"

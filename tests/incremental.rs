@@ -1,0 +1,152 @@
+//! Workspace property tests for the incrementality substrate (PR 8):
+//! random edit sequences driven through [`cntfet_aig::CutArena::update`]
+//! must land on exactly the from-scratch cut lists (sequentially and
+//! sharded), and the NPN canonicalization memo must agree with the
+//! direct canonicalizer on every query.
+
+use cntfet_aig::{enumerate_cuts_with, Aig, CutArena, CutParams, CutRank, Lit, NodeId};
+use cntfet_boolfn::{npn_canonical, npn_canonical_cached, CanonCache, TruthTable};
+use proptest::prelude::*;
+
+/// Builds a random DAG from a script of (op, operand indices) choices
+/// (same shape as tests/properties.rs).
+fn random_aig(num_pis: usize, script: &[(u8, u16, u16)]) -> Aig {
+    let mut g = Aig::new("prop-incr");
+    let pis = g.add_pis(num_pis);
+    let mut pool: Vec<Lit> = pis;
+    for &(op, ai, bi) in script {
+        let a = pool[ai as usize % pool.len()];
+        let b = pool[bi as usize % pool.len()];
+        let l = match op % 6 {
+            0 => g.and(a, b),
+            1 => g.or(a, b),
+            2 => g.xor(a, b),
+            3 => g.and(a.negate(), b),
+            4 => g.or(a, b.negate()),
+            _ => {
+                let s = pool[(ai as usize + bi as usize) % pool.len()];
+                g.mux(s, a, b)
+            }
+        };
+        pool.push(l);
+    }
+    for i in 0..4.min(pool.len()) {
+        g.add_po(pool[pool.len() - 1 - i]);
+    }
+    g
+}
+
+/// Applies one scripted in-place edit inside an active editing
+/// session. Returns `true` when the edit actually fired (targets may
+/// have died in an earlier cascade, or a guard may not fit).
+fn apply_edit(g: &mut Aig, op: u8, ti: u16) -> bool {
+    let ands: Vec<NodeId> = g.and_ids().collect();
+    if ands.is_empty() {
+        return false;
+    }
+    let id = ands[ti as usize % ands.len()];
+    if !g.is_and(id) {
+        return false;
+    }
+    let (f0, f1) = g.fanins(id);
+    match op % 3 {
+        0 => {
+            // Re-association: (g0·g1)·f1 → g0·(g1·f1). Appends fresh
+            // nodes at the tail, so fanout patching leaves the graph
+            // non-topological — the hardest path for `update`.
+            if f0.is_complement() || !g.is_and(f0.node()) {
+                return false;
+            }
+            let (g0, g1) = g.fanins(f0.node());
+            let inner = g.and(g1, f1);
+            let outer = g.and(g0, inner);
+            if outer == id.lit() {
+                return false; // strash handed the node back unchanged
+            }
+            g.replace_node(id, outer);
+            true
+        }
+        1 => {
+            // Merge onto a fanin, as strash-sweeping would after
+            // proving the node redundant. Structurally always acyclic.
+            g.replace_node(id, f0);
+            true
+        }
+        _ => {
+            // Constant propagation: the node was "proved" false.
+            g.replace_node(id, Lit::FALSE);
+            true
+        }
+    }
+}
+
+/// Per-node cut-list snapshot used to compare arenas for equality.
+type CutSnapshot = Vec<Vec<(Vec<NodeId>, Option<u64>, (u32, u32))>>;
+
+fn snapshot(g: &Aig, arena: &CutArena) -> CutSnapshot {
+    g.node_ids()
+        .map(|id| {
+            arena
+                .of(id)
+                .map(|c| (c.leaves().to_vec(), c.function_word(), c.rank_cost()))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random edit sequences through `CutArena::update` /
+    /// `update_jobs` reproduce the from-scratch enumeration exactly,
+    /// per node, at every tested worker count.
+    #[test]
+    fn prop_incremental_cuts_match_scratch(
+        script in proptest::collection::vec((0u8..6, 0u16..500, 0u16..500), 20..100),
+        edits in proptest::collection::vec((0u8..3, 0u16..500), 1..10),
+        depth_rank: bool,
+    ) {
+        let mut g = random_aig(6, &script);
+        let rank = if depth_rank { CutRank::Depth } else { CutRank::Size };
+        let params = CutParams { k: 4, max_cuts: 6, rank };
+        let pre = enumerate_cuts_with(&g, params);
+
+        g.begin_edit();
+        for &(op, ti) in &edits {
+            apply_edit(&mut g, op, ti);
+        }
+        let delta = g.end_edit();
+
+        let scratch = snapshot(&g, &enumerate_cuts_with(&g, params));
+        let mut seq = pre.clone();
+        seq.update(&g, &delta, params);
+        prop_assert_eq!(&snapshot(&g, &seq), &scratch, "sequential update diverges");
+        for jobs in [1usize, 4] {
+            let mut par = pre.clone();
+            par.update_jobs(&g, &delta, params, jobs);
+            prop_assert_eq!(&snapshot(&g, &par), &scratch, "update_jobs({}) diverges", jobs);
+        }
+    }
+
+    /// The NPN canonicalization memo — both the process-wide
+    /// thread-local instance behind `npn_canonical_cached` and a fresh
+    /// local `CanonCache` queried twice (miss, then hit) — agrees with
+    /// the direct canonicalizer, table and transform included.
+    #[test]
+    fn prop_canon_cache_agrees_with_direct(bits: u64, nvars in 0usize..7) {
+        let mask = if nvars >= 6 { u64::MAX } else { (1u64 << (1u64 << nvars)) - 1 };
+        let tt = TruthTable::from_bits(nvars, bits & mask);
+        let direct = npn_canonical(&tt);
+
+        let cached = npn_canonical_cached(&tt);
+        prop_assert_eq!(&cached.table, &direct.table);
+        prop_assert_eq!(cached.transform.apply(&tt), direct.table.clone());
+
+        let mut local = CanonCache::with_log2_slots(6);
+        for pass in 0..2 {
+            let c = local.canonical(&tt);
+            prop_assert_eq!(&c.table, &direct.table, "local cache pass {}", pass);
+            prop_assert_eq!(c.transform.apply(&tt), direct.table.clone());
+        }
+    }
+}
