@@ -1,0 +1,742 @@
+//! AIGER import and export (ASCII `aag` and binary `aig`).
+//!
+//! AIGER is the exchange format of the model-checking and SAT
+//! communities and the carrier of the standard benchmark suites
+//! (ISCAS'85/'89 re-releases, the EPFL arithmetic/control sets, HWMCC)
+//! — [`parse_aiger`] lets any of them flow into this workspace's
+//! synthesis → mapping → CEC pipeline, and [`write_aiger_ascii`] /
+//! [`write_aiger_binary`] export results for cross-checking in ABC or
+//! the `aiger` tools. Both directions cover the combinational subset
+//! of AIGER 1.9: AND definitions (delta-coded in the binary format),
+//! symbol tables and comment sections. Latches and the 1.9 property
+//! sections (`B C J F` counts) are rejected with a structured
+//! [`IoError::Unsupported`] — sequential support is a separate
+//! roadmap item.
+//!
+//! Parsing maps straight onto the structural-hashing [`Aig`]
+//! constructor: every AND definition goes through [`Aig::and`], so a
+//! parsed circuit is strashed, simplification-clean, and immediately
+//! usable by every engine (redundant external files may legitimately
+//! shrink; this crate's own writer emits strashed graphs, which
+//! round-trip with identical structural statistics).
+//!
+//! Errors never panic: malformed input of any kind — truncated
+//! headers, out-of-range literals, non-monotone binary deltas,
+//! combinational cycles, trailing garbage — returns an [`IoError`]
+//! naming the failure.
+
+use crate::graph::{Aig, Lit, NodeId};
+use crate::io::IoError;
+use std::collections::HashMap;
+
+/// Largest declared variable index either parser accepts. Headers are
+/// attacker-controlled relative to the actual data (a 20-byte file can
+/// declare millions of implicit binary inputs), so the bound keeps a
+/// lying header from forcing giant allocations before the truncation
+/// is even discovered.
+const MAX_DECLARED_VARS: u64 = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// The variable renumbering shared by both writers: the constant node
+/// keeps variable 0, primary inputs take 1..=I in interface order, and
+/// every live AND takes I+1.. in topological order (so each definition
+/// references strictly smaller variables, as the binary delta coding
+/// requires).
+struct Renumber {
+    var: Vec<u64>,
+    ands: Vec<NodeId>,
+}
+
+fn renumber(aig: &Aig) -> Renumber {
+    let mut var = vec![0u64; aig.num_nodes()];
+    let mut next = 1u64;
+    for &pi in aig.pis() {
+        var[pi.index()] = next;
+        next += 1;
+    }
+    let ands = aig.topo_order();
+    for &id in &ands {
+        var[id.index()] = next;
+        next += 1;
+    }
+    Renumber { var, ands }
+}
+
+impl Renumber {
+    fn lit(&self, l: Lit) -> u64 {
+        self.var[l.node().index()] * 2 + l.is_complement() as u64
+    }
+}
+
+/// The symbol table and comment section shared by both writers:
+/// synthesized `pi<i>`/`po<i>` symbols (the same names the BLIF writer
+/// uses) and the network name as the first comment line, which
+/// [`parse_aiger`] restores as the parsed graph's name.
+fn push_symbols(out: &mut String, aig: &Aig) {
+    for i in 0..aig.num_pis() {
+        out.push_str(&format!("i{i} pi{i}\n"));
+    }
+    for i in 0..aig.num_pos() {
+        out.push_str(&format!("o{i} po{i}\n"));
+    }
+    out.push_str("c\n");
+    if !aig.name().is_empty() {
+        out.push_str(&format!("{}\n", aig.name().replace(['\n', '\r'], " ")));
+    }
+}
+
+/// Exports an AIG in the ASCII AIGER format (`aag`).
+///
+/// Dangling (non-output-cone) AND nodes are kept, so structural
+/// statistics survive a round trip; dead (reclaimed) nodes are not
+/// written. The symbol table names the interface `pi<i>`/`po<i>` and
+/// the comment section carries the network name.
+pub fn write_aiger_ascii(aig: &Aig) -> String {
+    let r = renumber(aig);
+    let ni = aig.num_pis();
+    let na = r.ands.len();
+    let mut out = String::new();
+    out.push_str(&format!("aag {} {} 0 {} {}\n", ni + na, ni, aig.num_pos(), na));
+    for i in 0..ni {
+        out.push_str(&format!("{}\n", 2 * (i as u64 + 1)));
+    }
+    for &po in aig.pos() {
+        out.push_str(&format!("{}\n", r.lit(po)));
+    }
+    for &id in &r.ands {
+        let (f0, f1) = aig.fanins(id);
+        let (l0, l1) = (r.lit(f0), r.lit(f1));
+        let (rhs0, rhs1) = if l0 >= l1 { (l0, l1) } else { (l1, l0) };
+        out.push_str(&format!("{} {} {}\n", r.var[id.index()] * 2, rhs0, rhs1));
+    }
+    push_symbols(&mut out, aig);
+    out
+}
+
+/// Appends `x` as a 7-bit little-endian varint (the AIGER binary delta
+/// coding: high bit set on every byte except the last).
+fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x != 0 {
+            out.push(b | 0x80);
+        } else {
+            out.push(b);
+            break;
+        }
+    }
+}
+
+/// Exports an AIG in the binary AIGER format (`aig`).
+///
+/// AND definitions are delta-coded against their implicit left-hand
+/// sides (`delta0 = lhs − rhs0`, `delta1 = rhs0 − rhs1`, both as 7-bit
+/// varints), which is what makes the binary format a fraction of the
+/// ASCII size on large circuits. Interface symbols and the name
+/// comment are appended as in [`write_aiger_ascii`].
+pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
+    let r = renumber(aig);
+    let ni = aig.num_pis();
+    let na = r.ands.len();
+    let mut out: Vec<u8> = Vec::new();
+    out.extend_from_slice(
+        format!("aig {} {} 0 {} {}\n", ni + na, ni, aig.num_pos(), na).as_bytes(),
+    );
+    for &po in aig.pos() {
+        out.extend_from_slice(format!("{}\n", r.lit(po)).as_bytes());
+    }
+    for &id in &r.ands {
+        let lhs = r.var[id.index()] * 2;
+        let (f0, f1) = aig.fanins(id);
+        let (l0, l1) = (r.lit(f0), r.lit(f1));
+        let (rhs0, rhs1) = if l0 >= l1 { (l0, l1) } else { (l1, l0) };
+        push_varint(&mut out, lhs - rhs0);
+        push_varint(&mut out, rhs0 - rhs1);
+    }
+    let mut tail = String::new();
+    push_symbols(&mut tail, aig);
+    out.extend_from_slice(tail.as_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A byte cursor that hands out newline-terminated lines with 1-based
+/// line numbers, and raw bytes (newline-counted) for the binary AND
+/// section.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0, line: 1 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// The next line as raw bytes without its newline (a trailing
+    /// `\r` is stripped); `None` at end of input.
+    fn next_line_raw(&mut self) -> Option<(usize, &'a [u8])> {
+        if self.at_end() {
+            return None;
+        }
+        let start = self.pos;
+        let ln = self.line;
+        let end = self.bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(self.bytes.len(), |i| start + i);
+        self.pos = end + 1;
+        self.line += 1;
+        let mut raw = &self.bytes[start..end];
+        if let [head @ .., b'\r'] = raw {
+            raw = head;
+        }
+        Some((ln, raw))
+    }
+
+    /// The next line as text, or a structured error when the bytes are
+    /// not UTF-8 (e.g. a binary section where text was expected).
+    fn next_line_str(&mut self) -> Option<Result<(usize, &'a str), IoError>> {
+        let (ln, raw) = self.next_line_raw()?;
+        Some(
+            std::str::from_utf8(raw)
+                .map(|s| (ln, s))
+                .map_err(|_| IoError::Syntax { line: ln, msg: "expected a text line".into() }),
+        )
+    }
+
+    /// One raw byte (newlines counted so later errors report useful
+    /// line numbers).
+    fn next_byte(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+/// The parsed `M I L O A [B C J F]` header, already validated against
+/// the combinational subset (`L = B = C = J = F = 0`) and the
+/// [`MAX_DECLARED_VARS`] allocation bound.
+struct Header {
+    binary: bool,
+    maxvar: u64,
+    inputs: u64,
+    outputs: u64,
+    ands: u64,
+}
+
+fn parse_header(cursor: &mut Cursor) -> Result<Header, IoError> {
+    let Some(first) = cursor.next_line_str() else {
+        return Err(IoError::Header { line: 0, msg: "empty input".into() });
+    };
+    let (line, text) = first?;
+    let mut toks = text.split_ascii_whitespace();
+    let binary = match toks.next() {
+        Some("aag") => false,
+        Some("aig") => true,
+        Some(other) => {
+            return Err(IoError::Header {
+                line,
+                msg: format!("unknown magic '{other}' (expected 'aag' or 'aig')"),
+            })
+        }
+        None => return Err(IoError::Header { line, msg: "missing magic".into() }),
+    };
+    let mut counts = Vec::new();
+    for tok in toks {
+        let n: u64 = tok.parse().map_err(|_| IoError::BadCount {
+            line,
+            msg: format!("unreadable count '{tok}'"),
+        })?;
+        counts.push(n);
+    }
+    if counts.len() < 5 || counts.len() > 9 {
+        return Err(IoError::Header {
+            line,
+            msg: format!("expected `M I L O A [B C J F]`, found {} count(s)", counts.len()),
+        });
+    }
+    let (maxvar, inputs, latches, outputs, ands) =
+        (counts[0], counts[1], counts[2], counts[3], counts[4]);
+    if maxvar > MAX_DECLARED_VARS {
+        return Err(IoError::BadCount {
+            line,
+            msg: format!("M = {maxvar} exceeds the supported maximum {MAX_DECLARED_VARS}"),
+        });
+    }
+    if latches != 0 {
+        return Err(IoError::Unsupported {
+            line,
+            what: format!("latches (L = {latches}; combinational subset only)"),
+        });
+    }
+    for (i, &extra) in counts.iter().enumerate().skip(5) {
+        if extra != 0 {
+            let kind = ["bad-state", "constraint", "justice", "fairness"][i - 5];
+            return Err(IoError::Unsupported {
+                line,
+                what: format!("AIGER 1.9 {kind} properties (count {extra})"),
+            });
+        }
+    }
+    let declared = inputs
+        .checked_add(ands)
+        .ok_or_else(|| IoError::BadCount { line, msg: "I + A overflows".into() })?;
+    if binary && maxvar != declared {
+        return Err(IoError::BadCount {
+            line,
+            msg: format!("binary AIGER requires M = I + L + A ({maxvar} vs {declared})"),
+        });
+    }
+    if !binary && maxvar < declared {
+        return Err(IoError::BadCount {
+            line,
+            msg: format!("M = {maxvar} is smaller than I + L + A = {declared}"),
+        });
+    }
+    Ok(Header { binary, maxvar, inputs, outputs, ands })
+}
+
+/// Parses one body line holding exactly `n` literals, each bounded by
+/// `2·M + 1`.
+fn parse_literals(
+    cursor: &mut Cursor,
+    n: usize,
+    maxvar: u64,
+    section: &str,
+) -> Result<(usize, Vec<u64>), IoError> {
+    let Some(next) = cursor.next_line_str() else {
+        return Err(IoError::Truncated { what: format!("{section} section") });
+    };
+    let (line, text) = next?;
+    let mut lits = Vec::with_capacity(n);
+    for tok in text.split_ascii_whitespace() {
+        let l: u64 = tok.parse().map_err(|_| IoError::Syntax {
+            line,
+            msg: format!("expected a literal in the {section} section, found '{tok}'"),
+        })?;
+        if l > 2 * maxvar + 1 {
+            return Err(IoError::LiteralOutOfRange { line, literal: l, max: 2 * maxvar + 1 });
+        }
+        lits.push(l);
+    }
+    if lits.len() != n {
+        return Err(IoError::Syntax {
+            line,
+            msg: format!("expected {n} literal(s) in the {section} section, found {}", lits.len()),
+        });
+    }
+    Ok((line, lits))
+}
+
+/// Parses an AIGER file (ASCII `aag` or binary `aig`, auto-detected
+/// from the header magic) into a strashed [`Aig`].
+///
+/// The combinational AIGER 1.9 subset is supported: AND definitions in
+/// any order (the ASCII parser elaborates demand-driven and detects
+/// combinational cycles), symbol tables (validated, names not
+/// retained) and comment sections (the first comment line becomes the
+/// network name, matching what this crate's writers emit).
+///
+/// # Errors
+///
+/// Returns a structured [`IoError`] on any malformed input — this
+/// function never panics and never returns a partially-built graph.
+/// Latches and AIGER 1.9 property sections are rejected as
+/// [`IoError::Unsupported`].
+pub fn parse_aiger(bytes: &[u8]) -> Result<Aig, IoError> {
+    let mut cursor = Cursor::new(bytes);
+    let header = parse_header(&mut cursor)?;
+    if header.binary {
+        parse_binary(&mut cursor, &header)
+    } else {
+        parse_ascii(&mut cursor, &header)
+    }
+}
+
+fn parse_ascii(cursor: &mut Cursor, h: &Header) -> Result<Aig, IoError> {
+    // Inputs: one even, non-constant, distinct literal per line.
+    let mut aig = Aig::new("aiger");
+    // var → literal of the already-built node for that variable.
+    let mut built: HashMap<u64, Lit> = HashMap::new();
+    built.insert(0, Lit::FALSE);
+    for _ in 0..h.inputs {
+        let (line, lits) = parse_literals(cursor, 1, h.maxvar, "input")?;
+        let l = lits[0];
+        if l % 2 != 0 || l < 2 {
+            return Err(IoError::Syntax {
+                line,
+                msg: format!("input literal {l} must be an even, non-constant literal"),
+            });
+        }
+        let pi = aig.add_pi();
+        if built.insert(l / 2, pi).is_some() {
+            return Err(IoError::Syntax {
+                line,
+                msg: format!("duplicate definition of variable {}", l / 2),
+            });
+        }
+    }
+    // Outputs: any literal per line, resolved after elaboration.
+    let mut outputs = Vec::with_capacity(h.outputs.min(1 << 16) as usize);
+    for _ in 0..h.outputs {
+        let (line, lits) = parse_literals(cursor, 1, h.maxvar, "output")?;
+        outputs.push((line, lits[0]));
+    }
+    // AND definitions: collected first (any order is accepted), then
+    // elaborated demand-driven so forward references work and cycles
+    // are detected rather than looping.
+    struct AndDef {
+        line: usize,
+        lhs_var: u64,
+        rhs0: u64,
+        rhs1: u64,
+    }
+    let mut defs: Vec<AndDef> = Vec::with_capacity(h.ands.min(1 << 16) as usize);
+    let mut def_index: HashMap<u64, usize> = HashMap::new();
+    for _ in 0..h.ands {
+        let (line, lits) = parse_literals(cursor, 3, h.maxvar, "AND")?;
+        let (lhs, rhs0, rhs1) = (lits[0], lits[1], lits[2]);
+        if lhs % 2 != 0 || lhs < 2 {
+            return Err(IoError::Syntax {
+                line,
+                msg: format!("AND left-hand side {lhs} must be an even, non-constant literal"),
+            });
+        }
+        let lhs_var = lhs / 2;
+        if built.contains_key(&lhs_var) || def_index.contains_key(&lhs_var) {
+            return Err(IoError::Syntax {
+                line,
+                msg: format!("duplicate definition of variable {lhs_var}"),
+            });
+        }
+        def_index.insert(lhs_var, defs.len());
+        defs.push(AndDef { line, lhs_var, rhs0, rhs1 });
+    }
+
+    // Demand-driven elaboration over every definition (dangling cones
+    // included, so structural statistics survive a round trip).
+    // `expanding` holds exactly the ancestor chain of the DFS, which
+    // makes the cycle check sound for diamonds.
+    let mut expanding: HashMap<u64, ()> = HashMap::new();
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for start in 0..defs.len() {
+        if built.contains_key(&defs[start].lhs_var) {
+            continue;
+        }
+        stack.push((start, false));
+        while let Some((di, expanded)) = stack.pop() {
+            let d = &defs[di];
+            if built.contains_key(&d.lhs_var) {
+                continue;
+            }
+            if expanded {
+                let l0 = resolve(&built, d.rhs0, d.line)?;
+                let l1 = resolve(&built, d.rhs1, d.line)?;
+                let l = aig.and(l0, l1);
+                built.insert(d.lhs_var, l);
+                expanding.remove(&d.lhs_var);
+                continue;
+            }
+            expanding.insert(d.lhs_var, ());
+            stack.push((di, true));
+            for rhs in [d.rhs0, d.rhs1] {
+                let v = rhs / 2;
+                if built.contains_key(&v) {
+                    continue;
+                }
+                let Some(&j) = def_index.get(&v) else {
+                    return Err(IoError::Undefined {
+                        line: d.line,
+                        name: format!("variable {v}"),
+                    });
+                };
+                if expanding.contains_key(&v) {
+                    return Err(IoError::CombinationalLoop {
+                        line: defs[j].line,
+                        name: format!("variable {v}"),
+                    });
+                }
+                stack.push((j, false));
+            }
+        }
+    }
+    for (line, l) in outputs {
+        let lit = resolve(&built, l, line)?;
+        aig.add_po(lit);
+    }
+    parse_tail(cursor, h, &mut aig)?;
+    Ok(aig)
+}
+
+/// Resolves an AIGER literal against the built-variable map.
+fn resolve(built: &HashMap<u64, Lit>, aiger_lit: u64, line: usize) -> Result<Lit, IoError> {
+    let v = aiger_lit / 2;
+    match built.get(&v) {
+        Some(&l) => Ok(l.negate_if(aiger_lit % 2 == 1)),
+        None => Err(IoError::Undefined { line, name: format!("variable {v}") }),
+    }
+}
+
+fn parse_binary(cursor: &mut Cursor, h: &Header) -> Result<Aig, IoError> {
+    let mut aig = Aig::new("aiger");
+    // Variables are implicit and consecutive in the binary format:
+    // 0 = constant, 1..=I inputs, I+1..=M the ANDs in file order.
+    let mut var_lit: Vec<Lit> = Vec::with_capacity((h.maxvar + 1).min(1 << 16) as usize);
+    var_lit.push(Lit::FALSE);
+    for _ in 0..h.inputs {
+        let pi = aig.add_pi();
+        var_lit.push(pi);
+    }
+    let mut outputs = Vec::with_capacity(h.outputs.min(1 << 16) as usize);
+    for _ in 0..h.outputs {
+        let (line, lits) = parse_literals(cursor, 1, h.maxvar, "output")?;
+        outputs.push((line, lits[0]));
+    }
+    for i in 0..h.ands {
+        let lhs = 2 * (h.inputs + 1 + i);
+        let delta0 = read_varint(cursor, i as usize)?;
+        let delta1 = read_varint(cursor, i as usize)?;
+        if delta0 == 0 || delta0 > lhs {
+            return Err(IoError::NonMonotone {
+                and_index: i as usize,
+                msg: format!("delta0 = {delta0} breaks rhs0 < lhs = {lhs}"),
+            });
+        }
+        let rhs0 = lhs - delta0;
+        if delta1 > rhs0 {
+            return Err(IoError::NonMonotone {
+                and_index: i as usize,
+                msg: format!("delta1 = {delta1} breaks rhs1 ≤ rhs0 = {rhs0}"),
+            });
+        }
+        let rhs1 = rhs0 - delta1;
+        // rhs variables are strictly below lhs, so both are already in
+        // `var_lit` (the header check pinned M = I + A).
+        let l0 = var_lit[(rhs0 / 2) as usize].negate_if(rhs0 % 2 == 1);
+        let l1 = var_lit[(rhs1 / 2) as usize].negate_if(rhs1 % 2 == 1);
+        let l = aig.and(l0, l1);
+        var_lit.push(l);
+    }
+    for (line, l) in outputs {
+        if l > 2 * h.maxvar + 1 {
+            return Err(IoError::LiteralOutOfRange { line, literal: l, max: 2 * h.maxvar + 1 });
+        }
+        let lit = var_lit[(l / 2) as usize].negate_if(l % 2 == 1);
+        aig.add_po(lit);
+    }
+    parse_tail(cursor, h, &mut aig)?;
+    Ok(aig)
+}
+
+/// Decodes one 7-bit varint delta of the binary AND section.
+fn read_varint(cursor: &mut Cursor, and_index: usize) -> Result<u64, IoError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(b) = cursor.next_byte() else {
+            return Err(IoError::Truncated { what: "binary AND section".into() });
+        };
+        if shift >= 63 {
+            return Err(IoError::NonMonotone {
+                and_index,
+                msg: "delta varint exceeds 64 bits".into(),
+            });
+        }
+        x |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+/// Parses the optional symbol table and comment section shared by both
+/// formats. Symbol entries are validated against the interface counts
+/// (names are not retained); the first comment line becomes the
+/// network name. Anything else is trailing garbage.
+fn parse_tail(cursor: &mut Cursor, h: &Header, aig: &mut Aig) -> Result<(), IoError> {
+    while let Some(next) = cursor.next_line_str() {
+        let (line, text) = next?;
+        if text == "c" {
+            // Comment section: the first line (when present) names the
+            // network; the rest is free-form and ignored.
+            if let Some(name) = cursor.next_line_str() {
+                let (_, name) = name?;
+                if !name.trim().is_empty() {
+                    aig.set_name(name.trim());
+                }
+            }
+            while cursor.next_line_raw().is_some() {}
+            return Ok(());
+        }
+        if text.is_empty() && cursor.at_end() {
+            return Ok(()); // a benign final blank line
+        }
+        let bound = match text.as_bytes().first() {
+            Some(b'i') => h.inputs,
+            Some(b'o') => h.outputs,
+            // Latches are rejected at the header, so any `l` symbol is
+            // out of range.
+            Some(b'l') => 0,
+            _ => return Err(IoError::TrailingGarbage { line }),
+        };
+        let (kind, rest) = text.split_at(1);
+        let mut parts = rest.splitn(2, ' ');
+        let idx = parts.next().and_then(|t| t.parse::<u64>().ok());
+        match (idx, parts.next()) {
+            (Some(i), Some(_)) if i < bound => {}
+            (Some(i), Some(_)) => {
+                return Err(IoError::Syntax {
+                    line,
+                    msg: format!("symbol index {kind}{i} out of range (bound {bound})"),
+                });
+            }
+            _ => return Err(IoError::TrailingGarbage { line }),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cec::{check_equivalence, CecResult};
+
+    fn sample() -> Aig {
+        let mut g = Aig::new("sample");
+        let p = g.add_pis(4);
+        let x = g.xor(p[0], p[1]);
+        let y = g.and(p[2], p[3].negate());
+        let z = g.or(x, y);
+        g.add_po(z);
+        g.add_po(x.negate());
+        g
+    }
+
+    #[test]
+    fn ascii_roundtrip_is_structurally_identical() {
+        let g = sample();
+        let text = write_aiger_ascii(&g);
+        let back = parse_aiger(text.as_bytes()).expect("own ASCII output parses");
+        assert_eq!(back.num_pis(), g.num_pis());
+        assert_eq!(back.num_pos(), g.num_pos());
+        assert_eq!(back.num_ands(), g.num_ands());
+        assert_eq!(back.depth(), g.depth());
+        assert_eq!(back.name(), "sample");
+        assert_eq!(check_equivalence(&g, &back), CecResult::Equivalent);
+        // PIs-first construction + topological AND order: the rebuild
+        // replays the exact construction sequence, so even the
+        // structural fingerprint survives.
+        assert_eq!(back.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_structurally_identical() {
+        let g = sample();
+        let bytes = write_aiger_binary(&g);
+        let back = parse_aiger(&bytes).expect("own binary output parses");
+        assert_eq!(back.num_ands(), g.num_ands());
+        assert_eq!(back.name(), "sample");
+        assert_eq!(check_equivalence(&g, &back), CecResult::Equivalent);
+        assert_eq!(back.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_ascii() {
+        let mut g = Aig::new("wide");
+        let pis = g.add_pis(16);
+        let x = g.xor_many(&pis);
+        g.add_po(x);
+        assert!(write_aiger_binary(&g).len() < write_aiger_ascii(&g).len());
+    }
+
+    #[test]
+    fn dangling_ands_survive() {
+        let mut g = Aig::new("dangling");
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let _unused = g.xor(a, b); // 3 ANDs, no output cone
+        let keep = g.and(a, b);
+        g.add_po(keep);
+        for text in [write_aiger_ascii(&g).into_bytes(), write_aiger_binary(&g)] {
+            let back = parse_aiger(&text).expect("parses");
+            assert_eq!(back.num_ands(), g.num_ands());
+        }
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut g = Aig::new("consts");
+        let _ = g.add_pi();
+        g.add_po(Lit::FALSE);
+        g.add_po(Lit::TRUE);
+        for bytes in [write_aiger_ascii(&g).into_bytes(), write_aiger_binary(&g)] {
+            let back = parse_aiger(&bytes).expect("parses");
+            assert_eq!(back.eval(&[false]), vec![false, true]);
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_out_of_order_ascii() {
+        // AND 8 references AND 6, defined after it — demand-driven
+        // elaboration handles the forward reference.
+        let text = "aag 4 2 0 1 2\n2\n4\n8\n8 7 5\n6 2 4\nc\nhandwritten\n";
+        let g = parse_aiger(text.as_bytes()).expect("parses");
+        assert_eq!(g.name(), "handwritten");
+        assert_eq!(g.num_ands(), 2);
+        // The single output computes !(a&b) & !b, which reduces to !b.
+        assert!(g.eval(&[false, false])[0]);
+        assert!(g.eval(&[true, false])[0]);
+        assert!(!g.eval(&[false, true])[0]);
+        assert!(!g.eval(&[true, true])[0]);
+    }
+
+    #[test]
+    fn rejects_cycles_and_undefined() {
+        // 6 and 8 form a cycle.
+        let cyc = "aag 4 1 0 1 2\n2\n6\n6 8 2\n8 6 2\n";
+        assert!(matches!(
+            parse_aiger(cyc.as_bytes()),
+            Err(IoError::CombinationalLoop { .. })
+        ));
+        let undef = "aag 4 1 0 1 1\n2\n6\n6 8 2\n";
+        assert!(matches!(parse_aiger(undef.as_bytes()), Err(IoError::Undefined { .. })));
+    }
+
+    #[test]
+    fn rejects_latches_and_properties() {
+        assert!(matches!(
+            parse_aiger(b"aag 2 1 1 0 0\n2\n4 2\n"),
+            Err(IoError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse_aiger(b"aag 1 1 0 0 0 1\n2\n3\n"),
+            Err(IoError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn strash_collapses_redundant_external_files() {
+        // Two structurally identical ANDs: the strash keeps one.
+        let text = "aag 4 2 0 2 2\n2\n4\n6\n8\n6 2 4\n8 2 4\n";
+        let g = parse_aiger(text.as_bytes()).expect("parses");
+        assert_eq!(g.num_ands(), 1);
+        assert_eq!(g.pos()[0], g.pos()[1]);
+    }
+}

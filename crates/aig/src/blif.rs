@@ -5,36 +5,18 @@
 //! can load them with [`parse_blif`] and push them through this
 //! workspace's flow; [`write_blif`] exports AIGs for cross-checking in
 //! ABC. Combinational subset only (`.model/.inputs/.outputs/.names`).
+//!
+//! Failures are reported through the unified frontend error enum
+//! [`IoError`], shared with the AIGER frontend in [`crate::aiger`].
 
 use crate::graph::{Aig, Lit};
+use crate::io::IoError;
 use std::collections::HashMap;
-use std::fmt;
 
-/// Error while parsing BLIF text.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseBlifError {
-    msg: String,
-    line: usize,
+/// Builds the all-purpose line-level syntax error.
+fn syntax(msg: impl Into<String>, line: usize) -> IoError {
+    IoError::Syntax { line, msg: msg.into() }
 }
-
-impl ParseBlifError {
-    fn new(msg: impl Into<String>, line: usize) -> Self {
-        ParseBlifError { msg: msg.into(), line }
-    }
-
-    /// 1-based source line of the failure.
-    pub fn line(&self) -> usize {
-        self.line
-    }
-}
-
-impl fmt::Display for ParseBlifError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (line {})", self.msg, self.line)
-    }
-}
-
-impl std::error::Error for ParseBlifError {}
 
 /// Exports an AIG as a combinational BLIF model.
 ///
@@ -104,9 +86,10 @@ pub fn write_blif(aig: &Aig) -> String {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseBlifError`] naming the offending line on malformed
-/// input, undefined signals or combinational loops.
-pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
+/// Returns a structured [`IoError`] naming the offending line on
+/// malformed input, undefined signals or combinational loops — this
+/// function never panics and never returns a partially-built graph.
+pub fn parse_blif(text: &str) -> Result<Aig, IoError> {
     // Pre-process: join continuations, strip comments.
     let mut lines: Vec<(usize, String)> = Vec::new();
     let mut pending = String::new();
@@ -131,6 +114,9 @@ pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
         } else {
             pending.clear();
         }
+    }
+    if lines.is_empty() {
+        return Err(IoError::Header { line: 0, msg: "empty input".into() });
     }
 
     #[derive(Debug)]
@@ -161,24 +147,22 @@ pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
             ".outputs" => outputs.extend(toks.map(str::to_string)),
             ".names" => {
                 let mut sig: Vec<String> = toks.map(str::to_string).collect();
-                let output = sig
-                    .pop()
-                    .ok_or_else(|| ParseBlifError::new(".names needs an output", *ln))?;
+                let output = sig.pop().ok_or_else(|| syntax(".names needs an output", *ln))?;
                 current = Some(Names { inputs: sig, output, rows: Vec::new(), line: *ln });
             }
             ".end" => break,
             ".latch" | ".subckt" | ".gate" => {
-                return Err(ParseBlifError::new(
-                    format!("unsupported construct {first} (combinational BLIF only)"),
-                    *ln,
-                ));
+                return Err(IoError::Unsupported {
+                    line: *ln,
+                    what: format!("{first} (combinational BLIF only)"),
+                });
             }
             _ if first.starts_with('.') => { /* ignore benign directives */ }
             _ => {
                 // A cover row: "<input-plane> <value>" or "<value>".
                 let t = current
                     .as_mut()
-                    .ok_or_else(|| ParseBlifError::new("cover row outside .names", *ln))?;
+                    .ok_or_else(|| syntax("cover row outside .names", *ln))?;
                 let second = toks.next();
                 let (plane, value) = match second {
                     Some(v) => (first.to_string(), v),
@@ -186,10 +170,10 @@ pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
                 };
                 let vc = value.chars().next().unwrap_or('1');
                 if vc != '0' && vc != '1' {
-                    return Err(ParseBlifError::new("cover value must be 0 or 1", *ln));
+                    return Err(syntax("cover value must be 0 or 1", *ln));
                 }
                 if plane.len() != t.inputs.len() {
-                    return Err(ParseBlifError::new(
+                    return Err(syntax(
                         format!(
                             "cover width {} does not match {} inputs",
                             plane.len(),
@@ -224,19 +208,16 @@ pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
         signal: &mut HashMap<String, Lit>,
         aig: &mut Aig,
         visiting: &mut Vec<String>,
-    ) -> Result<Lit, ParseBlifError> {
+    ) -> Result<Lit, IoError> {
         if let Some(&l) = signal.get(name) {
             return Ok(l);
         }
         let &ti = by_output
             .get(name)
-            .ok_or_else(|| ParseBlifError::new(format!("undefined signal {name}"), 0))?;
+            .ok_or_else(|| IoError::Undefined { line: 0, name: name.to_string() })?;
         let t = &tables[ti];
         if visiting.iter().any(|v| v == name) {
-            return Err(ParseBlifError::new(
-                format!("combinational loop through {name}"),
-                t.line,
-            ));
+            return Err(IoError::CombinationalLoop { line: t.line, name: name.to_string() });
         }
         visiting.push(name.to_string());
         let mut ins = Vec::with_capacity(t.inputs.len());
@@ -246,14 +227,14 @@ pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
         visiting.pop();
 
         // Single-output cover: OR of cube rows; all rows share one
-        // output value per BLIF semantics (mixed rows rejected).
+        // output value per BLIF semantics (mixed rows rejected). An
+        // empty cover is an empty on-set — constant 0 — so the default
+        // polarity must be '1' (complementing the empty cover would
+        // flip it to constant 1).
         let values: Vec<char> = t.rows.iter().map(|(_, v)| *v).collect();
-        let on_value = values.first().copied().unwrap_or('0');
+        let on_value = values.first().copied().unwrap_or('1');
         if values.iter().any(|&v| v != on_value) {
-            return Err(ParseBlifError::new(
-                format!("mixed cover polarities in {name}"),
-                t.line,
-            ));
+            return Err(syntax(format!("mixed cover polarities in {name}"), t.line));
         }
         let mut cover = Lit::FALSE;
         for (plane, _) in &t.rows {
@@ -267,7 +248,7 @@ pub fn parse_blif(text: &str) -> Result<Aig, ParseBlifError> {
                     }
                     '-' => {}
                     other => {
-                        return Err(ParseBlifError::new(
+                        return Err(syntax(
                             format!("bad plane character '{other}' in {name}"),
                             t.line,
                         ));
@@ -361,6 +342,23 @@ mod tests {
         let g = parse_blif(text).unwrap();
         assert_eq!(g.eval(&[true, true]), vec![false, true]);
         assert_eq!(g.eval(&[true, false]), vec![true, true]);
+    }
+
+    #[test]
+    fn empty_cover_is_constant_false() {
+        // `.names out` with no rows is an empty on-set: constant 0.
+        // This is also what `write_blif` emits for FALSE outputs.
+        let text = ".model t\n.inputs a\n.outputs z\n.names z\n.end\n";
+        let g = parse_blif(text).unwrap();
+        assert_eq!(g.eval(&[false]), vec![false]);
+        assert_eq!(g.eval(&[true]), vec![false]);
+
+        let mut w = Aig::new("konst");
+        let _ = w.add_pi();
+        w.add_po(Lit::FALSE);
+        w.add_po(Lit::TRUE);
+        let back = parse_blif(&write_blif(&w)).unwrap();
+        assert_eq!(back.eval(&[true]), vec![false, true]);
     }
 
     #[test]

@@ -174,6 +174,12 @@ impl Aig {
         &self.name
     }
 
+    /// Renames the network (note that [`Aig::fingerprint`] covers the
+    /// name, so renaming changes the fingerprint).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Adds a primary input; returns its (positive) literal.
     pub fn add_pi(&mut self) -> Lit {
         let id = NodeId(self.nodes.len() as u32);

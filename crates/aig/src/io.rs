@@ -1,0 +1,170 @@
+//! Shared error type of the netlist frontends.
+//!
+//! Both textual frontends of this crate — [`crate::parse_blif`] and
+//! [`crate::parse_aiger`] — report failures through one structured
+//! [`IoError`] enum, so callers (the batch synthesis service, the
+//! repro binaries' `--input` path, the malformed-input corpus tests)
+//! can dispatch on *what* went wrong rather than string-match a
+//! message. Every parser in this crate upholds the same contract:
+//! malformed input of any kind returns an error, it never panics and
+//! never hands back a partially-built graph.
+
+use std::fmt;
+
+/// Structured error of the netlist parsers ([`crate::parse_blif`],
+/// [`crate::parse_aiger`]).
+///
+/// Line numbers are 1-based source lines where the failure was
+/// detected; `0` means the failure has no single source line (e.g. a
+/// truncated binary section or an undefined signal discovered during
+/// elaboration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// The file is empty or its header line is missing or malformed.
+    Header {
+        /// Offending 1-based line (0 for an empty input).
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// A declared count is unparseable, impossibly large, or
+    /// inconsistent with the other counts.
+    BadCount {
+        /// Offending 1-based line.
+        line: usize,
+        /// Which count and why.
+        msg: String,
+    },
+    /// A line-level syntax error in a body section.
+    Syntax {
+        /// Offending 1-based line.
+        line: usize,
+        /// What was expected.
+        msg: String,
+    },
+    /// A literal exceeds the bound implied by the declared maximum
+    /// variable index (AIGER: `2·M + 1`).
+    LiteralOutOfRange {
+        /// Offending 1-based line (0 inside a binary section).
+        line: usize,
+        /// The literal as written.
+        literal: u64,
+        /// The largest admissible literal.
+        max: u64,
+    },
+    /// A binary AND definition violates the format's monotonicity
+    /// contract `lhs > rhs0 ≥ rhs1` (the delta coding cannot express
+    /// anything else without garbage deltas).
+    NonMonotone {
+        /// 0-based index of the offending AND in the binary section.
+        and_index: usize,
+        /// Which delta was out of range.
+        msg: String,
+    },
+    /// The input ended inside a section that declared more data.
+    Truncated {
+        /// Which section ended early.
+        what: String,
+    },
+    /// A construct that is valid in the format but outside this
+    /// workspace's combinational subset (latches, hierarchy,
+    /// AIGER 1.9 property sections).
+    Unsupported {
+        /// Offending 1-based line.
+        line: usize,
+        /// The construct.
+        what: String,
+    },
+    /// A signal or variable is referenced but never defined.
+    Undefined {
+        /// 1-based line of the reference (0 when discovered during
+        /// demand-driven elaboration).
+        line: usize,
+        /// The signal name (BLIF) or literal (AIGER).
+        name: String,
+    },
+    /// The definitions form a combinational cycle.
+    CombinationalLoop {
+        /// 1-based line of a definition on the cycle.
+        line: usize,
+        /// A signal on the cycle.
+        name: String,
+    },
+    /// Bytes after the final section that are not a legal symbol or
+    /// comment section.
+    TrailingGarbage {
+        /// First offending 1-based line.
+        line: usize,
+    },
+}
+
+impl IoError {
+    /// 1-based source line of the failure; `0` when the failure has no
+    /// single line (binary sections, elaboration-time errors).
+    pub fn line(&self) -> usize {
+        match self {
+            IoError::Header { line, .. }
+            | IoError::BadCount { line, .. }
+            | IoError::Syntax { line, .. }
+            | IoError::LiteralOutOfRange { line, .. }
+            | IoError::Unsupported { line, .. }
+            | IoError::Undefined { line, .. }
+            | IoError::CombinationalLoop { line, .. }
+            | IoError::TrailingGarbage { line } => *line,
+            IoError::NonMonotone { .. } | IoError::Truncated { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Header { line, msg } => write!(f, "bad header: {msg} (line {line})"),
+            IoError::BadCount { line, msg } => write!(f, "bad count: {msg} (line {line})"),
+            IoError::Syntax { line, msg } => write!(f, "{msg} (line {line})"),
+            IoError::LiteralOutOfRange { line, literal, max } => {
+                write!(f, "literal {literal} exceeds maximum {max} (line {line})")
+            }
+            IoError::NonMonotone { and_index, msg } => {
+                write!(f, "binary AND {and_index}: {msg}")
+            }
+            IoError::Truncated { what } => write!(f, "input truncated inside {what}"),
+            IoError::Unsupported { line, what } => {
+                write!(f, "unsupported construct {what} (line {line})")
+            }
+            IoError::Undefined { line, name } => {
+                if *line == 0 {
+                    write!(f, "undefined signal {name}")
+                } else {
+                    write!(f, "undefined signal {name} (line {line})")
+                }
+            }
+            IoError::CombinationalLoop { line, name } => {
+                write!(f, "combinational loop through {name} (line {line})")
+            }
+            IoError::TrailingGarbage { line } => {
+                write!(f, "trailing garbage after the final section (line {line})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_and_display() {
+        let e = IoError::Syntax { line: 7, msg: "expected a literal".into() };
+        assert_eq!(e.line(), 7);
+        assert!(e.to_string().contains("line 7"));
+        let t = IoError::Truncated { what: "binary AND section".into() };
+        assert_eq!(t.line(), 0);
+        assert!(t.to_string().contains("truncated"));
+        let m = IoError::NonMonotone { and_index: 3, msg: "delta0 is zero".into() };
+        assert_eq!(m.line(), 0);
+        assert!(m.to_string().contains("AND 3"));
+    }
+}

@@ -3,8 +3,9 @@
 //! An [`Aig`] is a DAG of two-input AND nodes with optional edge
 //! complementation — the standard intermediate representation of
 //! modern logic synthesis (ABC-style). Around the graph (structural
-//! hashing, levels, fanout counts, BLIF I/O) the crate provides the
-//! two engines the rest of the workspace builds on:
+//! hashing, levels, fanout counts, BLIF and AIGER I/O with the shared
+//! [`IoError`] frontend contract) the crate provides the two engines
+//! the rest of the workspace builds on:
 //!
 //! * **Priority-cut enumeration** — [`enumerate_cuts_with`] fills a
 //!   [`CutArena`] with the k-feasible cuts of every node under the
@@ -73,17 +74,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod aiger;
 mod blif;
 mod cec;
 mod check;
 mod cuts;
 mod edit;
 mod graph;
+pub mod io;
 pub mod rcache;
 mod sim;
 mod sweep;
 
-pub use blif::{parse_blif, write_blif, ParseBlifError};
+pub use aiger::{parse_aiger, write_aiger_ascii, write_aiger_binary};
+pub use blif::{parse_blif, write_blif};
+pub use io::IoError;
 pub use check::CheckError;
 pub use cec::{
     check_equivalence, check_equivalence_report, equivalent, sat_lit, tseitin, CecReport,

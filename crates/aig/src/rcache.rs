@@ -74,6 +74,42 @@ impl<K: Eq + Hash, V: Clone> ResultCache<K, V> {
         v
     }
 
+    /// Looks `key` up without computing, counting a hit or a miss.
+    /// Always `None` (and uncounted) with caching disabled. Paired
+    /// with [`ResultCache::insert`] for callers that may abandon a
+    /// computation midway (e.g. a cancelled service request) and must
+    /// not store a partial outcome.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if !cntfet_boolfn::cache::enabled() {
+            return None;
+        }
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        match map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `v` under `key` (no counter effect; no-op with caching
+    /// disabled), applying the same wholesale-eviction bound as
+    /// [`ResultCache::get_or_insert_with`].
+    pub fn insert(&self, key: K, v: V) {
+        if !cntfet_boolfn::cache::enabled() {
+            return;
+        }
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if map.len() >= self.cap && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, v);
+    }
+
     /// Hit/miss counters accumulated so far. Monotonic: [`clear`]
     /// drops entries, never history.
     ///
@@ -139,6 +175,20 @@ mod tests {
         assert_eq!(v, 10);
         if cntfet_boolfn::cache::enabled() {
             assert_eq!(c.stats().lookups(), before.lookups() + 1);
+        }
+    }
+
+    #[test]
+    fn get_insert_pair() {
+        let c: ResultCache<u64, u64> = ResultCache::new(4);
+        assert_eq!(c.get(&9), None);
+        c.insert(9, 81);
+        if cntfet_boolfn::cache::enabled() {
+            assert_eq!(c.get(&9), Some(81));
+            assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        } else {
+            assert_eq!(c.get(&9), None);
+            assert_eq!(c.stats(), CacheStats::default());
         }
     }
 

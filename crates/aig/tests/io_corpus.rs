@@ -1,0 +1,299 @@
+//! Malformed-input corpus for both frontend parsers: every entry must
+//! come back as a structured [`IoError`] — never a panic, never a
+//! partially-built graph — including under `--features paranoid`,
+//! where the graph invariant checkers run inside the constructors the
+//! parsers drive. The corpus covers the failure classes the frontends
+//! promise to catch: truncated headers and sections, literals beyond
+//! the declared maximum, non-monotone binary deltas, malformed section
+//! lines, oversized/lying counts, empty files and trailing garbage.
+
+use cntfet_aig::{parse_aiger, parse_blif, IoError};
+
+/// One corpus entry: a label, the input bytes, and a coarse predicate
+/// on the structured error the parser must return.
+struct Case {
+    label: &'static str,
+    input: &'static [u8],
+    expect: fn(&IoError) -> bool,
+}
+
+/// A BLIF corpus entry: label, source text, error predicate.
+type BlifCase = (&'static str, &'static str, fn(&IoError) -> bool);
+
+fn run_aiger_corpus(cases: &[Case]) {
+    for c in cases {
+        match parse_aiger(c.input) {
+            Ok(_) => panic!("{}: parsed successfully, expected an error", c.label),
+            Err(e) => {
+                assert!((c.expect)(&e), "{}: unexpected error variant: {e:?}", c.label);
+                // Every error renders a non-empty message.
+                assert!(!e.to_string().is_empty(), "{}: empty Display", c.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn aiger_header_corpus() {
+    run_aiger_corpus(&[
+        Case {
+            label: "empty file",
+            input: b"",
+            expect: |e| matches!(e, IoError::Header { line: 0, .. }),
+        },
+        Case {
+            label: "bare magic without counts",
+            input: b"aag\n",
+            expect: |e| matches!(e, IoError::Header { .. }),
+        },
+        Case {
+            label: "unknown magic",
+            input: b"abc 1 1 0 0 0\n2\n",
+            expect: |e| matches!(e, IoError::Header { .. }),
+        },
+        Case {
+            label: "too few counts",
+            input: b"aag 1 1 0 0\n2\n",
+            expect: |e| matches!(e, IoError::Header { .. }),
+        },
+        Case {
+            label: "too many counts",
+            input: b"aag 1 1 0 0 0 0 0 0 0 0\n2\n",
+            expect: |e| matches!(e, IoError::Header { .. }),
+        },
+        Case {
+            label: "unreadable count",
+            input: b"aag x 1 0 0 0\n2\n",
+            expect: |e| matches!(e, IoError::BadCount { .. }),
+        },
+        Case {
+            label: "oversized maxvar (allocation bound)",
+            input: b"aag 16777217 1 0 0 16777216\n2\n",
+            expect: |e| matches!(e, IoError::BadCount { .. }),
+        },
+        Case {
+            label: "I + A overflow",
+            input: b"aag 16777216 18446744073709551615 0 0 1\n",
+            expect: |e| matches!(e, IoError::BadCount { .. }),
+        },
+        Case {
+            label: "maxvar smaller than I + A",
+            input: b"aag 1 2 0 0 0\n2\n4\n",
+            expect: |e| matches!(e, IoError::BadCount { .. }),
+        },
+        Case {
+            label: "binary maxvar not equal to I + A",
+            input: b"aig 5 1 0 1 1\n2\n",
+            expect: |e| matches!(e, IoError::BadCount { .. }),
+        },
+        Case {
+            label: "latches unsupported",
+            input: b"aag 2 1 1 0 0\n2\n4 2\n",
+            expect: |e| matches!(e, IoError::Unsupported { .. }),
+        },
+        Case {
+            label: "AIGER 1.9 property counts unsupported",
+            input: b"aag 1 1 0 0 0 0 1\n2\n",
+            expect: |e| matches!(e, IoError::Unsupported { .. }),
+        },
+    ]);
+}
+
+#[test]
+fn aiger_ascii_body_corpus() {
+    run_aiger_corpus(&[
+        Case {
+            label: "truncated after header",
+            input: b"aag 2 2 0 1 0\n2\n",
+            expect: |e| matches!(e, IoError::Truncated { .. }),
+        },
+        Case {
+            label: "truncated AND section",
+            input: b"aag 3 2 0 1 1\n2\n4\n6\n",
+            expect: |e| matches!(e, IoError::Truncated { .. }),
+        },
+        Case {
+            label: "output literal beyond maxvar",
+            input: b"aag 1 1 0 1 0\n2\n9\n",
+            expect: |e| matches!(e, IoError::LiteralOutOfRange { literal: 9, max: 3, .. }),
+        },
+        Case {
+            label: "odd input literal",
+            input: b"aag 1 1 0 0 0\n3\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "constant input literal",
+            input: b"aag 1 1 0 0 0\n0\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "duplicate input variable",
+            input: b"aag 2 2 0 0 0\n2\n2\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "two literals on an output line",
+            input: b"aag 1 1 0 1 0\n2\n2 3\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "AND line with two literals",
+            input: b"aag 3 2 0 0 1\n2\n4\n6 2\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "AND redefines an input",
+            input: b"aag 3 2 0 0 1\n2\n4\n4 2 2\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "AND left-hand side constant",
+            input: b"aag 2 1 0 0 1\n2\n0 2 2\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "undefined AND fanin",
+            input: b"aag 4 1 0 1 1\n2\n6\n6 8 2\n",
+            expect: |e| matches!(e, IoError::Undefined { .. }),
+        },
+        Case {
+            label: "combinational cycle",
+            input: b"aag 4 1 0 1 2\n2\n6\n6 8 2\n8 6 2\n",
+            expect: |e| matches!(e, IoError::CombinationalLoop { .. }),
+        },
+        Case {
+            label: "non-numeric literal",
+            input: b"aag 1 1 0 1 0\n2\nzz\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "non-UTF-8 bytes where text expected",
+            input: b"aag 1 1 0 0 0\n\xff\xfe\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+    ]);
+}
+
+#[test]
+fn aiger_binary_corpus() {
+    run_aiger_corpus(&[
+        Case {
+            label: "truncated binary AND section",
+            input: b"aig 2 1 0 1 1\n2\n",
+            expect: |e| matches!(e, IoError::Truncated { .. }),
+        },
+        Case {
+            label: "zero delta0 (rhs0 == lhs)",
+            input: b"aig 2 1 0 1 1\n2\n\x00\x00",
+            expect: |e| matches!(e, IoError::NonMonotone { and_index: 0, .. }),
+        },
+        Case {
+            label: "delta0 larger than lhs",
+            input: b"aig 2 1 0 1 1\n2\n\x05\x00",
+            expect: |e| matches!(e, IoError::NonMonotone { and_index: 0, .. }),
+        },
+        Case {
+            label: "delta1 larger than rhs0",
+            input: b"aig 2 1 0 1 1\n2\n\x01\x07",
+            expect: |e| matches!(e, IoError::NonMonotone { and_index: 0, .. }),
+        },
+        Case {
+            label: "varint exceeding 64 bits",
+            input: b"aig 2 1 0 1 1\n2\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff",
+            expect: |e| matches!(e, IoError::NonMonotone { .. }),
+        },
+        Case {
+            label: "binary output literal beyond maxvar",
+            input: b"aig 2 1 0 1 1\n9\n\x02\x01",
+            expect: |e| matches!(e, IoError::LiteralOutOfRange { .. }),
+        },
+    ]);
+}
+
+#[test]
+fn aiger_tail_corpus() {
+    run_aiger_corpus(&[
+        Case {
+            label: "trailing garbage after body",
+            input: b"aag 1 1 0 1 0\n2\n2\nwhat is this\n",
+            expect: |e| matches!(e, IoError::TrailingGarbage { .. }),
+        },
+        Case {
+            label: "symbol index out of range",
+            input: b"aag 1 1 0 0 0\n2\ni5 foo\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "latch symbol (latches rejected at header)",
+            input: b"aag 1 1 0 0 0\n2\nl0 q\n",
+            expect: |e| matches!(e, IoError::Syntax { .. }),
+        },
+        Case {
+            label: "symbol without a name",
+            input: b"aag 1 1 0 0 0\n2\ni0\n",
+            expect: |e| matches!(e, IoError::TrailingGarbage { .. }),
+        },
+    ]);
+}
+
+/// The errors carry usable positions: `line()` is the 1-based source
+/// line for line-anchored failures and 0 for positionless ones.
+#[test]
+fn aiger_errors_locate_the_failure() {
+    let e = parse_aiger(b"aag 1 1 0 1 0\n2\n9\n").unwrap_err();
+    assert_eq!(e.line(), 3);
+    let e = parse_aiger(b"aig 2 1 0 1 1\n2\n").unwrap_err();
+    assert_eq!(e.line(), 0); // truncation has no meaningful line
+}
+
+#[test]
+fn blif_corpus() {
+    let cases: &[BlifCase] = &[
+        ("empty input", "", |e| matches!(e, IoError::Header { line: 0, .. })),
+        ("comments only", "# nothing\n  \n", |e| matches!(e, IoError::Header { .. })),
+        (".latch unsupported", ".model x\n.latch a b\n.end\n", |e| {
+            matches!(e, IoError::Unsupported { .. })
+        }),
+        (".subckt unsupported", ".model x\n.subckt sub a=b\n.end\n", |e| {
+            matches!(e, IoError::Unsupported { .. })
+        }),
+        (".names without output", ".model x\n.names\n.end\n", |e| {
+            matches!(e, IoError::Syntax { .. })
+        }),
+        ("cover row outside .names", ".model x\n11 1\n.end\n", |e| {
+            matches!(e, IoError::Syntax { .. })
+        }),
+        ("cover width mismatch", ".model x\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n", |e| {
+            matches!(e, IoError::Syntax { .. })
+        }),
+        ("bad cover value", ".model x\n.inputs a\n.outputs y\n.names a y\n1 2\n.end\n", |e| {
+            matches!(e, IoError::Syntax { .. })
+        }),
+        ("bad plane character", ".model x\n.inputs a\n.outputs y\n.names a y\nz 1\n.end\n", |e| {
+            matches!(e, IoError::Syntax { .. })
+        }),
+        (
+            "mixed cover polarities",
+            ".model x\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
+            |e| matches!(e, IoError::Syntax { .. }),
+        ),
+        ("undefined output signal", ".model x\n.inputs a\n.outputs y\n.end\n", |e| {
+            matches!(e, IoError::Undefined { .. })
+        }),
+        (
+            "combinational loop",
+            ".model x\n.inputs a\n.outputs y\n.names y a y\n11 1\n.end\n",
+            |e| matches!(e, IoError::CombinationalLoop { .. }),
+        ),
+    ];
+    for (label, input, expect) in cases {
+        match parse_blif(input) {
+            Ok(_) => panic!("{label}: parsed successfully, expected an error"),
+            Err(e) => {
+                assert!(expect(&e), "{label}: unexpected error variant: {e:?}");
+                assert!(!e.to_string().is_empty(), "{label}: empty Display");
+            }
+        }
+    }
+}

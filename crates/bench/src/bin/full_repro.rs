@@ -5,16 +5,23 @@
 //!
 //! `--jobs N` sets the worker-thread budget (default: `CNTFET_JOBS`
 //! or the detected core count); every number in the scoreboard is
-//! identical for every value.
+//! identical for every value. `--input FILE` (repeatable) additionally
+//! pushes external AIGER/BLIF circuits through the verified pipeline
+//! and adds their verdicts to the scoreboard.
 
-use cntfet_aig::{enumerate_cuts, enumerate_cuts_with, CutArena, CutParams, CutRank, NodeId};
+use cntfet_aig::{
+    check_equivalence_sweeping, enumerate_cuts, enumerate_cuts_with, parse_aiger,
+    write_aiger_ascii, write_aiger_binary, CecResult, CutArena, CutParams, CutRank, NodeId,
+};
+use cntfet_bench::serve::load_circuit;
 use cntfet_bench::{
-    compare_synth_engines, run_suite, run_suite_with, suite_averages, suite_verification_stats,
+    compare_synth_engines, run_circuit, run_suite, run_suite_with, suite_averages,
+    suite_libraries, suite_verification_stats,
 };
 use cntfet_circuits::paper_benchmarks;
 use cntfet_core::{characterize_family, enumerate_gates, family_averages, Library, LogicFamily};
 use cntfet_sat::Solver;
-use cntfet_synth::resyn2rs;
+use cntfet_synth::{resyn2rs, SynthOptions};
 use cntfet_techmap::{check_mapping, map, MapOptions, MapStats, Objective};
 
 struct Check {
@@ -41,6 +48,20 @@ fn main() {
             _ => {
                 eprintln!("--jobs expects a positive integer");
                 std::process::exit(2);
+            }
+        }
+    }
+    // `--input FILE` (repeatable): external circuits audited alongside
+    // the built-in suite.
+    let mut inputs: Vec<String> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--input" {
+            match args.get(i + 1) {
+                Some(f) if !f.starts_with("--") => inputs.push(f.clone()),
+                _ => {
+                    eprintln!("--input expects a file path (.aag, .aig or .blif)");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -337,6 +358,95 @@ fn main() {
             delta.dirty().len(),
         );
     }
+    // AIGER frontend (PR 9): every suite circuit must survive a write →
+    // parse round trip through BOTH formats with identical structural
+    // stats and CEC-proven equivalence. This is the contract the batch
+    // service's file path stands on.
+    println!("\nauditing AIGER round-trips (write -> parse -> stats + CEC, ascii + binary)...");
+    let t_rt = std::time::Instant::now();
+    let mut roundtrip_failures = 0usize;
+    for b in paper_benchmarks() {
+        let encodings = [
+            ("ascii", write_aiger_ascii(&b.aig).into_bytes()),
+            ("binary", write_aiger_binary(&b.aig)),
+        ];
+        for (fmt, bytes) in encodings {
+            match parse_aiger(&bytes) {
+                Ok(back) => {
+                    let stats_ok = back.num_ands() == b.aig.num_ands()
+                        && back.depth() == b.aig.depth()
+                        && back.num_pis() == b.aig.num_pis()
+                        && back.num_pos() == b.aig.num_pos();
+                    let equivalent =
+                        check_equivalence_sweeping(&b.aig, &back) == CecResult::Equivalent;
+                    if !stats_ok || !equivalent {
+                        roundtrip_failures += 1;
+                        println!(
+                            "  FAIL {}/{fmt}: stats identical: {stats_ok}, CEC: {equivalent}",
+                            b.name
+                        );
+                    }
+                }
+                Err(e) => {
+                    roundtrip_failures += 1;
+                    println!("  FAIL {}/{fmt}: re-parse error: {e}", b.name);
+                }
+            }
+        }
+    }
+    println!(
+        "  {} circuits x 2 formats, {roundtrip_failures} failures ({:.1}s)",
+        paper_benchmarks().len(),
+        t_rt.elapsed().as_secs_f64(),
+    );
+
+    // External inputs (`--input`): load, synthesize, map, SAT-verify,
+    // and round-trip through AIGER like the suite circuits above.
+    let mut external_failures = 0usize;
+    if !inputs.is_empty() {
+        println!("\nrunning {} external input(s) through the verified pipeline...", inputs.len());
+        let libs = suite_libraries();
+        let _ = cntfet_boolfn::RwrLibrary::global();
+        for f in &inputs {
+            match load_circuit(std::path::Path::new(f)) {
+                Ok(aig) => {
+                    let name = aig.name().to_string();
+                    let row = run_circuit(
+                        &name,
+                        "external",
+                        &aig,
+                        true,
+                        MapOptions::default(),
+                        &SynthOptions::default(),
+                        &libs,
+                    );
+                    let rt_ok = parse_aiger(&write_aiger_binary(&aig))
+                        .map(|back| {
+                            check_equivalence_sweeping(&aig, &back) == CecResult::Equivalent
+                        })
+                        .unwrap_or(false);
+                    if !row.verified || !rt_ok {
+                        external_failures += 1;
+                    }
+                    println!(
+                        "  {name}: {} PIs / {} POs, {} ands; static {} gates / {:.0} area; \
+                         verified: {}, round-trip: {rt_ok}",
+                        aig.num_pis(),
+                        aig.num_pos(),
+                        aig.num_ands(),
+                        row.tg_static.gates,
+                        row.tg_static.area,
+                        row.verified,
+                    );
+                }
+                Err(e) => {
+                    external_failures += 1;
+                    println!("  FAIL {f}: {e}");
+                }
+            }
+        }
+    }
+
     // Directional claims.
     let mult = rows.iter().find(|r| r.name == "C6288").unwrap();
     let avg_speedup = rows.iter().map(|r| r.speedup_static()).sum::<f64>() / rows.len() as f64;
@@ -347,13 +457,26 @@ fn main() {
         tolerance_pct: 0.0,
     });
 
-    // Check #24 of the scoreboard.
     checks.push(Check {
         what: "Incremental: updated cuts == from-scratch",
         paper: 0.0,
         measured: incremental_deviations as f64,
         tolerance_pct: 0.0,
     });
+    checks.push(Check {
+        what: "AIGER: suite round-trips (stats + CEC)",
+        paper: 0.0,
+        measured: roundtrip_failures as f64,
+        tolerance_pct: 0.0,
+    });
+    if !inputs.is_empty() {
+        checks.push(Check {
+            what: "External inputs: verified + round-tripped",
+            paper: 0.0,
+            measured: external_failures as f64,
+            tolerance_pct: 0.0,
+        });
+    }
 
     println!("\n== paper vs measured ==");
     println!("{:<48} {:>10} {:>10} {:>8}", "check", "paper", "measured", "status");

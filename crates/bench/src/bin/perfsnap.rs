@@ -1,27 +1,30 @@
 //! Performance snapshot: measures the workspace's hot paths —
 //! synthesis (in-place engine vs the seed rebuild engine), technology
 //! mapping, CEC verification, the parallel suite at several worker
-//! counts, and (new in PR 8) the incrementality substrate: warm-vs-cold
-//! result-cache behaviour of the whole suite synthesis and
-//! dirty-region cut-enumeration updates vs from-scratch re-enumeration
-//! — and writes the numbers to `BENCH_PR8.json` in the current
+//! counts, the incrementality substrate (warm-vs-cold result-cache
+//! behaviour of the whole suite synthesis and dirty-region
+//! cut-enumeration updates vs from-scratch re-enumeration), and (new
+//! in PR 9) the batch synthesis service: cold vs warm batch throughput
+//! over the full suite plus the AIGER frontend's write/parse costs —
+//! and writes the numbers to `BENCH_PR9.json` in the current
 //! directory. The JSON continues the bench trajectory the ROADMAP asks
 //! for: `BENCH_PR3.json` records the verification rebuild,
 //! `BENCH_PR4.json` the arrival-aware mapper, `BENCH_PR5.json` the
 //! synthesis rebuild, `BENCH_PR7.json` the work-stealing thread pool,
-//! this file the caches. Every engine timing row clears the
-//! process-wide result caches before each iteration, so those numbers
-//! stay comparable with the earlier snapshots; the dedicated
-//! cold/warm rows are where the caches are allowed to shine. Scaling
-//! rows are honest measurements of the machine the snapshot ran on:
-//! `available_parallelism` is recorded next to them, and on a
-//! single-core container the jobs>1 rows will not (and must not
-//! pretend to) beat jobs=1.
+//! `BENCH_PR8.json` the caches, this file the service. Every engine
+//! timing row clears the process-wide result caches before each
+//! iteration, so those numbers stay comparable with the earlier
+//! snapshots; the dedicated cold/warm rows are where the caches are
+//! allowed to shine. Scaling rows are honest measurements of the
+//! machine the snapshot ran on: `available_parallelism` is recorded
+//! next to them, and on a single-core container the jobs>1 rows will
+//! not (and must not pretend to) beat jobs=1.
 
 use cntfet_aig::{
     cec_cache_stats, check_equivalence_sweeping_report, enumerate_cuts_with, CecResult, CutParams,
     CutRank, NodeId, SweepOptions,
 };
+use cntfet_bench::serve::{SynthRequest, SynthService};
 use cntfet_bench::{clear_result_caches, compare_synth_engines, run_suite_with};
 use cntfet_boolfn::{canon_cache_stats, CacheStats};
 use cntfet_circuits::{array_multiplier, c1908_like, cla_adder, ripple_adder, shift_add_multiplier};
@@ -234,6 +237,53 @@ fn main() {
     let deterministic = report1 == report2 && report1 == report4 && report1 == report_all;
     assert!(deterministic, "suite reports diverged across worker counts");
 
+    // --- batch synthesis service (PR 9): cold vs warm throughput ---
+    // The full 15-circuit suite through `SynthService::process_batch`,
+    // once with every cache dropped (cold — the real pipeline runs) and
+    // once again immediately after (warm — the fingerprint-keyed
+    // service cache answers every request). Warm throughput must be at
+    // least 2x cold; that is the dedup contract `batch_synth` sells.
+    println!("perfsnap: batch synthesis service cold/warm throughput...");
+    let svc = SynthService::with_options(
+        LogicFamily::TgStatic,
+        MapOptions::default(),
+        SynthOptions::default(),
+        false,
+    );
+    let requests: Vec<SynthRequest> = cntfet_circuits::paper_benchmarks()
+        .into_iter()
+        .map(|b| SynthRequest::new(b.name, b.aig))
+        .collect();
+    svc.clear_cache();
+    clear_result_caches();
+    let serve_cold = svc.process_batch(&requests, 0);
+    let serve_warm = svc.process_batch(&requests, 0);
+    assert_eq!(serve_cold.completed(), requests.len(), "cold batch dropped requests");
+    assert_eq!(serve_warm.completed(), requests.len(), "warm batch dropped requests");
+    let (serve_cold_cps, serve_warm_cps) =
+        (serve_cold.circuits_per_sec(), serve_warm.circuits_per_sec());
+    assert!(
+        serve_warm_cps >= 2.0 * serve_cold_cps,
+        "warm batch throughput below 2x cold: {serve_cold_cps:.1} vs {serve_warm_cps:.1} circuits/s"
+    );
+
+    // --- AIGER frontend: the per-request file-path costs ---
+    let des_graph = cntfet_circuits::des_like();
+    let des_ascii = cntfet_aig::write_aiger_ascii(&des_graph);
+    let des_binary = cntfet_aig::write_aiger_binary(&des_graph);
+    let aiger_write_ascii_ms = best_ms(5, || {
+        assert!(!cntfet_aig::write_aiger_ascii(&des_graph).is_empty());
+    });
+    let aiger_write_binary_ms = best_ms(5, || {
+        assert!(!cntfet_aig::write_aiger_binary(&des_graph).is_empty());
+    });
+    let aiger_parse_ascii_ms = best_ms(5, || {
+        assert!(cntfet_aig::parse_aiger(des_ascii.as_bytes()).is_ok());
+    });
+    let aiger_parse_binary_ms = best_ms(5, || {
+        assert!(cntfet_aig::parse_aiger(&des_binary).is_ok());
+    });
+
     // --- cache counters, accumulated over everything above ---
     let canon = canon_cache_stats();
     let cec = cec_cache_stats();
@@ -242,8 +292,24 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 8,
-  "description": "incremental recomputation + cross-call caching: dirty-region cut enumeration, NPN canonicalization memo, strash-fingerprint result caches for synthesis/mapping/CEC",
+  "pr": 9,
+  "description": "AIGER frontend + batch synthesis service: ascii/binary AIGER read/write, fingerprint-deduplicated persistent service with cancellation/budget hooks, batch_synth driver",
+  "service": {{
+    "requests": {n_requests},
+    "verify": false,
+    "cold_batch_s": {serve_cold_s:.3},
+    "cold_circuits_per_sec": {serve_cold_cps:.1},
+    "warm_batch_s": {serve_warm_s:.4},
+    "warm_circuits_per_sec": {serve_warm_cps:.1},
+    "warm_over_cold": {serve_speedup:.1}
+  }},
+  "aiger_ms": {{
+    "circuit": "des-like",
+    "write_ascii": {aiger_write_ascii_ms:.3},
+    "write_binary": {aiger_write_binary_ms:.3},
+    "parse_ascii": {aiger_parse_ascii_ms:.3},
+    "parse_binary": {aiger_parse_binary_ms:.3}
+  }},
   "caching": {{
     "suite_synth_cold_s": {suite_synth_cold_s:.3},
     "suite_synth_warm_s": {suite_synth_warm_s:.4},
@@ -320,8 +386,12 @@ fn main() {
         incr_nodes = incr_g.num_nodes(),
         dirty_nodes = delta.dirty().len(),
         incr_speedup = full_enum_ms / update_ms,
+        n_requests = requests.len(),
+        serve_cold_s = serve_cold.elapsed_s,
+        serve_warm_s = serve_warm.elapsed_s,
+        serve_speedup = serve_warm_cps / serve_cold_cps,
     );
-    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
     print!("{json}");
-    println!("wrote BENCH_PR8.json");
+    println!("wrote BENCH_PR9.json");
 }

@@ -12,9 +12,12 @@
 //! seed-era rebuild-based synthesis engine instead of the in-place
 //! DAG-aware one (`--synth inplace`, the default); `--jobs N` sets the
 //! worker-thread budget (default: `CNTFET_JOBS` or the detected core
-//! count — the table is identical for every value).
+//! count — the table is identical for every value); `--input FILE`
+//! (repeatable) runs external AIGER/BLIF circuits through the same
+//! pipeline instead of the built-in suite.
 
-use cntfet_bench::{print_table3, run_suite_full};
+use cntfet_bench::serve::load_circuit;
+use cntfet_bench::{print_table3, run_circuit, run_suite_full, suite_libraries, Table3Row};
 use cntfet_synth::{SynthEngine, SynthOptions};
 use cntfet_techmap::{MapOptions, Objective};
 
@@ -65,6 +68,21 @@ fn main() {
             }
         }
     }
+    // `--input FILE` (repeatable): run external circuits instead of
+    // the built-in suite.
+    let mut inputs: Vec<String> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--input" {
+            match args.get(i + 1) {
+                Some(f) if !f.starts_with("--") => inputs.push(f.clone()),
+                _ => {
+                    eprintln!("--input expects a file path (.aag, .aig or .blif)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
     println!("== Table 3 reproduction: synthesis + technology mapping ==");
     println!(
         "(resyn2rs optimization [{synth_engine:?} engine], 6-cut NPN matching, \
@@ -74,12 +92,27 @@ fn main() {
         if fast { "OFF (--fast)" } else { "ON" }
     );
     let t0 = std::time::Instant::now();
-    let rows = run_suite_full(
-        !fast,
-        None,
-        MapOptions { objective, delay_rounds, ..Default::default() },
-        &SynthOptions { engine: synth_engine, ..Default::default() },
-    );
+    let map_opts = MapOptions { objective, delay_rounds, ..Default::default() };
+    let synth_opts = SynthOptions { engine: synth_engine, ..Default::default() };
+    let rows: Vec<Table3Row> = if inputs.is_empty() {
+        run_suite_full(!fast, None, map_opts, &synth_opts)
+    } else {
+        let libs = suite_libraries();
+        let _ = cntfet_boolfn::RwrLibrary::global();
+        inputs
+            .iter()
+            .map(|f| match load_circuit(std::path::Path::new(f)) {
+                Ok(aig) => {
+                    let name = aig.name().to_string();
+                    run_circuit(&name, "external", &aig, !fast, map_opts, &synth_opts, &libs)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            })
+            .collect()
+    };
     print_table3(&rows);
     let all_verified = rows.iter().all(|r| r.verified);
     println!(

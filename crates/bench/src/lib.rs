@@ -6,6 +6,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod serve;
+
+use cntfet_aig::Aig;
 use cntfet_circuits::{paper_benchmarks, Benchmark};
 use cntfet_core::{Library, LogicFamily};
 use cntfet_sat::SolverStats;
@@ -91,9 +94,11 @@ pub fn run_benchmark_full(
     run_benchmark_libs(b, verify, opts, synth, &suite_libraries())
 }
 
-/// The three Table 3 libraries, in column order. Built once per suite
-/// run and shared (immutably) across all suite workers.
-fn suite_libraries() -> [Library; 3] {
+/// The three Table 3 libraries, in column order (TG static, TG
+/// pseudo, CMOS). Built once per suite run and shared (immutably)
+/// across all suite workers; `table3 --input` builds them once per
+/// invocation the same way.
+pub fn suite_libraries() -> [Library; 3] {
     [
         Library::new(LogicFamily::TgStatic),
         Library::new(LogicFamily::TgPseudo),
@@ -110,7 +115,23 @@ fn run_benchmark_libs(
     synth: &SynthOptions,
     libs: &[Library; 3],
 ) -> Table3Row {
-    let optimized = resyn2rs_with(&b.aig, synth);
+    run_circuit(b.name, b.function, &b.aig, verify, opts, synth, libs)
+}
+
+/// Runs the full Table 3 pipeline (synth → map × 3 families →
+/// optional CEC) on an arbitrary circuit — the entry point behind
+/// `table3 --input` and `full_repro --input`, where the circuit came
+/// from an AIGER or BLIF file instead of the built-in generators.
+pub fn run_circuit(
+    name: &str,
+    function: &str,
+    aig: &Aig,
+    verify: bool,
+    opts: MapOptions,
+    synth: &SynthOptions,
+    libs: &[Library; 3],
+) -> Table3Row {
+    let optimized = resyn2rs_with(aig, synth);
     let mut stats = Vec::with_capacity(3);
     let mut verified = true;
     let mut sat_stats = SolverStats::default();
@@ -126,9 +147,9 @@ fn run_benchmark_libs(
         stats.push(m.stats);
     }
     Table3Row {
-        name: b.name.to_string(),
-        io: b.io,
-        function: b.function.to_string(),
+        name: name.to_string(),
+        io: (aig.num_pis(), aig.num_pos()),
+        function: function.to_string(),
         tg_static: stats[0],
         tg_pseudo: stats[1],
         cmos: stats[2],

@@ -53,6 +53,15 @@ impl CacheStats {
             self.hits as f64 / (self.hits + self.misses) as f64
         }
     }
+
+    /// Accumulates another layer's counters into this one — the same
+    /// aggregation idiom as `SolverStats::absorb`, used to report one
+    /// combined figure across the synthesis, mapping, CEC and service
+    /// caches.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 #[cfg(test)]
@@ -65,6 +74,13 @@ mod tests {
         assert_eq!(s.lookups(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CacheStats { hits: 3, misses: 1 };
+        a.absorb(&CacheStats { hits: 2, misses: 5 });
+        assert_eq!(a, CacheStats { hits: 5, misses: 6 });
     }
 
     #[test]

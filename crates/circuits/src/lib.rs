@@ -40,4 +40,4 @@ pub use des::{des_f, des_f_circuit, des_f_reference, des_like};
 pub use ecc::{c1355_like, c1355_reference, c1908_like};
 pub use randlogic::{majority, mux_tree, parity, random_logic};
 pub use rng::SplitMix64;
-pub use suite::{paper_benchmarks, BenchClass, Benchmark};
+pub use suite::{export_suite, paper_benchmarks, BenchClass, Benchmark};

@@ -153,6 +153,29 @@ pub fn paper_benchmarks() -> Vec<Benchmark> {
     ]
 }
 
+/// Writes every suite circuit into `dir` as both ASCII (`.aag`) and
+/// binary (`.aig`) AIGER files, returning the paths in suite order —
+/// the standard way to hand the paper's benchmarks to external tools
+/// (or back to `batch_synth`, which is how the service benchmarks
+/// exercise the file path).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the directory is created if absent).
+pub fn export_suite(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for b in paper_benchmarks() {
+        let ascii = dir.join(format!("{}.aag", b.name));
+        std::fs::write(&ascii, cntfet_aig::write_aiger_ascii(&b.aig))?;
+        paths.push(ascii);
+        let binary = dir.join(format!("{}.aig", b.name));
+        std::fs::write(&binary, cntfet_aig::write_aiger_binary(&b.aig))?;
+        paths.push(binary);
+    }
+    Ok(paths)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,7 +64,7 @@ pub enum PoBinding {
 }
 
 /// Summary statistics in the units of the paper's Table 3.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MapStats {
     /// Number of gates (inverters included for CMOS).
     pub gates: usize,
