@@ -37,7 +37,7 @@ pub enum CutRank {
 }
 
 /// Parameters of [`enumerate_cuts_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CutParams {
     /// Maximum cut size (`k ≥ 2`).
     pub k: usize,
@@ -369,6 +369,190 @@ impl CutArena {
                 self.splice(id, &cuts, &leaves);
             }
         }
+    }
+
+    /// Follows the arena across [`Aig::compact_with_map`]: remaps every
+    /// stored cut into the compacted graph's id space, then repairs the
+    /// lists compaction changed — so a persistent arena survives the
+    /// `end_edit → update → compact` cycle of a synthesis pass instead
+    /// of being re-enumerated from scratch each round.
+    ///
+    /// `aig` must be the compacted graph the map describes and the
+    /// arena must be current for the pre-compaction graph (i.e.
+    /// [`CutArena::update`] already ran for the session's delta). Per
+    /// cut, leaves follow the map and are re-sorted under the new id
+    /// order, the function word is permuted along, and the signature is
+    /// refolded; rank costs carry over unchanged because both builtin
+    /// ranks (leaf count, leaf levels) are invariant under the
+    /// structure-preserving renaming. AND nodes whose pre-compaction
+    /// list was computed under the edited graph's empty-fanin
+    /// convention (an appended fanout preceding its fanin in id order)
+    /// are exactly the unit-only lists; those are re-enumerated and the
+    /// change propagated upward, the same stop-on-equal walk
+    /// [`CutArena::update`] uses.
+    ///
+    /// After the call every node's cut list is identical to what
+    /// [`enumerate_cuts_with`] would produce from scratch on the
+    /// compacted graph. When the remap is not a clean positive
+    /// bijection (compaction merged, complemented or constant-folded
+    /// surviving nodes) or `CNTFET_NO_CACHE=1` disables incremental
+    /// paths, the arena is rebuilt from scratch instead — behaviourally
+    /// identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.rank` is [`CutRank::Arrival`], if `params.k`
+    /// differs from the arena's, or if the arena, map and graph sizes
+    /// are inconsistent.
+    pub fn rebase(&mut self, map: &crate::graph::CompactMap, aig: &Aig, params: CutParams) {
+        assert!(
+            params.rank != CutRank::Arrival,
+            "CutRank::Arrival needs a cost oracle; rebase supports builtin ranks"
+        );
+        assert!(params.k >= 2, "cut size must be at least 2");
+        assert_eq!(params.k, self.k, "rebase must reuse the arena's cut size");
+        assert_eq!(
+            self.spans.len(),
+            map.old_len(),
+            "arena was not built from the map's pre-compaction graph"
+        );
+        assert_eq!(aig.num_nodes(), map.new_len(), "graph is not the map's compacted graph");
+        if !cntfet_boolfn::cache::enabled() {
+            *self = enumerate_cuts_with(aig, params);
+            return;
+        }
+        match self.rebase_clean(map, aig, params) {
+            Some(out) => *self = out,
+            None => *self = enumerate_cuts_with(aig, params),
+        }
+    }
+
+    /// The remap-and-repair path of [`CutArena::rebase`]; `None` when
+    /// the map is not a clean positive bijection and the caller must
+    /// re-enumerate.
+    fn rebase_clean(
+        &self,
+        map: &crate::graph::CompactMap,
+        aig: &Aig,
+        params: CutParams,
+    ) -> Option<CutArena> {
+        let n_new = map.new_len();
+        // Invert the map, requiring a positive bijection: every
+        // surviving old node maps to a distinct uncomplemented new
+        // node and every new node has a preimage. Anything else means
+        // compaction rewrote structure (strash merges, trivial folds)
+        // and cut lists cannot be carried over one-for-one.
+        let mut pre: Vec<Option<NodeId>> = vec![None; n_new];
+        let mut old2new: Vec<u32> = vec![u32::MAX; map.old_len()];
+        for (i, slot) in old2new.iter_mut().enumerate() {
+            if let Some(l) = map.map_id(NodeId::from_index(i)) {
+                if l.is_complement() || pre[l.node().index()].is_some() {
+                    return None;
+                }
+                pre[l.node().index()] = Some(NodeId::from_index(i));
+                *slot = l.node().index() as u32;
+            }
+        }
+        if pre.iter().any(Option::is_none) {
+            return None;
+        }
+
+        let mut out = fresh_arena(aig, self.k, params.max_cuts);
+        let mut seed = vec![false; n_new];
+        let mut newl: Vec<NodeId> = Vec::new();
+        let mut ord: Vec<usize> = Vec::new();
+        let mut perm: Vec<usize> = Vec::new();
+        for j in 0..n_new {
+            let id = NodeId::from_index(j);
+            let start = out.cuts.len() as u32;
+            push_unit(&mut out, id);
+            if aig.is_and(id) {
+                let old = pre[j]?; // checked non-None above
+                let (s, e) = self.spans[old.index()];
+                let mut nonunit = 0usize;
+                // Skip the stored unit cut (always first) — `push_unit`
+                // already emitted the new one.
+                for ci in s as usize + 1..e as usize {
+                    let c = self.cuts[ci];
+                    let lv = &self.leaves[c.off as usize..(c.off + c.len as u32) as usize];
+                    newl.clear();
+                    for &l in lv {
+                        let t = old2new[l.index()];
+                        if t == u32::MAX {
+                            return None; // leaf died: list is stale, rebuild
+                        }
+                        newl.push(NodeId::from_index(t as usize));
+                    }
+                    // Re-sort leaves under the new id order; the cut
+                    // function's variables follow the same permutation.
+                    ord.clear();
+                    ord.extend(0..newl.len());
+                    ord.sort_by_key(|&p| newl[p]);
+                    let tt = if out.has_tts {
+                        perm.clear();
+                        perm.resize(ord.len(), 0);
+                        for (p, &oi) in ord.iter().enumerate() {
+                            perm[oi] = p;
+                        }
+                        word::permute(c.tt, &perm)
+                    } else {
+                        0
+                    };
+                    let off = out.leaves.len() as u32;
+                    let mut sig = 0u64;
+                    for &p in &ord {
+                        out.leaves.push(newl[p]);
+                        sig |= 1 << (newl[p].index() % 64);
+                    }
+                    out.cuts.push(CutData { off, len: c.len, sig, tt, cost: c.cost });
+                    nonunit += 1;
+                }
+                // A from-scratch AND list always keeps at least the
+                // direct fanin-pair cut; a unit-only list is exactly
+                // the edited graph's empty-fanin degeneracy and must be
+                // re-enumerated against the (topological) new graph.
+                seed[j] = nonunit == 0;
+            }
+            out.spans[j] = (start, out.cuts.len() as u32);
+        }
+
+        // Repair pass: recompute the degenerate seeds and propagate
+        // upward while lists keep changing — the compacted graph is
+        // topological in id order, so the plain ascending walk of
+        // `update` applies without span hiding.
+        let levels = match params.rank {
+            CutRank::Depth => aig.levels(),
+            _ => Vec::new(),
+        };
+        let mut coster = |_root: NodeId, leaves: &[NodeId], _tt: u64| match params.rank {
+            CutRank::Size => (leaves.len() as u32, 0),
+            CutRank::Depth => {
+                let depth = leaves.iter().map(|l| levels[l.index()]).max().unwrap_or(0);
+                (depth, leaves.len() as u32)
+            }
+            CutRank::Arrival => unreachable!(),
+        };
+        let mut changed = vec![false; n_new];
+        let mut sc = NodeScratch::default();
+        let (mut tmp_leaves, mut tmp_cuts) = (Vec::new(), Vec::new());
+        for i in 0..n_new {
+            let id = NodeId::from_index(i);
+            if !aig.is_and(id) {
+                continue;
+            }
+            let (f0, f1) = aig.fanins(id);
+            if !(seed[i] || changed[f0.node().index()] || changed[f1.node().index()]) {
+                continue;
+            }
+            compute_node_cuts(&out, aig, id, params.max_cuts, &mut coster, &mut sc);
+            rebase_scratch(&sc, &mut tmp_leaves, &mut tmp_cuts);
+            if out.stored_equals(id, &tmp_cuts, &tmp_leaves) {
+                continue;
+            }
+            changed[i] = true;
+            out.splice(id, &tmp_cuts, &tmp_leaves);
+        }
+        Some(out)
     }
 
     /// Shared sanity checks of the incremental entry points, plus span
@@ -1484,6 +1668,94 @@ mod tests {
                 assert_same_per_node(&g, &scratch, &par);
             }
         }
+    }
+
+    #[test]
+    fn rebase_matches_scratch_after_compaction() {
+        // The full persistent-arena cycle: edit → update (on the
+        // edited graph) → compact_with_map → rebase, checked against
+        // from-scratch enumeration of the compacted graph.
+        for rank in [CutRank::Size, CutRank::Depth] {
+            let params = CutParams { k: 4, max_cuts: 6, rank };
+            let mut g = Aig::new("t");
+            let p = g.add_pis(4);
+            let c1 = g.and(p[0], p[1]);
+            let c2 = g.and(c1, p[2]);
+            let top = g.and(c2, p[3]);
+            g.add_po(top);
+            let mut arena = enumerate_cuts_with(&g, params);
+            g.begin_edit();
+            let r = g.and(p[1], p[2]);
+            let c2b = g.and(p[0], r);
+            g.replace_node(c2.node(), c2b);
+            let delta = g.end_edit();
+            arena.update(&g, &delta, params);
+            let (compacted, map) = g.compact_with_map();
+            arena.rebase(&map, &compacted, params);
+            assert_same_per_node(&compacted, &enumerate_cuts_with(&compacted, params), &arena);
+        }
+    }
+
+    #[test]
+    fn rebase_matches_scratch_on_larger_session() {
+        // Several re-associations (as in the update test) followed by
+        // compaction; cascades reclaim nodes so the remap really
+        // renumbers, and wide (k = 8, no in-pass functions) arenas ride
+        // along too.
+        for (k, rank) in [(4, CutRank::Size), (4, CutRank::Depth), (8, CutRank::Size)] {
+            let params = CutParams { k, max_cuts: 6, rank };
+            let mut g = reconvergent_aig();
+            let mut arena = enumerate_cuts_with(&g, params);
+            g.begin_edit();
+            let ands: Vec<NodeId> = g.and_ids().collect();
+            let mut done = 0;
+            for id in ands {
+                if done == 3 {
+                    break;
+                }
+                if !g.is_and(id) {
+                    continue;
+                }
+                let (f0, f1) = g.fanins(id);
+                if f0.is_complement() || !g.is_and(f0.node()) {
+                    continue;
+                }
+                let (g0, g1) = g.fanins(f0.node());
+                let inner = g.and(g1, f1);
+                let outer = g.and(g0, inner);
+                g.replace_node(id, outer);
+                done += 1;
+            }
+            assert!(done > 0, "expected at least one re-association");
+            let delta = g.end_edit();
+            arena.update(&g, &delta, params);
+            let (compacted, map) = g.compact_with_map();
+            arena.rebase(&map, &compacted, params);
+            assert_same_per_node(&compacted, &enumerate_cuts_with(&compacted, params), &arena);
+        }
+    }
+
+    #[test]
+    fn rebase_falls_back_when_compaction_folds() {
+        // Replacing by a constant makes compaction fold nodes away
+        // (the survivor map is not a positive bijection), so rebase
+        // must detect it and rebuild — still matching from-scratch.
+        let params = CutParams { k: 4, max_cuts: 6, rank: CutRank::Size };
+        let mut g = Aig::new("t");
+        let p = g.add_pis(3);
+        let x = g.and(p[0], p[1]);
+        let y = g.and(x, p[2]);
+        let z = g.or(y, p[0]);
+        g.add_po(z);
+        g.add_po(x);
+        let mut arena = enumerate_cuts_with(&g, params);
+        g.begin_edit();
+        g.replace_node(y.node(), p[2]);
+        let delta = g.end_edit();
+        arena.update(&g, &delta, params);
+        let (compacted, map) = g.compact_with_map();
+        arena.rebase(&map, &compacted, params);
+        assert_same_per_node(&compacted, &enumerate_cuts_with(&compacted, params), &arena);
     }
 
     #[test]

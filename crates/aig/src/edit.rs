@@ -35,7 +35,7 @@
 //! over [`Aig::topo_order`] and stay exact, and `compact()` restores
 //! ascending topological ids.
 
-use crate::graph::{Aig, Lit, Node, NodeId};
+use crate::graph::{Aig, CompactMap, Lit, Node, NodeId};
 
 /// Reference counts, fanout lists and replacement forwarding of one
 /// editing session (see [`Aig::begin_edit`]).
@@ -60,6 +60,13 @@ pub(crate) struct EditState {
     /// Node count when the session started; every node at or past this
     /// index was appended during the session.
     pub(crate) nodes_before: usize,
+    /// Touch log (see [`Aig::set_edit_touch_log`]): node ids whose
+    /// session-visible state (fanins, liveness, reference count, strash
+    /// membership of a key they appear in, forwarding) changed while
+    /// logging was enabled. Conservative superset, unsorted, may repeat.
+    pub(crate) touch_log: Vec<NodeId>,
+    /// Whether mutations currently record into `touch_log`.
+    pub(crate) logging: bool,
 }
 
 impl EditState {
@@ -73,7 +80,15 @@ impl EditState {
             fanouts[f1.node().index()].push(id);
         }
         let fwd = (0..n).map(|i| NodeId::from_index(i).lit()).collect();
-        EditState { refs, fanouts, fwd, dirty: vec![false; n], nodes_before: n }
+        EditState {
+            refs,
+            fanouts,
+            fwd,
+            dirty: vec![false; n],
+            nodes_before: n,
+            touch_log: Vec::new(),
+            logging: false,
+        }
     }
 
     /// Extends the session state for `added` freshly appended nodes
@@ -85,12 +100,21 @@ impl EditState {
             self.fanouts.push(Vec::new());
             self.fwd.push(id.lit());
             self.dirty.push(true);
+            self.touch(id);
         }
     }
 
     /// Marks a node's structural cone as changed.
     fn mark(&mut self, id: NodeId) {
         self.dirty[id.index()] = true;
+        self.touch(id);
+    }
+
+    /// Records a node in the touch log when logging is enabled.
+    pub(crate) fn touch(&mut self, id: NodeId) {
+        if self.logging {
+            self.touch_log.push(id);
+        }
     }
 }
 
@@ -134,6 +158,30 @@ impl EditDelta {
     /// Node count when the session ended.
     pub fn nodes_after(&self) -> usize {
         self.nodes_after
+    }
+
+    /// Re-expresses the delta in the id space of a compacted graph:
+    /// every surviving dirty node follows its [`CompactMap`] image,
+    /// dropped nodes vanish, and the result is sorted and deduplicated.
+    /// Both node counts become the compacted graph's — the remapped
+    /// delta describes *state already incorporated* into the compacted
+    /// graph, for consumers whose per-node records are keyed to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` was not produced from this delta's post-edit
+    /// graph (length mismatch).
+    pub fn remap(&self, map: &CompactMap) -> EditDelta {
+        assert_eq!(
+            map.old_len(),
+            self.nodes_after,
+            "compact map does not describe this delta's post-edit graph"
+        );
+        let mut dirty: Vec<NodeId> =
+            self.dirty.iter().filter_map(|&d| map.map_id(d)).map(|l| l.node()).collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        EditDelta { dirty, nodes_before: map.new_len(), nodes_after: map.new_len() }
     }
 }
 
@@ -180,6 +228,41 @@ impl Aig {
     /// True while an editing session is active.
     pub fn is_editing(&self) -> bool {
         self.edit.is_some()
+    }
+
+    /// Enables or disables the session's *touch log*. While enabled,
+    /// every mutation records the node ids whose session-visible state
+    /// changed — fanin rewrites, liveness flips, reference-count
+    /// changes, strash insertions/removals (both key operands) and
+    /// replacement forwarding — into a log drained by
+    /// [`Aig::drain_edit_touches`].
+    ///
+    /// This is the invalidation feed of evaluate-parallel /
+    /// commit-sequential rewriting: candidates are scored in parallel
+    /// against the pass-start state with a recorded read footprint, and
+    /// a commit's touches tell the committer which later candidates
+    /// must be re-scored. The log is a conservative superset (ids may
+    /// repeat; balanced changes such as a deref immediately undone by a
+    /// ref still log), so callers typically disable it around walks
+    /// they know restore state exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no editing session is active.
+    pub fn set_edit_touch_log(&mut self, on: bool) {
+        self.edit.as_mut().expect("no editing session active").logging = on;
+    }
+
+    /// Drains the touch log (see [`Aig::set_edit_touch_log`]) into
+    /// `out`, clearing it. Ids are in mutation order, unsorted, and may
+    /// repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no editing session is active.
+    pub fn drain_edit_touches(&mut self, out: &mut Vec<NodeId>) {
+        let edit = self.edit.as_mut().expect("no editing session active");
+        out.append(&mut edit.touch_log);
     }
 
     /// The session's reference count of a node (AND fanin slots plus
@@ -342,7 +425,10 @@ impl Aig {
                     }
                     None => {
                         self.strash.insert(key, o);
-                        self.edit.as_mut().expect("session active").mark(o);
+                        let edit = self.edit.as_mut().expect("session active");
+                        edit.touch(node.f0.node());
+                        edit.touch(node.f1.node());
+                        edit.mark(o);
                         continue;
                     }
                 }
@@ -356,6 +442,7 @@ impl Aig {
                     let edit = self.edit.as_mut().expect("session checked active on entry");
                     edit.refs[o.index()] -= 1;
                     edit.refs[n.node().index()] += 1;
+                    edit.touch(n.node());
                 }
             }
 
@@ -371,6 +458,9 @@ impl Aig {
                 let old_key = (f0.code(), f1.code());
                 if self.strash.get(&old_key) == Some(&f_id) {
                     self.strash.remove(&old_key);
+                    let edit = self.edit.as_mut().expect("session active");
+                    edit.touch(f0.node());
+                    edit.touch(f1.node());
                 }
                 let nf0 = if f0.node() == o { n.negate_if(f0.is_complement()) } else { f0 };
                 let nf1 = if f1.node() == o { n.negate_if(f1.is_complement()) } else { f1 };
@@ -380,6 +470,7 @@ impl Aig {
                         edit.refs[o.index()] -= 1;
                         edit.refs[new_f.node().index()] += 1;
                         edit.fanouts[new_f.node().index()].push(f_id);
+                        edit.touch(new_f.node());
                     }
                 }
                 // Trivial simplifications leave the stored fanins
@@ -406,6 +497,9 @@ impl Aig {
                             Some(&z) if z != f_id => work.push((f_id, z.lit())),
                             _ => {
                                 self.strash.insert(key, f_id);
+                                let edit = self.edit.as_mut().expect("session active");
+                                edit.touch(w0.node());
+                                edit.touch(w1.node());
                             }
                         }
                     }
@@ -441,6 +535,7 @@ impl Aig {
                 let fi = f.node().index();
                 edit.refs[fi] -= 1;
                 edit.fanouts[fi].retain(|&y| y != x);
+                edit.touch(f.node());
                 if edit.refs[fi] == 0 && self.nodes[fi].is_and() {
                     stack.push(f.node());
                 }
@@ -602,6 +697,64 @@ mod tests {
             assert!(!delta.dirty().contains(&id), "PI {id:?} must stay clean");
         }
         assert!(delta.dirty().windows(2).all(|w| w[0].index() < w[1].index()));
+    }
+
+    #[test]
+    fn remap_follows_compaction() {
+        let mut g = Aig::new("t");
+        let p = g.add_pis(3);
+        let x = g.and(p[0], p[1]);
+        let y = g.and(x, p[2]);
+        g.add_po(y);
+        g.begin_edit();
+        let r = g.and(p[1], p[2]);
+        let yb = g.and(p[0], r);
+        g.replace_node(y.node(), yb);
+        let delta = g.end_edit();
+        let (compacted, map) = g.compact_with_map();
+        let remapped = delta.remap(&map);
+        assert_eq!(remapped.nodes_before(), compacted.num_nodes());
+        assert_eq!(remapped.nodes_after(), compacted.num_nodes());
+        // Survivors follow the map; reclaimed nodes (x, y) vanish.
+        for d in remapped.dirty() {
+            assert!(compacted.is_and(*d) || compacted.is_pi(*d));
+        }
+        let yb_new = map.map_lit(yb).expect("replacement root survives").node();
+        assert!(remapped.dirty().contains(&yb_new));
+        assert!(remapped.dirty().windows(2).all(|w| w[0].index() < w[1].index()));
+        assert!(remapped.dirty().len() <= delta.dirty().len());
+    }
+
+    #[test]
+    fn touch_log_records_commit_footprint() {
+        let mut g = Aig::new("t");
+        let p = g.add_pis(3);
+        let x = g.and(p[0], p[1]);
+        let y = g.and(x, p[2]);
+        g.add_po(y);
+        g.begin_edit();
+        // Balanced walks with the log off record nothing.
+        g.set_edit_touch_log(false);
+        let _ = g.mffc_size(y.node());
+        let mut touched = Vec::new();
+        g.drain_edit_touches(&mut touched);
+        assert!(touched.is_empty());
+        // A replacement with the log on records the replaced node, its
+        // reclaimed cone, the patched references and the appended
+        // nodes — everything whose session-visible state changed.
+        g.set_edit_touch_log(true);
+        let r = g.and(p[1], p[2]);
+        let yb = g.and(p[0], r);
+        g.replace_node(y.node(), yb);
+        g.drain_edit_touches(&mut touched);
+        for id in [y.node(), x.node(), r.node(), yb.node()] {
+            assert!(touched.contains(&id), "missing touch of {id:?}");
+        }
+        // Draining empties the log.
+        let mut again = Vec::new();
+        g.drain_edit_touches(&mut again);
+        assert!(again.is_empty());
+        g.end_edit();
     }
 
     #[test]

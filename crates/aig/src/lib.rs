@@ -99,7 +99,7 @@ pub use cuts::{
     enumerate_cuts_with, enumerate_cuts_with_jobs, CutArena, CutIter, CutParams, CutRank, CutView,
 };
 pub use edit::EditDelta;
-pub use graph::{Aig, Lit, NodeId};
+pub use graph::{Aig, CompactMap, Lit, NodeId};
 pub use rcache::ResultCache;
 pub use sweep::{
     cec_cache_stats, check_equivalence_sweeping, check_equivalence_sweeping_report,

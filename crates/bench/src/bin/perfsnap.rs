@@ -3,22 +3,26 @@
 //! mapping, CEC verification, the parallel suite at several worker
 //! counts, the incrementality substrate (warm-vs-cold result-cache
 //! behaviour of the whole suite synthesis and dirty-region
-//! cut-enumeration updates vs from-scratch re-enumeration), and (new
-//! in PR 9) the batch synthesis service: cold vs warm batch throughput
-//! over the full suite plus the AIGER frontend's write/parse costs —
-//! and writes the numbers to `BENCH_PR9.json` in the current
-//! directory. The JSON continues the bench trajectory the ROADMAP asks
-//! for: `BENCH_PR3.json` records the verification rebuild,
-//! `BENCH_PR4.json` the arrival-aware mapper, `BENCH_PR5.json` the
-//! synthesis rebuild, `BENCH_PR7.json` the work-stealing thread pool,
-//! `BENCH_PR8.json` the caches, this file the service. Every engine
-//! timing row clears the process-wide result caches before each
-//! iteration, so those numbers stay comparable with the earlier
-//! snapshots; the dedicated cold/warm rows are where the caches are
-//! allowed to shine. Scaling rows are honest measurements of the
-//! machine the snapshot ran on: `available_parallelism` is recorded
-//! next to them, and on a single-core container the jobs>1 rows will
-//! not (and must not pretend to) beat jobs=1.
+//! cut-enumeration updates vs from-scratch re-enumeration), the batch
+//! synthesis service (cold vs warm throughput), and (new in PR 10)
+//! the intra-circuit parallel engines: partition-parallel synthesis
+//! and parallel covering scaling rows at several worker counts, plus
+//! the persistent cut arena carried across a compaction (`rebase` vs
+//! re-enumeration) — and writes the numbers to `BENCH_PR10.json` in
+//! the current directory. The JSON continues the bench trajectory the
+//! ROADMAP asks for: `BENCH_PR3.json` records the verification
+//! rebuild, `BENCH_PR4.json` the arrival-aware mapper,
+//! `BENCH_PR5.json` the synthesis rebuild, `BENCH_PR7.json` the
+//! work-stealing thread pool, `BENCH_PR8.json` the caches,
+//! `BENCH_PR9.json` the service, this file the parallel covering and
+//! synthesis engines. Every engine timing row clears the process-wide
+//! result caches before each iteration, so those numbers stay
+//! comparable with the earlier snapshots; the dedicated cold/warm
+//! rows are where the caches are allowed to shine. Scaling rows are
+//! honest measurements of the machine the snapshot ran on:
+//! `available_parallelism` is recorded next to them, and on a
+//! single-core container the jobs>1 rows will not (and must not
+//! pretend to) beat jobs=1.
 
 use cntfet_aig::{
     cec_cache_stats, check_equivalence_sweeping_report, enumerate_cuts_with, CecResult, CutParams,
@@ -142,6 +146,31 @@ fn main() {
         "incremental update not 2x faster: full {full_enum_ms:.3}ms vs update {update_ms:.3}ms"
     );
 
+    // --- persistent arena across compaction (PR 10) ---
+    // The same trace, carried through the compaction that follows an
+    // applied pass: the updated arena is rebased onto the compacted
+    // graph and must beat re-enumerating the compacted graph from
+    // scratch by 2x. This is the step that lets a `Script` keep one
+    // arena alive across passes, rounds and compactions instead of
+    // re-enumerating at every pass boundary.
+    let mut post_arena = pre_arena.clone();
+    post_arena.update(&incr_g, &delta, params);
+    let (compacted, compact_map) = incr_g.compact_with_map();
+    let compact_enum_ms = best_ms(5, || {
+        assert!(enumerate_cuts_with(&compacted, params).num_cuts() > 0);
+    });
+    let mut rebase_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let mut arena = post_arena.clone();
+        let t = Instant::now();
+        arena.rebase(&compact_map, &compacted, params);
+        rebase_ms = rebase_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(
+        rebase_ms * 2.0 <= compact_enum_ms,
+        "arena rebase across compaction not 2x faster: full {compact_enum_ms:.3}ms vs rebase {rebase_ms:.3}ms"
+    );
+
     // --- synthesis: in-place DAG-aware engine vs the seed rebuild ---
     let seed_opts = SynthOptions { engine: SynthEngine::Seed, ..Default::default() };
     let mult8_src = array_multiplier(8);
@@ -237,6 +266,48 @@ fn main() {
     let deterministic = report1 == report2 && report1 == report4 && report1 == report_all;
     assert!(deterministic, "suite reports diverged across worker counts");
 
+    // --- partition-parallel synthesis scaling (PR 10) ---
+    // One cold `resyn2rs` of the suite's biggest graph per worker
+    // count. The evaluate-parallel / commit-sequential sweeps must
+    // return the bit-identical graph at every count; the wall times
+    // say whatever this machine's cores let them say.
+    println!("perfsnap: synthesis scaling on des-like...");
+    let synth_at = |jobs: usize| {
+        clear_result_caches();
+        threadpool::Jobs::set(jobs);
+        let t = Instant::now();
+        let o = resyn2rs(&des_src);
+        (t.elapsed().as_secs_f64() * 1e3, o.fingerprint())
+    };
+    let (synth_des_j1_ms, synth_fp1) = synth_at(1);
+    let (synth_des_j2_ms, synth_fp2) = synth_at(2);
+    let (synth_des_j4_ms, synth_fp4) = synth_at(4);
+    let (synth_des_jall_ms, synth_fp_all) = synth_at(0);
+    threadpool::Jobs::set(0);
+    let synth_scaling_identical =
+        synth_fp1 == synth_fp2 && synth_fp1 == synth_fp4 && synth_fp1 == synth_fp_all;
+    assert!(synth_scaling_identical, "parallel synthesis diverged across worker counts");
+
+    // --- parallel covering scaling (PR 10) ---
+    // One cold technology mapping of the synthesized des-like graph
+    // per worker count: rank-parallel forward/area-flow passes plus
+    // speculate/validate exact-area recovery must pick the identical
+    // cover, gate for gate.
+    println!("perfsnap: covering scaling on des-like...");
+    let des_opt = resyn2rs(&des_src);
+    let map_at = |jobs: usize| {
+        clear_result_caches();
+        let t = Instant::now();
+        let m = map(&des_opt, &lib, MapOptions { jobs, ..MapOptions::default() });
+        (t.elapsed().as_secs_f64() * 1e3, format!("{:?} {:?} {:?}", m.gates, m.pos, m.stats))
+    };
+    let (map_des_j1_ms, cover1) = map_at(1);
+    let (map_des_j2_ms, cover2) = map_at(2);
+    let (map_des_j4_ms, cover4) = map_at(4);
+    let (map_des_jall_ms, cover_all) = map_at(0);
+    let cover_scaling_identical = cover1 == cover2 && cover1 == cover4 && cover1 == cover_all;
+    assert!(cover_scaling_identical, "parallel covering diverged across worker counts");
+
     // --- batch synthesis service (PR 9): cold vs warm throughput ---
     // The full 15-circuit suite through `SynthService::process_batch`,
     // once with every cache dropped (cold — the real pipeline runs) and
@@ -292,8 +363,8 @@ fn main() {
 
     let json = format!(
         r#"{{
-  "pr": 9,
-  "description": "AIGER frontend + batch synthesis service: ascii/binary AIGER read/write, fingerprint-deduplicated persistent service with cancellation/budget hooks, batch_synth driver",
+  "pr": 10,
+  "description": "Parallel covering + partition-parallel rewriting, with the incremental cut arena surviving compaction: rank-parallel forward/area-flow covering passes, windowed speculate/validate exact-area recovery, evaluate-parallel/commit-sequential synthesis sweeps, and Script-owned arenas rebased across compaction — all bit-identical at every worker count",
   "service": {{
     "requests": {n_requests},
     "verify": false,
@@ -331,6 +402,13 @@ fn main() {
     "update_ms": {update_ms:.3},
     "speedup": {incr_speedup:.1}
   }},
+  "arena_across_compaction": {{
+    "circuit": "des-like",
+    "compacted_nodes": {compacted_nodes},
+    "full_enum_ms": {compact_enum_ms:.3},
+    "rebase_ms": {rebase_ms:.3},
+    "speedup": {rebase_speedup:.1}
+  }},
   "parallel": {{
     "available_parallelism": {cores},
     "suite_wall_s": {{
@@ -339,7 +417,21 @@ fn main() {
       "jobs_4": {suite_jobs4_s:.2},
       "jobs_all": {suite_all_s:.2}
     }},
-    "identical_reports_across_worker_counts": {deterministic}
+    "identical_reports_across_worker_counts": {deterministic},
+    "synth_des_ms": {{
+      "jobs_1": {synth_des_j1_ms:.1},
+      "jobs_2": {synth_des_j2_ms:.1},
+      "jobs_4": {synth_des_j4_ms:.1},
+      "jobs_all": {synth_des_jall_ms:.1},
+      "identical_fingerprints": {synth_scaling_identical}
+    }},
+    "covering_des_ms": {{
+      "jobs_1": {map_des_j1_ms:.1},
+      "jobs_2": {map_des_j2_ms:.1},
+      "jobs_4": {map_des_j4_ms:.1},
+      "jobs_all": {map_des_jall_ms:.1},
+      "identical_covers": {cover_scaling_identical}
+    }}
   }},
   "synth_ms": {{
     "mult8_seed": {synth_mult8_seed_ms:.3},
@@ -386,12 +478,14 @@ fn main() {
         incr_nodes = incr_g.num_nodes(),
         dirty_nodes = delta.dirty().len(),
         incr_speedup = full_enum_ms / update_ms,
+        compacted_nodes = compacted.num_nodes(),
+        rebase_speedup = compact_enum_ms / rebase_ms,
         n_requests = requests.len(),
         serve_cold_s = serve_cold.elapsed_s,
         serve_warm_s = serve_warm.elapsed_s,
         serve_speedup = serve_warm_cps / serve_cold_cps,
     );
-    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
     print!("{json}");
-    println!("wrote BENCH_PR9.json");
+    println!("wrote BENCH_PR10.json");
 }

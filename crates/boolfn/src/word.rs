@@ -131,6 +131,32 @@ pub fn expand(tt: u64, pos: &[usize], to_nvars: usize) -> u64 {
     replicate(to_nvars, out)
 }
 
+/// Reorders the variables of `tt`, a function of `perm.len()`
+/// variables: source variable `i` becomes target variable `perm[i]`
+/// (`perm` a permutation of `0..perm.len()`, in any order — the
+/// general-permutation counterpart of [`expand`]'s ascending
+/// embedding). Used when a cut's leaves are re-sorted under a new id
+/// order and the stored function word must follow them.
+pub fn permute(tt: u64, perm: &[usize]) -> u64 {
+    let k = perm.len();
+    debug_assert!(k <= MAX_WORD_VARS);
+    debug_assert!((0..k).all(|v| perm.contains(&v)));
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        return tt;
+    }
+    let mut out = 0u64;
+    for m in 0..(1u64 << k) {
+        let mut to = 0u64;
+        for (i, &p) in perm.iter().enumerate() {
+            to |= (m >> i & 1) << p;
+        }
+        if tt >> m & 1 == 1 {
+            out |= 1 << to;
+        }
+    }
+    replicate(k, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +174,27 @@ mod tests {
         for n in 0..=6usize {
             let bits = 0x9E37_79B9_97F4_A7C1u64;
             assert_eq!(replicate(n, bits), TruthTable::from_bits(n, bits).words()[0]);
+        }
+    }
+
+    #[test]
+    fn permute_reorders_variables() {
+        // f = x0 & ¬x2 over 3 vars; swap x0 ↔ x2.
+        let f = var_word(0) & !var_word(2);
+        let g = permute(f, &[2, 1, 0]);
+        assert_eq!(g, replicate(3, var_word(2) & !var_word(0)));
+        // Identity permutation is a no-op.
+        assert_eq!(permute(f, &[0, 1, 2]), f);
+        // A 4-var rotation checked against per-minterm evaluation.
+        let h = replicate(4, 0xBEEF);
+        let perm = [1usize, 2, 3, 0];
+        let r = permute(h, &perm);
+        for m in 0..16u64 {
+            let mut to = 0u64;
+            for (i, &p) in perm.iter().enumerate() {
+                to |= (m >> i & 1) << p;
+            }
+            assert_eq!(r >> to & 1, h >> m & 1, "minterm {m}");
         }
     }
 

@@ -74,6 +74,7 @@
 
 mod balance;
 mod dry;
+mod par;
 mod pass;
 mod refactor;
 mod rewrite;
@@ -81,7 +82,7 @@ mod script;
 pub mod seed;
 
 pub use balance::{balance_inplace, Balance};
-pub use pass::{AigStats, Pass, PassStats, Script, ScriptReport};
+pub use pass::{AigStats, Pass, PassCtx, PassStats, Script, ScriptReport};
 pub use refactor::{refactor_inplace, Refactor};
 pub use rewrite::{rewrite_inplace, Rewrite};
 pub use script::{

@@ -1,0 +1,108 @@
+//! Shared infrastructure of the evaluate-parallel / commit-sequential
+//! passes ([`crate::Rewrite`], [`crate::Refactor`]).
+//!
+//! The scheme: candidates for every node are *scored* in parallel
+//! against the immutable pass-start graph, each recording the set of
+//! node ids its evaluation read (MFFC walk, cut leaves, strash
+//! probes, reused nodes — its **footprint**). Commits then run
+//! sequentially in ascending node order inside one editing session
+//! with the session's touch log enabled; a speculated result is
+//! trusted only while its footprint is disjoint from every id an
+//! earlier commit touched, and is otherwise re-scored in place with
+//! the exact sequential code. Because a clean footprint means the
+//! live session state restricted to everything the evaluation reads
+//! equals the pass-start state, the committed result is bit-identical
+//! to the purely sequential sweep at every worker count.
+
+use cntfet_aig::{Aig, NodeId};
+
+/// Graphs below this node count run the plain sequential sweep even
+/// when the pool has workers: fork/join overhead dwarfs the work.
+/// The gate depends only on the graph, never on the worker count, so
+/// it cannot break the jobs-N ≡ jobs-1 contract.
+pub(crate) const PAR_MIN_NODES: usize = 32;
+
+/// A per-worker copy-on-read overlay over the pass-start fanout
+/// counts, letting each worker run virtual MFFC walks without
+/// mutating shared state. Stamp-versioned so `begin` is O(1).
+#[derive(Default)]
+pub(crate) struct VirtRefs {
+    stamp: Vec<u32>,
+    val: Vec<u32>,
+    cur: u32,
+}
+
+impl VirtRefs {
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.val.resize(n, 0);
+        }
+        self.cur += 1;
+    }
+
+    fn get(&self, base: &[u32], i: usize) -> u32 {
+        if self.stamp[i] == self.cur {
+            self.val[i]
+        } else {
+            base[i]
+        }
+    }
+
+    fn set(&mut self, i: usize, v: u32) {
+        self.stamp[i] = self.cur;
+        self.val[i] = v;
+    }
+}
+
+/// Read-only emulation of [`Aig::mffc_deref_into`] against the
+/// pass-start fanout counts `base`: same stack discipline, same
+/// member order, same count — but decrements land in the worker's
+/// overlay instead of the session. Every node whose reference count
+/// the walk reads is appended to `foot` (the fanin reads; the popped
+/// members themselves are pushed by the caller via `out`).
+pub(crate) fn virt_mffc(
+    aig: &Aig,
+    base: &[u32],
+    vr: &mut VirtRefs,
+    root: NodeId,
+    out: &mut Vec<NodeId>,
+    foot: &mut Vec<u32>,
+) -> usize {
+    vr.begin(base.len());
+    let mut count = 0usize;
+    let mut stack = vec![root];
+    while let Some(x) = stack.pop() {
+        count += 1;
+        out.push(x);
+        let (f0, f1) = aig.fanins(x);
+        for f in [f0, f1] {
+            let fi = f.node().index();
+            foot.push(fi as u32);
+            let r = vr.get(base, fi) - 1;
+            vr.set(fi, r);
+            if r == 0 && aig.is_and(f.node()) {
+                stack.push(f.node());
+            }
+        }
+    }
+    count
+}
+
+/// Marks every id a commit touched as dirty (ids at or above the
+/// pass-start node count have no speculated evaluation to
+/// invalidate).
+pub(crate) fn absorb_touches(aig: &mut Aig, touches: &mut Vec<NodeId>, dirty: &mut [bool]) {
+    aig.drain_edit_touches(touches);
+    for t in touches.drain(..) {
+        if let Some(d) = dirty.get_mut(t.index()) {
+            *d = true;
+        }
+    }
+}
+
+/// True while none of the footprint ids was touched by an earlier
+/// commit — the speculated evaluation is still exact.
+pub(crate) fn footprint_clean(foot: &[u32], dirty: &[bool]) -> bool {
+    foot.iter().all(|&i| !dirty[i as usize])
+}

@@ -2,7 +2,9 @@
 //! [`Script`] runs a sequence of passes with per-pass statistics,
 //! timing, and an optional CEC self-check after every pass.
 
-use cntfet_aig::{equivalent, Aig};
+use cntfet_aig::{
+    enumerate_cuts_with_jobs, equivalent, Aig, CompactMap, CutArena, CutParams, EditDelta,
+};
 use std::time::{Duration, Instant};
 
 /// Statistics snapshot of an AIG.
@@ -63,6 +65,116 @@ pub trait Pass {
 
     /// Runs the pass, returning the number of applied transformations.
     fn apply(&mut self, aig: &mut Aig) -> usize;
+
+    /// Runs the pass with access to the script-owned [`PassCtx`], so
+    /// cut-aware passes can reuse (and maintain) the persistent
+    /// [`CutArena`]s instead of re-enumerating from scratch. The
+    /// default ignores the context and calls [`Pass::apply`]; results
+    /// are identical either way — the context is purely a cache.
+    fn apply_ctx(&mut self, aig: &mut Aig, ctx: &mut PassCtx) -> usize {
+        let _ = ctx;
+        self.apply(aig)
+    }
+}
+
+/// Script-owned state threaded through every pass: persistent
+/// [`CutArena`]s keyed by their [`CutParams`], kept consistent with
+/// the graph across edits (via [`CutArena::update_jobs`]) and
+/// compactions (via [`CutArena::rebase`] over the [`CompactMap`]).
+///
+/// The context is *purely a cache*: an arena handed out by
+/// [`PassCtx`] is always equal to a from-scratch enumeration on the
+/// current graph (the incremental update and rebase contracts
+/// guarantee it), so pass results are bit-identical with or without
+/// it. Under `CNTFET_NO_CACHE=1` nothing is retained and every pass
+/// enumerates from scratch.
+pub struct PassCtx {
+    /// Fingerprint of the graph the stored arenas describe; a
+    /// different graph at pass entry invalidates them all.
+    fp: Option<u64>,
+    arenas: Vec<(CutParams, CutArena)>,
+    /// False for the throwaway context of the standalone `*_inplace`
+    /// entry points: nothing is retained, so no maintenance runs.
+    keep: bool,
+}
+
+impl Default for PassCtx {
+    fn default() -> PassCtx {
+        PassCtx::new()
+    }
+}
+
+impl PassCtx {
+    /// A fresh context that retains arenas across passes (subject to
+    /// the global `CNTFET_NO_CACHE` switch).
+    pub fn new() -> PassCtx {
+        PassCtx { fp: None, arenas: Vec::new(), keep: true }
+    }
+
+    /// A context that retains nothing — used by the standalone
+    /// single-pass entry points where there is no next pass to pay
+    /// off the maintenance.
+    pub(crate) fn ephemeral() -> PassCtx {
+        PassCtx { fp: None, arenas: Vec::new(), keep: false }
+    }
+
+    /// Drops every arena that does not describe `aig`. Called at pass
+    /// entry, before any arena is handed out.
+    pub(crate) fn sync(&mut self, aig: &Aig) {
+        let f = fingerprint(aig);
+        if self.fp != Some(f) {
+            self.arenas.clear();
+            self.fp = Some(f);
+        }
+    }
+
+    /// Hands out the arena for `params`, enumerating from scratch on
+    /// a miss. Ownership moves to the caller; return it with
+    /// [`PassCtx::put`] before absorbing the pass's edits.
+    pub(crate) fn take_or_enumerate(&mut self, aig: &Aig, params: CutParams) -> CutArena {
+        if let Some(i) = self.arenas.iter().position(|(p, _)| *p == params) {
+            return self.arenas.swap_remove(i).1;
+        }
+        enumerate_cuts_with_jobs(aig, params, 0)
+    }
+
+    /// Stores an arena for later passes (no-op for ephemeral contexts
+    /// or with caching globally disabled).
+    pub(crate) fn put(&mut self, params: CutParams, arena: CutArena) {
+        if self.keep
+            && cntfet_boolfn::cache::enabled()
+            && !self.arenas.iter().any(|(p, _)| *p == params)
+        {
+            self.arenas.push((params, arena));
+        }
+    }
+
+    /// Rides every stored arena through a just-ended editing session
+    /// (`aig` is the edited, not-yet-compacted graph).
+    pub(crate) fn absorb(&mut self, aig: &Aig, delta: &EditDelta) {
+        for (p, a) in &mut self.arenas {
+            a.update_jobs(aig, delta, *p, 0);
+        }
+    }
+
+    /// Rides every stored arena through a compaction (`aig` is the
+    /// compacted graph, `map` the old→new id remap).
+    pub(crate) fn rebase(&mut self, map: &CompactMap, aig: &Aig) {
+        for (p, a) in &mut self.arenas {
+            a.rebase(map, aig, *p);
+        }
+    }
+
+    /// Records the graph the (maintained) arenas now describe; called
+    /// once at pass exit.
+    pub(crate) fn finish(&mut self, aig: &Aig) {
+        self.fp = if self.keep { Some(fingerprint(aig)) } else { None };
+    }
+
+    /// Number of retained arenas (test introspection).
+    pub fn num_arenas(&self) -> usize {
+        self.arenas.len()
+    }
 }
 
 /// Per-pass record of a [`Script`] run.
@@ -145,6 +257,9 @@ pub struct Script {
     /// it; a different graph on the next `run` resets the ledger (the
     /// recorded no-ops say nothing about it).
     last_graph: Option<u64>,
+    /// Persistent cut arenas threaded through every pass (and kept
+    /// across `run` calls, so script rounds reuse them too).
+    ctx: PassCtx,
 }
 
 impl Script {
@@ -217,7 +332,7 @@ impl Script {
             }
             let reference = self.self_check.then(|| aig.clone());
             let t = Instant::now();
-            let applied = pass.apply(aig);
+            let applied = pass.apply_ctx(aig, &mut self.ctx);
             let time = t.elapsed();
             if let Some(reference) = reference {
                 assert!(

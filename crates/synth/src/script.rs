@@ -63,8 +63,12 @@ impl Default for SynthOptions {
 
 /// Everything that determines a synthesis outcome: the input's
 /// structural fingerprint, the full options and the script kind
-/// (`0` = resyn2rs, `1` = quick). Both engines are single-threaded
-/// and deterministic in this key.
+/// (`0` = resyn2rs, `1` = quick). The worker count is deliberately
+/// *not* part of the key: the in-place engine's parallel sweeps are
+/// evaluate-parallel / commit-sequential (see [`crate::par`]) and
+/// produce bit-identical graphs at every worker count (asserted by
+/// the workspace `determinism` tests), and the seed engine never
+/// spawns workers — so one cached result serves every `jobs` setting.
 type SynthKey = (u128, SynthOptions, u8);
 
 /// The process-wide synthesis result cache: optimized graphs keyed by

@@ -4,10 +4,10 @@
 //! reports — for every worker count. Parallelism is allowed to change
 //! wall time and nothing else.
 
-use cntfet_aig::{check_equivalence_sweeping_report, Aig, CecResult, SweepOptions};
+use cntfet_aig::{check_equivalence_sweeping_report, equivalent, Aig, CecResult, SweepOptions};
 use cntfet_bench::run_suite_with;
 use cntfet_core::{Library, LogicFamily};
-use cntfet_synth::resyn2rs;
+use cntfet_synth::{resyn2rs, Script};
 use cntfet_techmap::{map, verify_mapping_report, MapOptions, Objective};
 use proptest::prelude::*;
 
@@ -49,6 +49,117 @@ fn suite_report_identical_across_worker_counts() {
     let sequential = run(1);
     for jobs in [2, 4] {
         assert_eq!(sequential, run(jobs), "suite report diverged at jobs={jobs}");
+    }
+}
+
+/// A deterministic pseudo-random op script for the larger determinism
+/// fixtures (big enough that the partition-parallel passes actually
+/// take their parallel path).
+fn big_script(len: usize, mut seed: u64) -> Vec<(u8, u16, u16)> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 60) as u8, (seed >> 16) as u16, (seed >> 32) as u16)
+        })
+        .collect()
+}
+
+/// Partition-parallel rewriting/refactoring commits the exact same
+/// replacement sequence the sequential sweep does: the synthesized
+/// graph is bit-identical (stats + structural fingerprint) at every
+/// worker count, and stays equivalent to its source. Drives the
+/// `Script` runner directly so no result cache can short-circuit the
+/// comparison.
+#[test]
+fn synth_identical_across_worker_counts() {
+    for seed in [0x5EED_0001u64, 0x5EED_0002] {
+        let g = random_aig(8, &big_script(400, seed));
+        let run = |jobs: usize| {
+            threadpool::Jobs::set(jobs);
+            let mut o = g.clone();
+            let mut script = Script::resyn2rs();
+            script.run(&mut o);
+            script.run(&mut o); // second round reuses the persistent arenas
+            threadpool::Jobs::set(0);
+            o
+        };
+        let seq = run(1);
+        assert!(equivalent(&g, &seq), "sequential synthesis broke equivalence");
+        for jobs in [2usize, 4] {
+            let par = run(jobs);
+            assert_eq!(
+                (seq.num_ands(), seq.depth()),
+                (par.num_ands(), par.depth()),
+                "synth stats diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                seq.fingerprint(),
+                par.fingerprint(),
+                "synth result not bit-identical at jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// Parallel covering — rank-parallel forward/area-flow passes plus
+/// windowed speculate/validate exact-area recovery — selects the
+/// exact cover the sequential engine does, gate for gate, on graphs
+/// large enough that every parallel covering path actually fans out
+/// (the [`Objective::Area`] cases drive multiple exact-area
+/// speculation windows; the CMOS case drives phase tracking).
+#[test]
+fn cover_identical_across_worker_counts() {
+    let cases = [
+        (LogicFamily::TgStatic, Objective::Area, 0xC0FE_0001u64),
+        (LogicFamily::TgStatic, Objective::Delay, 0xC0FE_0002),
+        (LogicFamily::TgPseudo, Objective::Area, 0xC0FE_0003),
+        (LogicFamily::CmosStatic, Objective::Balanced, 0xC0FE_0004),
+    ];
+    for (family, objective, seed) in cases {
+        let g = random_aig(8, &big_script(500, seed));
+        let lib = Library::new(family);
+        let opts = MapOptions { objective, jobs: 1, ..MapOptions::default() };
+        let seq = map(&g, &lib, opts);
+        assert_eq!(
+            verify_mapping_report(&g, &seq, &lib).result,
+            CecResult::Equivalent,
+            "{family:?}/{objective:?} sequential cover broke equivalence"
+        );
+        for jobs in [2usize, 4] {
+            let par = map(&g, &lib, MapOptions { jobs, ..opts });
+            assert_eq!(
+                format!("{:?} {:?}", seq.gates, seq.pos),
+                format!("{:?} {:?}", par.gates, par.pos),
+                "{family:?}/{objective:?} cover diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                format!("{:?}", seq.stats),
+                format!("{:?}", par.stats),
+                "{family:?}/{objective:?} stats diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// The `resyn2rs`/`quick_opt` result cache keys on the graph
+/// fingerprint and options but *not* on the worker count — justified
+/// exactly because synthesis is deterministic across worker counts.
+/// This asserts that justification directly: cold runs (cache cleared
+/// in between) at different worker counts produce identical
+/// fingerprints, so a jobs-free key can never serve a wrong result.
+#[test]
+fn synth_result_cache_jobs_free_key_is_sound() {
+    let g = random_aig(7, &big_script(250, 0xCAFE_F00D));
+    let run = |jobs: usize| {
+        cntfet_synth::clear_synth_cache();
+        threadpool::Jobs::set(jobs);
+        let o = resyn2rs(&g);
+        threadpool::Jobs::set(0);
+        o.fingerprint()
+    };
+    let seq = run(1);
+    for jobs in [2usize, 4] {
+        assert_eq!(seq, run(jobs), "cached synthesis diverged at jobs={jobs}");
     }
 }
 

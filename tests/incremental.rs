@@ -1,8 +1,10 @@
-//! Workspace property tests for the incrementality substrate (PR 8):
+//! Workspace property tests for the incrementality substrate:
 //! random edit sequences driven through [`cntfet_aig::CutArena::update`]
 //! must land on exactly the from-scratch cut lists (sequentially and
-//! sharded), and the NPN canonicalization memo must agree with the
-//! direct canonicalizer on every query.
+//! sharded), an arena must survive compaction via
+//! [`cntfet_aig::CutArena::rebase`] and keep absorbing deltas on the
+//! compacted graph, and the NPN canonicalization memo must agree with
+//! the direct canonicalizer on every query.
 
 use cntfet_aig::{enumerate_cuts_with, Aig, CutArena, CutParams, CutRank, Lit, NodeId};
 use cntfet_boolfn::{npn_canonical, npn_canonical_cached, CanonCache, TruthTable};
@@ -126,6 +128,46 @@ proptest! {
             par.update_jobs(&g, &delta, params, jobs);
             prop_assert_eq!(&snapshot(&g, &par), &scratch, "update_jobs({}) diverges", jobs);
         }
+    }
+
+    /// An arena that rides an edit session, an incremental update, a
+    /// compaction ([`Aig::compact_with_map`] + [`CutArena::rebase`])
+    /// and a *second* edit round still matches from-scratch
+    /// enumeration at every step — the exact lifetime a synthesis
+    /// `Script`'s persistent arenas live through across passes.
+    #[test]
+    fn prop_arena_survives_compaction(
+        script in proptest::collection::vec((0u8..6, 0u16..500, 0u16..500), 20..100),
+        edits in proptest::collection::vec((0u8..3, 0u16..500), 1..8),
+        edits2 in proptest::collection::vec((0u8..3, 0u16..500), 1..8),
+    ) {
+        let mut g = random_aig(6, &script);
+        let params = CutParams { k: 4, max_cuts: 6, rank: CutRank::Size };
+        let mut arena = enumerate_cuts_with(&g, params);
+
+        g.begin_edit();
+        for &(op, ti) in &edits {
+            apply_edit(&mut g, op, ti);
+        }
+        let delta = g.end_edit();
+        arena.update(&g, &delta, params);
+
+        let (compacted, map) = g.compact_with_map();
+        arena.rebase(&map, &compacted, params);
+        let scratch = snapshot(&compacted, &enumerate_cuts_with(&compacted, params));
+        prop_assert_eq!(&snapshot(&compacted, &arena), &scratch, "rebased arena diverges");
+
+        // Second round on the compacted graph: the survivor keeps
+        // absorbing deltas exactly like a freshly-enumerated arena.
+        let mut g2 = compacted;
+        g2.begin_edit();
+        for &(op, ti) in &edits2 {
+            apply_edit(&mut g2, op, ti);
+        }
+        let delta2 = g2.end_edit();
+        arena.update(&g2, &delta2, params);
+        let scratch2 = snapshot(&g2, &enumerate_cuts_with(&g2, params));
+        prop_assert_eq!(&snapshot(&g2, &arena), &scratch2, "post-compaction update diverges");
     }
 
     /// The NPN canonicalization memo — both the process-wide
